@@ -1,0 +1,199 @@
+// Command svwexp regenerates the paper's evaluation: one flag per figure or
+// sensitivity study. Each figure prints the same rows/series the paper
+// plots: per-benchmark re-execution rates (top panel) and percent speedups
+// over the study's baseline (bottom panel).
+//
+// Usage:
+//
+//	svwexp -fig 5            # NLQls study (paper Fig. 5)
+//	svwexp -fig 6            # SSQ study (Fig. 6)
+//	svwexp -fig 7            # RLE study (Fig. 7)
+//	svwexp -fig 8            # SSBF organization sensitivity (Fig. 8)
+//	svwexp -ssnwidth         # §3.6: SSN width / wrap-drain cost
+//	svwexp -ssbfupd          # §3.6: speculative vs atomic SSBF updates
+//	svwexp -summary          # abstract: aggregate re-execution reduction
+//	svwexp -retports         # setup ablation: 1 vs 2 store retirement ports
+//	svwexp -nlqsm            # extension: NLQsm invalidation mechanism demo
+//	svwexp -all              # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"svwsim/internal/pipeline"
+	"svwsim/internal/sim"
+	"svwsim/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "reproduce figure 5..8")
+	ssnwidth := flag.Bool("ssnwidth", false, "SSN width sensitivity (§3.6)")
+	ssbfupd := flag.Bool("ssbfupd", false, "SSBF update policy (§3.6)")
+	summary := flag.Bool("summary", false, "aggregate SVW re-execution reduction")
+	retports := flag.Bool("retports", false, "retirement-port ablation")
+	nlqsm := flag.Bool("nlqsm", false, "NLQsm invalidation mechanism demo")
+	all := flag.Bool("all", false, "run everything")
+	insts := flag.Uint64("insts", 0, "committed instructions per run (0 = config default)")
+	par := flag.Int("par", 0, "parallel runs (0 = GOMAXPROCS)")
+	benchList := flag.String("benches", "", "comma-separated benchmark subset")
+	flag.Parse()
+
+	benches := sim.AllBenches()
+	if *benchList != "" {
+		benches = strings.Split(*benchList, ",")
+		for _, b := range benches {
+			if _, ok := workload.Get(b); !ok {
+				fatalf("unknown benchmark %q", b)
+			}
+		}
+	}
+
+	ran := false
+	run := func(cond bool, f func()) {
+		if cond || *all {
+			f()
+			ran = true
+		}
+	}
+	run(*fig == 5, func() { runLadder(sim.Fig5Ladder(), benches, *insts, *par, 5) })
+	run(*fig == 6, func() { runLadder(sim.Fig6Ladder(), benches, *insts, *par, 6) })
+	run(*fig == 7, func() { runLadder(sim.Fig7Ladder(), benches, *insts, *par, 7) })
+	run(*fig == 8, func() { runFig8(*insts, *par) })
+	run(*ssnwidth, func() { runSSNWidth(benches, *insts, *par) })
+	run(*ssbfupd, func() { runSSBFUpd(benches, *insts, *par) })
+	run(*summary, func() { runSummary(benches, *insts, *par) })
+	run(*retports, func() { runRetPorts(benches, *insts, *par) })
+	run(*nlqsm, func() { runNLQSM(benches, *insts, *par) })
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "svwexp: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runLadder(l sim.Ladder, benches []string, insts uint64, par, fig int) {
+	res, err := sim.RunLadder(l, benches, insts, par)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res.Print(os.Stdout)
+	switch fig {
+	case 6:
+		res.PrintBreakdown(os.Stdout, 2, "fsq", "best-effort",
+			func(r *sim.Result) float64 { return r.Stats.RexRateFSQ() },
+			func(r *sim.Result) float64 { return r.Stats.RexRateBest() })
+	case 7:
+		res.PrintBreakdown(os.Stdout, 1, "reuse", "bypass",
+			func(r *sim.Result) float64 { return r.Stats.RexRateReuse() },
+			func(r *sim.Result) float64 { return r.Stats.RexRateBypass() })
+		fmt.Printf("elimination rates (RLE):")
+		for bi, b := range benches {
+			fmt.Printf(" %s=%.0f%%", b, 100*res.Runs[0][bi].Stats.ElimRate())
+		}
+		fmt.Println()
+	}
+}
+
+func runFig8(insts uint64, par int) {
+	res, err := sim.RunFig8(workload.Fig8Subset(), insts, par)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res.Print(os.Stdout)
+}
+
+func runSSNWidth(benches []string, insts uint64, par int) {
+	res, err := sim.RunSSNWidth(benches, []int{8, 10, 12, 16, 0}, insts, par)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res.Print(os.Stdout)
+}
+
+func runSSBFUpd(benches []string, insts uint64, par int) {
+	res, err := sim.RunSSBFUpdatePolicy(benches, insts, par)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res.Print(os.Stdout)
+}
+
+// runSummary reproduces the abstract's headline: the average re-execution
+// reduction SVW delivers across the three optimizations.
+func runSummary(benches []string, insts uint64, par int) {
+	type study struct {
+		name   string
+		ladder sim.Ladder
+		rawIdx int
+		svwIdx int
+	}
+	studies := []study{
+		{"NLQls", sim.Fig5Ladder(), 0, 2},
+		{"SSQ", sim.Fig6Ladder(), 0, 2},
+		{"RLE", sim.Fig7Ladder(), 0, 1},
+	}
+	fmt.Println("SVW re-execution reduction (abstract claims ~85% average)")
+	var total float64
+	for _, s := range studies {
+		res, err := sim.RunLadder(s.ladder, benches, insts, par)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		raw := res.AvgRexRate(s.rawIdx)
+		svw := res.AvgRexRate(s.svwIdx)
+		red := 0.0
+		if raw > 0 {
+			red = (1 - svw/raw) * 100
+		}
+		total += red
+		fmt.Printf("  %-6s raw %5.1f%% -> svw %5.1f%%  (reduction %5.1f%%)\n",
+			s.name, 100*raw, 100*svw, red)
+	}
+	fmt.Printf("  average reduction across optimizations: %.1f%%\n", total/float64(len(studies)))
+}
+
+// runRetPorts reproduces the setup remark that dual store retirement ports
+// only help vortex (~6%) on the 8-wide machine.
+func runRetPorts(benches []string, insts uint64, par int) {
+	fmt.Println("store retirement ports: % IPC gain of 2 ports over 1 (baseline 8-wide)")
+	for _, b := range benches {
+		one, err := sim.Run(sim.BaselineNLQ(), b, insts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg := sim.BaselineNLQ()
+		cfg.RetirePorts = 2
+		cfg.Name = "base-2port"
+		two, err := sim.Run(cfg, b, insts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("  %-8s %+6.1f%%\n", b, sim.Speedup(&one, &two))
+	}
+}
+
+// runNLQSM exercises the NLQsm banked-invalidation mechanism with the
+// synthetic injector (extension; the paper does not evaluate NLQsm either).
+func runNLQSM(benches []string, insts uint64, par int) {
+	fmt.Println("NLQsm extension: injected invalidations, marked loads, filter behaviour")
+	for _, b := range benches {
+		cfg := sim.NLQ(sim.SVWUpd)
+		cfg.NLQSM = pipeline.NLQSMConfig{Enabled: true, IntervalCycles: 200}
+		cfg.Name = "nlq+svw+sm"
+		res, err := sim.Run(cfg, b, insts)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		s := &res.Stats
+		fmt.Printf("  %-8s invals=%d rex=%.1f%% (sm-marked rex %.1f%%) IPC=%.2f\n",
+			b, s.Invalidations, 100*s.RexRate(), 100*s.RexRateNLQSM(), s.IPC())
+	}
+}

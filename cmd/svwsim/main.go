@@ -1,0 +1,109 @@
+// Command svwsim runs one benchmark kernel on one machine configuration and
+// prints the run's statistics.
+//
+// Usage:
+//
+//	svwsim -bench vortex -config ssq+svw -insts 300000
+//
+// Configs: base-nlq, nlq, nlq+svw-upd, nlq+svw, nlq+perfect,
+// base-ssq, ssq, ssq+svw-upd, ssq+svw, ssq+perfect,
+// base-rle, rle, rle+svw, rle+svw-squ, rle+perfect.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"svwsim/internal/pipeline"
+	"svwsim/internal/sim"
+	"svwsim/internal/workload"
+)
+
+func configByName(name string) (pipeline.Config, bool) {
+	switch strings.ToLower(name) {
+	case "base-nlq", "base":
+		return sim.BaselineNLQ(), true
+	case "nlq":
+		return sim.NLQ(sim.SVWOff), true
+	case "nlq+svw-upd":
+		return sim.NLQ(sim.SVWNoUpd), true
+	case "nlq+svw":
+		return sim.NLQ(sim.SVWUpd), true
+	case "nlq+perfect":
+		return sim.NLQ(sim.Perfect), true
+	case "base-ssq":
+		return sim.BaselineSSQ(), true
+	case "ssq":
+		return sim.SSQ(sim.SVWOff), true
+	case "ssq+svw-upd":
+		return sim.SSQ(sim.SVWNoUpd), true
+	case "ssq+svw":
+		return sim.SSQ(sim.SVWUpd), true
+	case "ssq+perfect":
+		return sim.SSQ(sim.Perfect), true
+	case "base-rle":
+		return sim.BaselineRLE(), true
+	case "rle":
+		return sim.RLE(sim.RLERaw), true
+	case "rle+svw":
+		return sim.RLE(sim.RLESVW), true
+	case "rle+svw-squ":
+		return sim.RLE(sim.RLESVWNoSQ), true
+	case "rle+perfect":
+		return sim.RLE(sim.RLEPerfect), true
+	}
+	return pipeline.Config{}, false
+}
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark kernel (see -list)")
+	config := flag.String("config", "base-nlq", "machine configuration")
+	insts := flag.Uint64("insts", 300_000, "committed instructions to simulate")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	cfg, ok := configByName(*config)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "svwsim: unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	if _, ok := workload.Get(*bench); !ok {
+		fmt.Fprintf(os.Stderr, "svwsim: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(2)
+	}
+
+	res, err := sim.Run(cfg, *bench, *insts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svwsim: %v\n", err)
+		os.Exit(1)
+	}
+	s := &res.Stats
+	fmt.Printf("bench            %s\n", res.Bench)
+	fmt.Printf("config           %s\n", res.Config)
+	fmt.Printf("cycles           %d\n", s.Cycles)
+	fmt.Printf("committed        %d\n", s.Committed)
+	fmt.Printf("IPC              %.3f\n", s.IPC())
+	fmt.Printf("loads            %d\n", s.CommittedLoads)
+	fmt.Printf("stores           %d\n", s.CommittedStores)
+	fmt.Printf("marked loads     %d (%.1f%%)\n", s.MarkedLoads, 100*s.MarkedRate())
+	fmt.Printf("re-executed      %d (%.1f%%)\n", s.RexLoads, 100*s.RexRate())
+	fmt.Printf("SVW filtered     %d\n", s.RexFiltered)
+	fmt.Printf("rex failures     %d\n", s.RexFailures)
+	fmt.Printf("eliminated       %d (%.1f%%) [reuse %d, bypass %d]\n",
+		s.Eliminated, 100*s.ElimRate(), s.ElimReuse, s.ElimBypass)
+	fmt.Printf("order violations %d\n", s.OrderingViolations)
+	fmt.Printf("SQ/FSQ forwards  %d\n", s.SQForwards)
+	fmt.Printf("best-effort fwd  %d\n", s.BestEffortFwd)
+	fmt.Printf("mispredicts      %d (branch acc %.2f%%)\n", s.Mispredicts, 100*s.BranchAccuracy)
+	fmt.Printf("wrap drains      %d\n", s.WrapDrains)
+	fmt.Printf("I$/D$/L2 miss    %.2f%% / %.2f%% / %.2f%%\n",
+		100*s.ICacheMissRate, 100*s.DCacheMissRate, 100*s.L2MissRate)
+}

@@ -1,0 +1,108 @@
+// Command svwtrace prints a SimpleScalar-style pipetrace: one line per
+// committed instruction with its fetch/rename/issue/complete/rex/commit
+// cycles and SVW annotations, for a window of the run. Useful for seeing
+// the re-execution pipeline's serialization (stores commit only after older
+// marked loads clear the rex stage) and the filter excusing loads.
+//
+//	go run ./cmd/svwtrace -bench gcc -config ssq+svw -start 20000 -n 40
+//
+// Flags mirror cmd/svwsim's configuration names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"svwsim/internal/pipeline"
+	"svwsim/internal/sim"
+	"svwsim/internal/workload"
+)
+
+func configByName(name string) (pipeline.Config, bool) {
+	switch strings.ToLower(name) {
+	case "base-nlq", "base":
+		return sim.BaselineNLQ(), true
+	case "nlq":
+		return sim.NLQ(sim.SVWOff), true
+	case "nlq+svw":
+		return sim.NLQ(sim.SVWUpd), true
+	case "base-ssq":
+		return sim.BaselineSSQ(), true
+	case "ssq":
+		return sim.SSQ(sim.SVWOff), true
+	case "ssq+svw":
+		return sim.SSQ(sim.SVWUpd), true
+	case "base-rle":
+		return sim.BaselineRLE(), true
+	case "rle":
+		return sim.RLE(sim.RLERaw), true
+	case "rle+svw":
+		return sim.RLE(sim.RLESVW), true
+	}
+	return pipeline.Config{}, false
+}
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark kernel")
+	config := flag.String("config", "ssq+svw", "machine configuration")
+	start := flag.Uint64("start", 20_000, "first committed instruction to trace")
+	n := flag.Uint64("n", 40, "instructions to trace")
+	flag.Parse()
+
+	cfg, ok := configByName(*config)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "svwtrace: unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	if _, ok := workload.Get(*bench); !ok {
+		fmt.Fprintf(os.Stderr, "svwtrace: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	cfg.MaxInsts = *start + *n + 1000
+	cfg.WarmupInsts = 0
+
+	fmt.Printf("%8s %-26s %9s %9s %9s %9s %9s %9s  flags\n",
+		"seq", "instruction", "fetch", "rename", "issue", "complete", "rex", "commit")
+	traced := uint64(0)
+	var base uint64
+	cfg.TraceCommit = func(r pipeline.TraceRecord) {
+		if r.Seq < *start || traced >= *n {
+			return
+		}
+		if traced == 0 {
+			base = r.FetchC
+		}
+		traced++
+		rex := "-"
+		if r.RexDoneC != ^uint64(0) {
+			rex = fmt.Sprint(int64(r.RexDoneC - base))
+		}
+		var flags []string
+		if r.Marked {
+			flags = append(flags, "marked")
+		}
+		if r.Filtered {
+			flags = append(flags, "svw-filtered")
+		}
+		if r.Eliminated {
+			flags = append(flags, "eliminated")
+		}
+		if r.Forwarded {
+			flags = append(flags, "fwd")
+		}
+		fmt.Printf("%8d %-26s %9d %9d %9d %9d %9s %9d  %s\n",
+			r.Seq, r.Text,
+			r.FetchC-base, r.RenameC-base, r.IssueC-base,
+			r.CompleteC-base, rex, r.CommitC-base,
+			strings.Join(flags, ","))
+	}
+
+	p := workload.BuildByName(*bench)
+	core := pipeline.New(cfg, p)
+	if err := core.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "svwtrace: %v\n", err)
+		os.Exit(1)
+	}
+}

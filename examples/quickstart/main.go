@@ -1,0 +1,59 @@
+// Quickstart: run one benchmark kernel on the speculative-store-queue (SSQ)
+// machine with and without the SVW re-execution filter, and print the
+// paper's headline quantities — the re-execution rate and the performance
+// relative to the study baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svwsim"
+)
+
+func main() {
+	const bench = "crafty"
+	const insts = 150_000
+
+	baseline, err := svwsim.Run(bench, svwsim.Options{
+		Opt:      svwsim.OptSSQBase, // big associative SQ, 4-cycle loads
+		MaxInsts: insts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	raw, err := svwsim.Run(bench, svwsim.Options{
+		Opt:      svwsim.OptSSQ,
+		MaxInsts: insts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	filtered, err := svwsim.Run(bench, svwsim.Options{
+		Opt:                svwsim.OptSSQ,
+		SVW:                true,
+		SVWUpdateOnForward: true,
+		MaxInsts:           insts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s, %d instructions\n\n", bench, insts)
+	fmt.Printf("%-22s %8s %12s %12s\n", "config", "IPC", "rex rate", "vs baseline")
+	row := func(label string, r svwsim.Result) {
+		fmt.Printf("%-22s %8.3f %11.1f%% %+11.1f%%\n",
+			label, r.IPC, 100*r.RexRate, svwsim.Speedup(baseline, r))
+	}
+	row("baseline (assoc SQ)", baseline)
+	row("SSQ (rex all loads)", raw)
+	row("SSQ + SVW filter", filtered)
+
+	fmt.Printf("\nSVW filtered %.0f%% of marked loads; %d re-execution failures "+
+		"(mis-speculations) were caught.\n",
+		100*filtered.FilterRate, filtered.RexFails)
+}

@@ -1,0 +1,66 @@
+// SSBF tuning: the paper's Fig. 8 in miniature. Sweeps the store sequence
+// Bloom filter organization — entry count, dual-hash, conflict granularity —
+// on one benchmark under the SSQ machine (the optimization with the highest
+// re-execution demand) and prints the resulting re-execution rates.
+//
+// The expected shape: rates fall steeply up to 512 entries and flatten
+// after; the 4-byte granularity removes the false sharing that sub-quad
+// accesses cause at 8-byte granules.
+//
+//	go run ./examples/ssbf_tuning [bench]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"svwsim"
+)
+
+func main() {
+	bench := "perl.d"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	const insts = 150_000
+
+	type variant struct {
+		label   string
+		entries int
+		granule int
+	}
+	variants := []variant{
+		{"64 entries", 64, 8},
+		{"128 entries", 128, 8},
+		{"512 entries (paper)", 512, 8},
+		{"2048 entries", 2048, 8},
+		{"512 @ 4-byte", 512, 4},
+	}
+
+	fmt.Printf("SSBF organization sweep on %s (SSQ machine, +SVW+UPD)\n\n", bench)
+	raw, err := svwsim.Run(bench, svwsim.Options{Opt: svwsim.OptSSQ, MaxInsts: insts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %10.1f%% of loads re-execute (no filter)\n", "unfiltered", 100*raw.RexRate)
+
+	for _, v := range variants {
+		r, err := svwsim.Run(bench, svwsim.Options{
+			Opt:                svwsim.OptSSQ,
+			SVW:                true,
+			SVWUpdateOnForward: true,
+			SSBFEntries:        v.entries,
+			SSBFGranuleBytes:   v.granule,
+			MaxInsts:           insts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10.1f%%   (IPC %.2f, %d SSBF lookups)\n",
+			v.label, 100*r.RexRate, r.IPC, r.Raw.SSBFLookups)
+	}
+
+	fmt.Println("\nA 1KB (512-entry x 16-bit) filter captures nearly all of the",
+		"\nfiltering headroom — the paper's cost claim.")
+}

@@ -1,0 +1,40 @@
+// Package core implements the paper's primary contribution: the Store
+// Vulnerability Window (SVW) re-execution filter.
+//
+// The mechanism has four parts (paper §3):
+//
+//   - Monotonic store sequence numbers (SSN). Only SSNretire is represented
+//     explicitly in hardware; in-flight SSNs derive from SQ position.
+//     SSNrename = SSNretire + SQ occupancy.
+//   - A per-load SVW field: the SSN of the youngest older store to which the
+//     load is NOT vulnerable. Set at dispatch, optionally raised when a store
+//     forwards to the load.
+//   - The Store Sequence Bloom Filter (SSBF): a small tagless table indexed
+//     by low-order address bits holding the SSN of the last retired store to
+//     write a partially matching address. Aliasing only produces false
+//     positives (spurious re-executions), never false negatives.
+//   - The filter test, evaluated in the re-execution pipeline's SVW stage:
+//     re-execute iff SSBF[ld.addr] > ld.SVW.
+//
+// This package holds the SSN arithmetic and policies, the SSBF in all the
+// organizations of the paper's §4.4 sensitivity study, the SPCT used to train
+// store-set predictors without an associative LQ, and the finite-SSN
+// wrap-around controller of §3.6.
+package core
+
+// SSN is a store sequence number. The simulator carries SSNs at full 64-bit
+// width; finite hardware widths are modeled by the WrapControl drain policy,
+// which clears all SSN state before any ambiguous comparison could occur —
+// exactly the paper's scheme, in which the drain guarantees no load has a
+// vulnerability range crossing the wrap point.
+type SSN uint64
+
+// MinSSN returns the smaller of two SSNs, the composition rule for a load
+// subject to multiple optimizations (paper §3.5): the load is vulnerable to
+// the largest store window under any of them.
+func MinSSN(a, b SSN) SSN {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func defaultSSBF() *SSBF { return NewSSBF(DefaultSSBFConfig()) }
+
+func TestFilterNegativeWithoutStores(t *testing.T) {
+	f := defaultSSBF()
+	if f.NeedsRexec(0x1000, 8, 0) {
+		t.Error("empty filter must be negative")
+	}
+}
+
+func TestFilterTestSemantics(t *testing.T) {
+	f := defaultSSBF()
+	f.Update(0x1000, 8, 50)
+	// Load vulnerable to stores younger than 40: store 50 conflicts.
+	if !f.NeedsRexec(0x1000, 8, 40) {
+		t.Error("younger store to same granule must re-execute")
+	}
+	// Load not vulnerable to store 50 (SVW = 50): no re-execution.
+	if f.NeedsRexec(0x1000, 8, 50) {
+		t.Error("store at the SVW boundary is not a conflict")
+	}
+	if f.NeedsRexec(0x1000, 8, 60) {
+		t.Error("older store is not a conflict")
+	}
+	// Different granule: unaffected.
+	if f.NeedsRexec(0x1008, 8, 0) {
+		t.Error("neighboring granule polluted")
+	}
+}
+
+func TestUpdateKeepsMaximum(t *testing.T) {
+	f := defaultSSBF()
+	f.Update(0x1000, 8, 50)
+	f.Update(0x1000, 8, 30) // out-of-order (wrong-path) lower SSN
+	if got := f.Lookup(0x1000, 8); got != 50 {
+		t.Errorf("lookup = %d, want the maximum 50", got)
+	}
+}
+
+func TestSubGranuleFalseSharing(t *testing.T) {
+	// Two 4-byte accesses to the same 8-byte granule alias in the default
+	// organization — the paper's "false sharing" — but not at 4-byte
+	// granularity.
+	f8 := defaultSSBF()
+	f8.Update(0x1000, 4, 50)
+	if !f8.NeedsRexec(0x1004, 4, 10) {
+		t.Error("8B granules must false-share sub-quad accesses")
+	}
+	cfg := DefaultSSBFConfig()
+	cfg.GranuleBytes = 4
+	f4 := NewSSBF(cfg)
+	f4.Update(0x1000, 4, 50)
+	if f4.NeedsRexec(0x1004, 4, 10) {
+		t.Error("4B granules must separate sub-quad accesses")
+	}
+}
+
+func TestSpanningAccessChecksAllGranules(t *testing.T) {
+	f := defaultSSBF()
+	f.Update(0x1008, 8, 99)
+	// An 8-byte access at 0x1004 spans granules 0x1000 and 0x1008.
+	if !f.NeedsRexec(0x1004, 8, 50) {
+		t.Error("spanning access missed the second granule")
+	}
+	// A spanning store updates both granules.
+	f2 := defaultSSBF()
+	f2.Update(0x1004, 8, 77)
+	if f2.Lookup(0x1000, 1) != 77 || f2.Lookup(0x1008, 1) != 77 {
+		t.Error("spanning update missed a granule")
+	}
+}
+
+func TestAliasingProducesFalsePositivesOnly(t *testing.T) {
+	f := defaultSSBF()
+	// Entries alias at 512 granules * 8 bytes = 4KB stride.
+	f.Update(0x1000, 8, 50)
+	if !f.NeedsRexec(0x1000+512*8, 8, 10) {
+		t.Error("aliased granule should test positive (false positive)")
+	}
+}
+
+func TestDualHashDisambiguatesAliases(t *testing.T) {
+	cfg := DefaultSSBFConfig()
+	cfg.DualHash = true
+	f := NewSSBF(cfg)
+	f.Update(0x1000, 8, 50)
+	// Primary aliases at 4KB stride, but the secondary (indexed by the
+	// next 9 address bits) distinguishes them.
+	if f.NeedsRexec(0x1000+512*8, 8, 10) {
+		t.Error("dual filter should kill the primary alias")
+	}
+	if !f.NeedsRexec(0x1000, 8, 10) {
+		t.Error("dual filter must keep true positives")
+	}
+}
+
+func TestInfiniteFilterExact(t *testing.T) {
+	cfg := SSBFConfig{Entries: 0, GranuleBytes: 4, LineBytes: 64}
+	f := NewSSBF(cfg)
+	f.Update(0x1000, 8, 50)
+	if f.NeedsRexec(0x1000+512*8, 8, 10) {
+		t.Error("infinite filter must not alias")
+	}
+	if !f.NeedsRexec(0x1000, 4, 10) || !f.NeedsRexec(0x1004, 4, 10) {
+		t.Error("infinite filter lost a granule")
+	}
+}
+
+func TestInvalidateWritesWholeLine(t *testing.T) {
+	f := defaultSSBF()
+	f.Invalidate(0x1010, 123) // line 0x1000..0x103f
+	for off := uint64(0); off < 64; off += 8 {
+		if f.Lookup(0x1000+off, 8) != 123 {
+			t.Errorf("granule %#x missed by invalidation", 0x1000+off)
+		}
+	}
+	if f.Lookup(0x1040, 8) == 123 {
+		t.Error("invalidation leaked past the line")
+	}
+}
+
+func TestClear(t *testing.T) {
+	for _, entries := range []int{512, 0} {
+		cfg := DefaultSSBFConfig()
+		cfg.Entries = entries
+		f := NewSSBF(cfg)
+		f.Update(0x1000, 8, 50)
+		f.Clear()
+		if f.NeedsRexec(0x1000, 8, 0) {
+			t.Errorf("entries=%d: clear left state", entries)
+		}
+	}
+}
+
+// TestNoFalseNegativesQuick is the filter's safety property: after any
+// sequence of updates, a load whose granule was written by a store younger
+// than its SVW must test positive.
+func TestNoFalseNegativesQuick(t *testing.T) {
+	type st struct {
+		Addr uint16
+		SSN  uint16
+	}
+	f := func(stores []st, loadAddr uint16, svw uint16) bool {
+		filt := defaultSSBF()
+		var youngest SSN
+		for _, s := range stores {
+			filt.Update(uint64(s.Addr), 8, SSN(s.SSN))
+			if uint64(s.Addr)>>3 == uint64(loadAddr)>>3 && SSN(s.SSN) > youngest {
+				youngest = SSN(s.SSN)
+			}
+		}
+		if youngest > SSN(svw) {
+			return filt.NeedsRexec(uint64(loadAddr), 8, SSN(svw))
+		}
+		return true // negatives may be false positives; that is allowed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPositiveRate(t *testing.T) {
+	f := defaultSSBF()
+	f.Update(0x1000, 8, 10)
+	f.NeedsRexec(0x1000, 8, 5) // positive
+	f.NeedsRexec(0x1008, 8, 5) // negative (adjacent granule, distinct index)
+	if r := f.PositiveRate(); r != 0.5 {
+		t.Errorf("positive rate = %f", r)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []SSBFConfig{
+		{Entries: 100, GranuleBytes: 8},
+		{Entries: 512, GranuleBytes: 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			NewSSBF(cfg)
+		}()
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+// This file holds the per-optimization SVW policies (paper §3.1–§3.5) and
+// the finite-SSN wrap-around controller (§3.6).
+
+// DispatchSVW returns the dispatch-time SVW for a load under NLQls, NLQsm, or
+// SSQ (paper §3.1–§3.3): the load is vulnerable to every store that was
+// in flight when it dispatched, i.e. everything younger than SSNretire.
+func DispatchSVW(ssnRetire SSN) SSN { return ssnRetire }
+
+// ForwardSVW returns the updated SVW after a store with sequence number
+// stSSN forwards its value to the load (§3.1): the load becomes invulnerable
+// to that store and everything older, so its SVW rises to stSSN. The update
+// never lowers the SVW.
+func ForwardSVW(cur, stSSN SSN) SSN {
+	if stSSN > cur {
+		return stSSN
+	}
+	return cur
+}
+
+// EliminatedSVW returns the SVW of a load eliminated through an integration
+// table entry (§3.4 and §3.5): vulnerable to every store younger than the IT
+// entry's SSN, composed (min) with the ordinary dispatch window because the
+// eliminated load remains subject to shared-memory invalidations.
+func EliminatedSVW(itSSN, ssnRetire SSN) SSN { return MinSSN(itSSN, ssnRetire) }
+
+// InvalidationSSN returns the SSN an inter-thread invalidation writes into
+// the SSBF (§3.2): one more than the youngest in-flight store's, so that
+// every in-flight load tests positive against it.
+func InvalidationSSN(ssnRename SSN) SSN { return ssnRename + 1 }
+
+// WrapControl implements the finite-SSN-width policy of §3.6. Hardware SSNs
+// have Bits width; when SSNrename wraps to zero the pipeline must drain
+// (wait for all in-flight instructions to commit), flash-clear the SSBF (and
+// the IT when RLE is enabled), and only then resume dispatch. The drain
+// guarantees no load's vulnerability range crosses the wrap point, so
+// ambiguous circular comparisons never occur.
+//
+// Bits == 0 models infinite-width SSNs (no drains).
+type WrapControl struct {
+	Bits int
+
+	// Drains counts wrap events (each costs a full pipeline drain).
+	Drains uint64
+}
+
+// Interval returns the number of stores between drains (0 = never).
+func (w *WrapControl) Interval() uint64 {
+	if w.Bits <= 0 || w.Bits >= 64 {
+		return 0
+	}
+	return 1 << uint(w.Bits)
+}
+
+// ShouldDrain reports whether allocating the SSN after prev crosses the wrap
+// boundary, requiring a drain before the allocation proceeds.
+func (w *WrapControl) ShouldDrain(prev SSN) bool {
+	iv := w.Interval()
+	if iv == 0 {
+		return false
+	}
+	next := uint64(prev) + 1
+	return next%iv == 0
+}
+
+// RecordDrain counts a performed drain.
+func (w *WrapControl) RecordDrain() { w.Drains++ }

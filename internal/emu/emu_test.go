@@ -1,0 +1,246 @@
+package emu
+
+import (
+	"testing"
+
+	"svwsim/internal/isa"
+	"svwsim/internal/prog"
+)
+
+// runProgram executes a builder's program to halt (or maxSteps) and returns
+// the emulator.
+func runProgram(t *testing.T, b *prog.Builder, maxSteps int) *Emulator {
+	t.Helper()
+	p := b.Build()
+	e := New(p.NewImage(), p.Entry)
+	for i := 0; i < maxSteps && !e.Halted(); i++ {
+		if _, err := e.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	if !e.Halted() {
+		t.Fatalf("program did not halt in %d steps", maxSteps)
+	}
+	return e
+}
+
+func TestALUSemantics(t *testing.T) {
+	b := prog.NewBuilder("alu")
+	b.MovImm(1, 10)
+	b.MovImm(2, 3)
+	b.Add(3, 1, 2)    // 13
+	b.Sub(4, 1, 2)    // 7
+	b.Mul(5, 1, 2)    // 30
+	b.And(6, 1, 2)    // 2
+	b.Or(7, 1, 2)     // 11
+	b.Xor(8, 1, 2)    // 9
+	b.Slli(9, 1, 2)   // 40
+	b.Srli(10, 1, 1)  // 5
+	b.CmpEq(11, 1, 1) // 1
+	b.CmpLt(12, 2, 1) // 1
+	b.CmpLti(13, 1, 5)
+	b.CmpUlt(14, 1, 2) // 0
+	b.Halt()
+	e := runProgram(t, b, 100)
+	want := map[isa.Reg]uint64{
+		3: 13, 4: 7, 5: 30, 6: 2, 7: 11, 8: 9, 9: 40, 10: 5,
+		11: 1, 12: 1, 13: 0, 14: 0,
+	}
+	for r, v := range want {
+		if e.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, e.Regs[r], v)
+		}
+	}
+}
+
+func TestSignedArithmeticAndShifts(t *testing.T) {
+	b := prog.NewBuilder("signed")
+	b.MovImm(1, 0)
+	b.Addi(1, 1, -5) // -5
+	b.MovImm(2, 2)
+	b.Emit(isa.Inst{Op: isa.OpSra, Rd: 3, Ra: 1, Rb: 2}) // -5>>2 = -2
+	b.CmpLti(4, 1, 0)                                    // 1 (negative)
+	b.Halt()
+	e := runProgram(t, b, 100)
+	if int64(e.Regs[1]) != -5 {
+		t.Errorf("r1 = %d", int64(e.Regs[1]))
+	}
+	if int64(e.Regs[3]) != -2 {
+		t.Errorf("sra = %d", int64(e.Regs[3]))
+	}
+	if e.Regs[4] != 1 {
+		t.Errorf("cmplti = %d", e.Regs[4])
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	b := prog.NewBuilder("zero")
+	b.MovImm(1, 42)
+	b.Add(isa.Zero, 1, 1) // write to r31 discarded
+	b.Add(2, isa.Zero, isa.Zero)
+	b.Halt()
+	e := runProgram(t, b, 10)
+	if e.Regs[31] != 0 {
+		t.Errorf("r31 = %d", e.Regs[31])
+	}
+	if e.Regs[2] != 0 {
+		t.Errorf("r2 = %d", e.Regs[2])
+	}
+}
+
+func TestLoadStoreWidthsAndExtension(t *testing.T) {
+	b := prog.NewBuilder("mem")
+	base := uint64(prog.DefaultDataBase)
+	b.MovImm(1, base)
+	b.MovImm(2, 0)
+	b.Ldah(2, 2, 0x8000>>16) // placeholder, rewritten below
+	b.MovImm(2, 0xFFFFFFFF)  // low 32 bits all set
+	b.Stl(2, 0, 1)           // store 32-bit
+	b.Ldl(3, 0, 1)           // sign-extends -> all ones
+	b.Ldw(4, 0, 1)           // zero-extends 16 bits
+	b.Ldb(5, 0, 1)           // zero-extends 8 bits
+	b.Ldq(6, 0, 1)           // full quad: low 32 set only
+	b.Halt()
+	e := runProgram(t, b, 100)
+	if e.Regs[3] != 0xFFFFFFFFFFFFFFFF {
+		t.Errorf("ldl = %#x", e.Regs[3])
+	}
+	if e.Regs[4] != 0xFFFF {
+		t.Errorf("ldw = %#x", e.Regs[4])
+	}
+	if e.Regs[5] != 0xFF {
+		t.Errorf("ldb = %#x", e.Regs[5])
+	}
+	if e.Regs[6] != 0x00000000FFFFFFFF {
+		t.Errorf("ldq = %#x", e.Regs[6])
+	}
+}
+
+func TestBranchLoopComputesSum(t *testing.T) {
+	// sum 1..10 via a backward branch.
+	b := prog.NewBuilder("loop")
+	b.MovImm(1, 10)
+	b.MovImm(2, 0)
+	b.Label("top")
+	b.Add(2, 2, 1)
+	b.Addi(1, 1, -1)
+	b.Bne(1, "top")
+	b.Halt()
+	e := runProgram(t, b, 200)
+	if e.Regs[2] != 55 {
+		t.Errorf("sum = %d, want 55", e.Regs[2])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	b := prog.NewBuilder("call")
+	b.MovImm(1, 5)
+	b.Bsr(28, "fn")
+	b.Addi(2, 2, 100) // runs after return
+	b.Halt()
+	b.Label("fn")
+	b.Addi(2, 1, 1) // r2 = 6
+	b.Ret(28)
+	e := runProgram(t, b, 100)
+	if e.Regs[2] != 106 {
+		t.Errorf("r2 = %d, want 106", e.Regs[2])
+	}
+}
+
+func TestDynInstRecordsLoadsAndStores(t *testing.T) {
+	b := prog.NewBuilder("rec")
+	base := uint64(prog.DefaultDataBase)
+	b.MovImm(1, base)
+	b.MovImm(2, 77)
+	b.Stq(2, 8, 1)
+	b.Ldq(3, 8, 1)
+	b.Halt()
+	p := b.Build()
+	e := New(p.NewImage(), p.Entry)
+	var store, load *DynInst
+	for !e.Halted() {
+		d, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Inst.IsStore() {
+			dc := d
+			store = &dc
+		}
+		if d.Inst.IsLoad() {
+			dc := d
+			load = &dc
+		}
+	}
+	if store == nil || load == nil {
+		t.Fatal("missing records")
+	}
+	if store.EffAddr != base+8 || store.StoreVal != 77 || store.MemBytes != 8 {
+		t.Errorf("store rec = %+v", store)
+	}
+	if load.EffAddr != base+8 || load.LoadVal != 77 || load.Result != 77 {
+		t.Errorf("load rec = %+v", load)
+	}
+}
+
+func TestBranchRecordsTakenAndTarget(t *testing.T) {
+	b := prog.NewBuilder("br")
+	b.MovImm(1, 1)
+	b.Bne(1, "skip") // taken
+	b.Addi(2, 2, 1)  // skipped
+	b.Label("skip")
+	b.Beq(1, "never") // not taken
+	b.Halt()
+	b.Label("never")
+	b.Halt()
+	p := b.Build()
+	e := New(p.NewImage(), p.Entry)
+	var taken, notTaken *DynInst
+	for !e.Halted() {
+		d, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Inst.Op == isa.OpBne {
+			dc := d
+			taken = &dc
+		}
+		if d.Inst.Op == isa.OpBeq {
+			dc := d
+			notTaken = &dc
+		}
+	}
+	if taken == nil || !taken.Taken {
+		t.Fatal("bne should be taken")
+	}
+	if taken.NextPC != taken.Inst.BranchTarget(taken.PC) {
+		t.Errorf("taken target %#x", taken.NextPC)
+	}
+	if notTaken == nil || notTaken.Taken {
+		t.Fatal("beq should not be taken")
+	}
+	if notTaken.NextPC != notTaken.PC+4 {
+		t.Errorf("fallthrough %#x", notTaken.NextPC)
+	}
+}
+
+func TestHaltSticks(t *testing.T) {
+	b := prog.NewBuilder("halt")
+	b.Halt()
+	p := b.Build()
+	e := New(p.NewImage(), p.Entry)
+	d, err := e.Step()
+	if err != nil || d.Inst.Op != isa.OpHalt {
+		t.Fatalf("first step: %v %v", d.Inst, err)
+	}
+	if !e.Halted() {
+		t.Fatal("not halted")
+	}
+	n := e.InstCount()
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if e.InstCount() != n {
+		t.Error("halt advanced the instruction count")
+	}
+}

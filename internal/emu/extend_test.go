@@ -1,0 +1,73 @@
+package emu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"svwsim/internal/isa"
+	"svwsim/internal/prog"
+)
+
+func TestExtendLoad(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		raw  uint64
+		want uint64
+	}{
+		{isa.OpLdb, 0xFF, 0xFF},
+		{isa.OpLdw, 0xFFFF, 0xFFFF},
+		{isa.OpLdl, 0x7FFFFFFF, 0x7FFFFFFF},
+		{isa.OpLdl, 0x80000000, 0xFFFFFFFF80000000},
+		{isa.OpLdl, 0xFFFFFFFF, 0xFFFFFFFFFFFFFFFF},
+		{isa.OpLdq, 0x8000000000000000, 0x8000000000000000},
+	}
+	for _, c := range cases {
+		got := ExtendLoad(isa.Inst{Op: c.op}, c.raw)
+		if got != c.want {
+			t.Errorf("ExtendLoad(%v, %#x) = %#x, want %#x", c.op, c.raw, got, c.want)
+		}
+	}
+}
+
+func TestExtendLoadQuickLdlMatchesInt32(t *testing.T) {
+	f := func(v uint32) bool {
+		got := ExtendLoad(isa.Inst{Op: isa.OpLdl}, uint64(v))
+		return int64(got) == int64(int32(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimingValueSemantics pins down the relationship the timing core relies
+// on: a load's architecturally correct value equals re-reading the emulator
+// memory after all older stores applied.
+func TestTimingValueSemantics(t *testing.T) {
+	b := prog.NewBuilder("vals")
+	base := uint64(prog.DefaultDataBase)
+	b.MovImm(3, base)
+	b.MovImm(1, 50)
+	b.Label("top")
+	b.Add(4, 1, 1)
+	b.Stq(4, 0, 3)
+	b.Ldq(5, 0, 3)
+	b.Stl(1, 8, 3)
+	b.Ldl(6, 8, 3)
+	b.Addi(3, 3, 16)
+	b.Addi(1, 1, -1)
+	b.Bne(1, "top")
+	b.Halt()
+	p := b.Build()
+	e := New(p.NewImage(), p.Entry)
+	for !e.Halted() {
+		d, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Inst.IsLoad() {
+			if got := e.Mem.Read(d.EffAddr, d.MemBytes); ExtendLoad(d.Inst, got) != d.LoadVal {
+				t.Fatalf("oracle value mismatch at %#x", d.EffAddr)
+			}
+		}
+	}
+}

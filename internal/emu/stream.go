@@ -1,0 +1,98 @@
+package emu
+
+import "fmt"
+
+// Stream adapts an Emulator into a rewindable dynamic-instruction source.
+//
+// The timing core has no wrong-path fetch: every fetched instruction is a
+// committed-path record. Flush recovery therefore reduces to rewinding the
+// stream to the squash point and re-delivering the same records. Stream keeps
+// every record from the oldest uncommitted instruction onward; Release frees
+// records once the timing core commits them.
+//
+// Records are heap-allocated individually and returned as stable pointers:
+// consumers hold them for an instruction's whole in-flight lifetime, across
+// buffer compaction.
+type Stream struct {
+	emu *Emulator
+
+	buf  []*DynInst // records [base, base+len) by Seq
+	base uint64     // Seq of buf[0]
+	pos  uint64     // Seq of the next record Next returns
+	err  error      // sticky emulator error
+}
+
+// NewStream wraps e.
+func NewStream(e *Emulator) *Stream {
+	return &Stream{emu: e}
+}
+
+// Err returns the sticky emulator error, if any.
+func (s *Stream) Err() error { return s.err }
+
+// Next returns the next dynamic instruction record, generating it from the
+// emulator if it has not been produced before (or re-delivering it after a
+// Rewind). Returns nil after a halt record has been delivered at the current
+// position or on emulator error.
+func (s *Stream) Next() *DynInst {
+	if s.err != nil {
+		return nil
+	}
+	idx := s.pos - s.base
+	if idx < uint64(len(s.buf)) {
+		d := s.buf[idx]
+		s.pos++
+		return d
+	}
+	if s.emu.Halted() {
+		return nil
+	}
+	d, err := s.emu.Step()
+	if err != nil {
+		s.err = err
+		return nil
+	}
+	rec := new(DynInst)
+	*rec = d
+	s.buf = append(s.buf, rec)
+	s.pos++
+	return rec
+}
+
+// Rewind resets the stream so the next Next call returns the record with the
+// given Seq. The record must still be buffered (i.e. not released).
+func (s *Stream) Rewind(seq uint64) {
+	if seq < s.base || seq > s.pos {
+		panic(fmt.Sprintf("emu: rewind to %d outside buffered window [%d,%d]",
+			seq, s.base, s.pos))
+	}
+	s.pos = seq
+}
+
+// Release drops buffered records with Seq < seq; they can no longer be
+// rewound to. Call with the Seq of the oldest uncommitted instruction.
+// Compaction is amortized: the shift happens only once at least half the
+// buffer is dead.
+func (s *Stream) Release(seq uint64) {
+	if seq <= s.base {
+		return
+	}
+	if seq > s.pos {
+		panic(fmt.Sprintf("emu: release past read position (%d > %d)", seq, s.pos))
+	}
+	n := seq - s.base
+	if n >= uint64(len(s.buf))/2 {
+		keep := s.buf[n:]
+		next := s.buf[:0]
+		next = append(next, keep...)
+		// Nil out the tail so released records can be collected.
+		for i := len(next); i < len(s.buf); i++ {
+			s.buf[i] = nil
+		}
+		s.buf = next
+		s.base = seq
+	}
+}
+
+// Buffered reports how many records are currently retained (diagnostics).
+func (s *Stream) Buffered() int { return len(s.buf) }

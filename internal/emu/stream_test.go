@@ -1,0 +1,126 @@
+package emu
+
+import (
+	"testing"
+
+	"svwsim/internal/prog"
+)
+
+func countingProgram() *prog.Builder {
+	b := prog.NewBuilder("count")
+	b.MovImm(1, 1000)
+	b.Label("top")
+	b.Addi(2, 2, 1)
+	b.Addi(1, 1, -1)
+	b.Bne(1, "top")
+	b.Halt()
+	return b
+}
+
+func newStream(t *testing.T) *Stream {
+	t.Helper()
+	p := countingProgram().Build()
+	return NewStream(New(p.NewImage(), p.Entry))
+}
+
+func TestStreamSequentialSeqs(t *testing.T) {
+	s := newStream(t)
+	for i := uint64(0); i < 50; i++ {
+		d := s.Next()
+		if d == nil {
+			t.Fatalf("nil at %d", i)
+		}
+		if d.Seq != i {
+			t.Fatalf("seq = %d, want %d", d.Seq, i)
+		}
+	}
+}
+
+func TestStreamRewindRedeliversIdenticalRecords(t *testing.T) {
+	s := newStream(t)
+	var first []*DynInst
+	for i := 0; i < 30; i++ {
+		first = append(first, s.Next())
+	}
+	s.Rewind(10)
+	for i := 10; i < 30; i++ {
+		d := s.Next()
+		if d != first[i] {
+			t.Fatalf("rewind did not redeliver the same record at %d", i)
+		}
+	}
+	// Continue past the rewound section.
+	if d := s.Next(); d.Seq != 30 {
+		t.Fatalf("post-rewind seq = %d", d.Seq)
+	}
+}
+
+func TestStreamReleaseAllowsForwardProgress(t *testing.T) {
+	s := newStream(t)
+	var last *DynInst
+	for i := 0; i < 2000; i++ {
+		last = s.Next()
+		if i%97 == 0 && last != nil {
+			s.Release(last.Seq) // keep just the newest record
+		}
+		if last == nil {
+			break
+		}
+	}
+	if s.Buffered() > 1100 {
+		t.Errorf("release failed to bound the buffer: %d", s.Buffered())
+	}
+}
+
+func TestStreamPointersSurviveCompaction(t *testing.T) {
+	s := newStream(t)
+	var kept []*DynInst
+	for i := 0; i < 400; i++ {
+		d := s.Next()
+		if i >= 390 {
+			kept = append(kept, d)
+		}
+	}
+	s.Release(390)
+	for i, d := range kept {
+		if d.Seq != uint64(390+i) {
+			t.Fatalf("record %d corrupted after compaction: seq=%d", i, d.Seq)
+		}
+	}
+	// Rewind into the retained window still works.
+	s.Rewind(395)
+	if d := s.Next(); d.Seq != 395 {
+		t.Fatalf("rewind after release: seq=%d", d.Seq)
+	}
+}
+
+func TestStreamRewindOutsideWindowPanics(t *testing.T) {
+	s := newStream(t)
+	for i := 0; i < 100; i++ {
+		s.Next()
+	}
+	s.Release(90)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic rewinding before the released point")
+		}
+	}()
+	s.Rewind(10)
+}
+
+func TestStreamEndsAfterHalt(t *testing.T) {
+	b := prog.NewBuilder("tiny")
+	b.Addi(1, 1, 1)
+	b.Halt()
+	p := b.Build()
+	s := NewStream(New(p.NewImage(), p.Entry))
+	if d := s.Next(); d == nil || d.Seq != 0 {
+		t.Fatal("first record")
+	}
+	if d := s.Next(); d == nil || d.Inst.Op.String() != "halt" {
+		t.Fatal("second record should be halt")
+	}
+	if d := s.Next(); d != nil {
+		t.Fatalf("stream should end after halt, got %v", d)
+	}
+}

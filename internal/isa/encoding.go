@@ -1,0 +1,137 @@
+package isa
+
+import "fmt"
+
+// Binary encoding: fixed 32-bit instruction words.
+//
+//	[31:26] opcode
+//	RR ALU:     [25:21] ra  [20:16] rb  [15:11] rd
+//	RI/mem/lda: [25:21] ra  [20:16] rd (loads) or rs (stores)  [15:0] imm16
+//	branch:     [25:21] ra  [20:0] disp21 (signed, instruction words)
+//	br/bsr:     [25:21] rd  [20:0] disp21
+//	jmp:        [25:21] ra  [20:16] rd
+const (
+	opShift   = 26
+	raShift   = 21
+	rbShift   = 16
+	rdShift   = 11
+	regMask   = 0x1f
+	imm16Mask = 0xffff
+	disp21Max = 1 << 20 // exclusive upper bound of signed disp21
+)
+
+// EncodeErr describes an instruction that cannot be represented in the
+// 32-bit encoding (immediate or displacement out of range).
+type EncodeErr struct {
+	Inst Inst
+	Why  string
+}
+
+func (e *EncodeErr) Error() string {
+	return fmt.Sprintf("isa: cannot encode %v: %s", e.Inst, e.Why)
+}
+
+// Encode packs an instruction into its 32-bit binary form.
+func Encode(i Inst) (uint32, error) {
+	if i.Op >= numOps {
+		return 0, &EncodeErr{i, "bad opcode"}
+	}
+	w := uint32(i.Op) << opShift
+	switch i.Op {
+	case OpNop, OpHalt:
+		return w, nil
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra,
+		OpCmpEq, OpCmpLt, OpCmpLe, OpCmpUlt:
+		w |= uint32(i.Ra&regMask)<<raShift | uint32(i.Rb&regMask)<<rbShift |
+			uint32(i.Rd&regMask)<<rdShift
+		return w, nil
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpCmpEqi, OpCmpLti,
+		OpLda, OpLdah, OpLdb, OpLdw, OpLdl, OpLdq:
+		if i.Imm < -(1<<15) || i.Imm >= 1<<15 {
+			return 0, &EncodeErr{i, "imm16 out of range"}
+		}
+		w |= uint32(i.Ra&regMask)<<raShift | uint32(i.Rd&regMask)<<rbShift |
+			uint32(uint16(i.Imm))
+		return w, nil
+	case OpStb, OpStw, OpStl, OpStq:
+		if i.Imm < -(1<<15) || i.Imm >= 1<<15 {
+			return 0, &EncodeErr{i, "imm16 out of range"}
+		}
+		w |= uint32(i.Ra&regMask)<<raShift | uint32(i.Rb&regMask)<<rbShift |
+			uint32(uint16(i.Imm))
+		return w, nil
+	case OpBeq, OpBne, OpBlt, OpBge:
+		if i.Imm < -disp21Max || i.Imm >= disp21Max {
+			return 0, &EncodeErr{i, "disp21 out of range"}
+		}
+		w |= uint32(i.Ra&regMask)<<raShift | uint32(i.Imm)&0x1fffff
+		return w, nil
+	case OpBr, OpBsr:
+		if i.Imm < -disp21Max || i.Imm >= disp21Max {
+			return 0, &EncodeErr{i, "disp21 out of range"}
+		}
+		w |= uint32(i.Rd&regMask)<<raShift | uint32(i.Imm)&0x1fffff
+		return w, nil
+	case OpJmp:
+		w |= uint32(i.Ra&regMask)<<raShift | uint32(i.Rd&regMask)<<rbShift
+		return w, nil
+	}
+	return 0, &EncodeErr{i, "unhandled opcode"}
+}
+
+// MustEncode is Encode for known-good instructions; it panics on error and is
+// intended for the program builder, whose inputs are constructed in-process.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word. Unused encodings decode to
+// OpNop-class instructions with the raw opcode preserved, so the emulator can
+// reject them; Decode itself never fails on register fields.
+func Decode(w uint32) Inst {
+	op := Op(w >> opShift)
+	var i Inst
+	i.Op = op
+	switch op {
+	case OpNop, OpHalt:
+		return i
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra,
+		OpCmpEq, OpCmpLt, OpCmpLe, OpCmpUlt:
+		i.Ra = Reg(w >> raShift & regMask)
+		i.Rb = Reg(w >> rbShift & regMask)
+		i.Rd = Reg(w >> rdShift & regMask)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpCmpEqi, OpCmpLti,
+		OpLda, OpLdah, OpLdb, OpLdw, OpLdl, OpLdq:
+		i.Ra = Reg(w >> raShift & regMask)
+		i.Rd = Reg(w >> rbShift & regMask)
+		i.Imm = int64(int16(w & imm16Mask))
+	case OpStb, OpStw, OpStl, OpStq:
+		i.Ra = Reg(w >> raShift & regMask)
+		i.Rb = Reg(w >> rbShift & regMask)
+		i.Imm = int64(int16(w & imm16Mask))
+	case OpBeq, OpBne, OpBlt, OpBge:
+		i.Ra = Reg(w >> raShift & regMask)
+		i.Imm = signExtend21(w & 0x1fffff)
+	case OpBr, OpBsr:
+		i.Rd = Reg(w >> raShift & regMask)
+		i.Imm = signExtend21(w & 0x1fffff)
+	case OpJmp:
+		i.Ra = Reg(w >> raShift & regMask)
+		i.Rd = Reg(w >> rbShift & regMask)
+	}
+	return i
+}
+
+func signExtend21(v uint32) int64 {
+	return int64(int32(v<<11)) >> 11
+}
+
+// BranchTarget computes the target of a PC-relative control transfer located
+// at pc. It is only meaningful for conditional branches, OpBr, and OpBsr.
+func (i Inst) BranchTarget(pc uint64) uint64 {
+	return pc + 4 + uint64(i.Imm*4)
+}

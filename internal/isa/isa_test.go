@@ -1,0 +1,247 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allOps() []Op {
+	var ops []Op
+	for o := Op(0); o < numOps; o++ {
+		ops = append(ops, o)
+	}
+	return ops
+}
+
+func TestEncodeDecodeRoundTripExhaustiveSmall(t *testing.T) {
+	// Every opcode with representative operand values must survive a
+	// round trip through the 32-bit encoding.
+	cases := []Inst{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpAdd, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpSub, Rd: 30, Ra: 29, Rb: 28},
+		{Op: OpMul, Rd: 7, Ra: 7, Rb: 7},
+		{Op: OpAnd, Rd: 0, Ra: 31, Rb: 15},
+		{Op: OpOr, Rd: 1, Ra: 1, Rb: 1},
+		{Op: OpXor, Rd: 9, Ra: 10, Rb: 11},
+		{Op: OpSll, Rd: 3, Ra: 4, Rb: 5},
+		{Op: OpSrl, Rd: 3, Ra: 4, Rb: 5},
+		{Op: OpSra, Rd: 3, Ra: 4, Rb: 5},
+		{Op: OpCmpEq, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpCmpLt, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpCmpLe, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpCmpUlt, Rd: 1, Ra: 2, Rb: 3},
+		{Op: OpAddi, Rd: 1, Ra: 2, Imm: -32768},
+		{Op: OpAndi, Rd: 1, Ra: 2, Imm: 32767},
+		{Op: OpOri, Rd: 1, Ra: 2, Imm: 255},
+		{Op: OpXori, Rd: 1, Ra: 2, Imm: 1},
+		{Op: OpSlli, Rd: 1, Ra: 2, Imm: 63},
+		{Op: OpSrli, Rd: 1, Ra: 2, Imm: 1},
+		{Op: OpCmpEqi, Rd: 1, Ra: 2, Imm: 0},
+		{Op: OpCmpLti, Rd: 1, Ra: 2, Imm: -1},
+		{Op: OpLda, Rd: 1, Ra: 2, Imm: 100},
+		{Op: OpLdah, Rd: 1, Ra: 2, Imm: 256},
+		{Op: OpLdb, Rd: 1, Ra: 2, Imm: 4},
+		{Op: OpLdw, Rd: 1, Ra: 2, Imm: 4},
+		{Op: OpLdl, Rd: 1, Ra: 2, Imm: 4},
+		{Op: OpLdq, Rd: 1, Ra: 2, Imm: -8},
+		{Op: OpStb, Rb: 1, Ra: 2, Imm: 4},
+		{Op: OpStw, Rb: 1, Ra: 2, Imm: 4},
+		{Op: OpStl, Rb: 1, Ra: 2, Imm: 4},
+		{Op: OpStq, Rb: 1, Ra: 2, Imm: -8},
+		{Op: OpBeq, Ra: 4, Imm: -100},
+		{Op: OpBne, Ra: 4, Imm: 100},
+		{Op: OpBlt, Ra: 4, Imm: 0},
+		{Op: OpBge, Ra: 4, Imm: 1},
+		{Op: OpBr, Imm: 12},
+		{Op: OpBsr, Rd: 28, Imm: -12},
+		{Op: OpJmp, Rd: 28, Ra: 4},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		out := Decode(w)
+		if out != in {
+			t.Errorf("round trip %v -> %#x -> %v", in, w, out)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	// Property: any well-formed instruction round-trips.
+	f := func(opSel uint8, rd, ra, rb uint8, imm int16, disp int32) bool {
+		ops := allOps()
+		in := Inst{Op: ops[int(opSel)%len(ops)]}
+		switch in.Op {
+		case OpNop, OpHalt:
+		case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra,
+			OpCmpEq, OpCmpLt, OpCmpLe, OpCmpUlt:
+			in.Rd, in.Ra, in.Rb = Reg(rd%32), Reg(ra%32), Reg(rb%32)
+		case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpCmpEqi,
+			OpCmpLti, OpLda, OpLdah, OpLdb, OpLdw, OpLdl, OpLdq:
+			in.Rd, in.Ra, in.Imm = Reg(rd%32), Reg(ra%32), int64(imm)
+		case OpStb, OpStw, OpStl, OpStq:
+			in.Rb, in.Ra, in.Imm = Reg(rb%32), Reg(ra%32), int64(imm)
+		case OpBeq, OpBne, OpBlt, OpBge:
+			in.Ra = Reg(ra % 32)
+			in.Imm = int64(disp % (1 << 20))
+		case OpBr, OpBsr:
+			in.Rd = Reg(rd % 32)
+			in.Imm = int64(disp % (1 << 20))
+		case OpJmp:
+			in.Rd, in.Ra = Reg(rd%32), Reg(ra%32)
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		return Decode(w) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRangeImmediates(t *testing.T) {
+	cases := []Inst{
+		{Op: OpAddi, Rd: 1, Ra: 2, Imm: 1 << 15},
+		{Op: OpAddi, Rd: 1, Ra: 2, Imm: -(1 << 15) - 1},
+		{Op: OpStq, Rb: 1, Ra: 2, Imm: 40000},
+		{Op: OpBeq, Ra: 1, Imm: 1 << 20},
+		{Op: OpBr, Imm: -(1 << 20) - 1},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("expected encode error for %v", in)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		in    Inst
+		class Class
+		load  bool
+		store bool
+		br    bool
+	}{
+		{Inst{Op: OpAdd}, ClassIntALU, false, false, false},
+		{Inst{Op: OpMul}, ClassIntMul, false, false, false},
+		{Inst{Op: OpLdq}, ClassLoad, true, false, false},
+		{Inst{Op: OpLdb}, ClassLoad, true, false, false},
+		{Inst{Op: OpStq}, ClassStore, false, true, false},
+		{Inst{Op: OpStw}, ClassStore, false, true, false},
+		{Inst{Op: OpBeq}, ClassBranch, false, false, true},
+		{Inst{Op: OpBr}, ClassBranch, false, false, true},
+		{Inst{Op: OpJmp}, ClassBranch, false, false, true},
+		{Inst{Op: OpNop}, ClassNop, false, false, false},
+		{Inst{Op: OpHalt}, ClassHalt, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.in.Class(); got != c.class {
+			t.Errorf("%v class = %v, want %v", c.in.Op, got, c.class)
+		}
+		if c.in.IsLoad() != c.load || c.in.IsStore() != c.store || c.in.IsBranch() != c.br {
+			t.Errorf("%v load/store/br = %v/%v/%v", c.in.Op, c.in.IsLoad(), c.in.IsStore(), c.in.IsBranch())
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	want := map[Op]int{
+		OpLdb: 1, OpLdw: 2, OpLdl: 4, OpLdq: 8,
+		OpStb: 1, OpStw: 2, OpStl: 4, OpStq: 8,
+		OpAdd: 0, OpBeq: 0,
+	}
+	for op, n := range want {
+		if got := (Inst{Op: op}).MemBytes(); got != n {
+			t.Errorf("%v MemBytes = %d, want %d", op, got, n)
+		}
+	}
+}
+
+func TestSignExtendsOnlyLdl(t *testing.T) {
+	for _, op := range allOps() {
+		in := Inst{Op: op}
+		if in.SignExtends() != (op == OpLdl) {
+			t.Errorf("%v SignExtends = %v", op, in.SignExtends())
+		}
+	}
+}
+
+func TestDestAndSources(t *testing.T) {
+	// Stores and plain branches write no register.
+	if d := (Inst{Op: OpStq, Rb: 5, Ra: 6}).Dest(); d != Zero {
+		t.Errorf("store dest = %v", d)
+	}
+	if d := (Inst{Op: OpBeq, Ra: 5}).Dest(); d != Zero {
+		t.Errorf("beq dest = %v", d)
+	}
+	// Calls link.
+	if d := (Inst{Op: OpBsr, Rd: 28}).Dest(); d != 28 {
+		t.Errorf("bsr dest = %v", d)
+	}
+	if d := (Inst{Op: OpJmp, Rd: 28, Ra: 4}).Dest(); d != 28 {
+		t.Errorf("jmp dest = %v", d)
+	}
+	// Source sets.
+	srcs, n := (Inst{Op: OpStq, Ra: 6, Rb: 5}).SrcRegs()
+	if n != 2 || srcs[0] != 6 || srcs[1] != 5 {
+		t.Errorf("store srcs = %v/%d", srcs, n)
+	}
+	srcs, n = (Inst{Op: OpLdq, Ra: 6, Rd: 5}).SrcRegs()
+	if n != 1 || srcs[0] != 6 {
+		t.Errorf("load srcs = %v/%d", srcs, n)
+	}
+	_, n = (Inst{Op: OpBr}).SrcRegs()
+	if n != 0 {
+		t.Errorf("br srcs n = %d", n)
+	}
+}
+
+func TestCallReturnConventions(t *testing.T) {
+	if !(Inst{Op: OpBsr, Rd: 28}).IsCall() {
+		t.Error("bsr with link should be a call")
+	}
+	if (Inst{Op: OpBsr, Rd: Zero}).IsCall() {
+		t.Error("bsr to zero is not a call")
+	}
+	if !(Inst{Op: OpJmp, Rd: Zero, Ra: 4}).IsReturn() {
+		t.Error("jmp without link should be a return")
+	}
+	if (Inst{Op: OpJmp, Rd: 28, Ra: 4}).IsReturn() {
+		t.Error("linking jmp is not a return")
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Inst{Op: OpBeq, Ra: 1, Imm: 3}
+	if got := in.BranchTarget(0x1000); got != 0x1000+4+12 {
+		t.Errorf("target = %#x", got)
+	}
+	in.Imm = -1
+	if got := in.BranchTarget(0x1000); got != 0x1000 {
+		t.Errorf("backward target = %#x", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":  {Op: OpAdd, Rd: 1, Ra: 2, Rb: 3},
+		"ldq r1, 8(r2)":   {Op: OpLdq, Rd: 1, Ra: 2, Imm: 8},
+		"stq r1, -8(r2)":  {Op: OpStq, Rb: 1, Ra: 2, Imm: -8},
+		"beq r4, +5":      {Op: OpBeq, Ra: 4, Imm: 5},
+		"nop":             {Op: OpNop},
+		"halt":            {Op: OpHalt},
+		"jmp rz, (r4)":    {Op: OpJmp, Rd: Zero, Ra: 4},
+		"addi r1, r2, -1": {Op: OpAddi, Rd: 1, Ra: 2, Imm: -1},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

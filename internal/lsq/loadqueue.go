@@ -1,0 +1,111 @@
+package lsq
+
+// LoadRec is the view of an in-flight load the load queue needs.
+type LoadRec struct {
+	Seq  uint64
+	PC   uint64
+	Addr uint64
+	Size int
+	// Issued is true once the load has read memory (its address is known
+	// and a value has been obtained).
+	Issued bool
+	// FwdSeq is the sequence number of the store the load forwarded from;
+	// FwdOK false means the load read the cache.
+	FwdSeq uint64
+	FwdOK  bool
+	// Eliminated loads occupy LQ slots but carry no address/value; the
+	// conventional store search cannot check them (paper §2.4).
+	Eliminated bool
+}
+
+// LoadQueue is the age-ordered queue of in-flight loads. In the conventional
+// design executing stores search it associatively for premature younger
+// loads; the NLQ deletes that search.
+type LoadQueue struct {
+	entries []LoadRec
+	cap     int
+}
+
+// NewLoadQueue returns a queue holding at most capacity loads.
+func NewLoadQueue(capacity int) *LoadQueue {
+	return &LoadQueue{cap: capacity}
+}
+
+// Len returns occupancy; Cap capacity; Full whether allocation would overflow.
+func (q *LoadQueue) Len() int   { return len(q.entries) }
+func (q *LoadQueue) Cap() int   { return q.cap }
+func (q *LoadQueue) Full() bool { return len(q.entries) >= q.cap }
+
+// Push allocates at the tail (dispatch order).
+func (q *LoadQueue) Push(rec LoadRec) {
+	if q.Full() {
+		panic("lsq: load queue overflow")
+	}
+	if n := len(q.entries); n > 0 && q.entries[n-1].Seq >= rec.Seq {
+		panic("lsq: load queue push out of order")
+	}
+	q.entries = append(q.entries, rec)
+}
+
+// Find returns the entry with the given seq, or nil.
+func (q *LoadQueue) Find(seq uint64) *LoadRec {
+	for i := range q.entries {
+		if q.entries[i].Seq == seq {
+			return &q.entries[i]
+		}
+	}
+	return nil
+}
+
+// PopHead removes the oldest entry (load commit).
+func (q *LoadQueue) PopHead() LoadRec {
+	if len(q.entries) == 0 {
+		panic("lsq: pop from empty load queue")
+	}
+	rec := q.entries[0]
+	q.entries = q.entries[1:]
+	return rec
+}
+
+// Head returns the oldest entry, or nil.
+func (q *LoadQueue) Head() *LoadRec {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	return &q.entries[0]
+}
+
+// SquashYoungerOrEqual removes entries with Seq >= seq and returns the count.
+func (q *LoadQueue) SquashYoungerOrEqual(seq uint64) int {
+	n := len(q.entries)
+	for n > 0 && q.entries[n-1].Seq >= seq {
+		n--
+	}
+	removed := len(q.entries) - n
+	q.entries = q.entries[:n]
+	return removed
+}
+
+// SearchPremature implements the conventional intra-thread ordering check: a
+// store that has just resolved its address scans younger issued loads for
+// overlap. A load is premature if it read memory without forwarding from
+// this store or anything younger — i.e. it observed pre-store memory even
+// though the store precedes it. The oldest premature load is returned
+// (flush point).
+func (q *LoadQueue) SearchPremature(storeSeq, addr uint64, size int) (LoadRec, bool) {
+	for i := range q.entries {
+		ld := &q.entries[i]
+		if ld.Seq <= storeSeq || !ld.Issued || ld.Eliminated {
+			continue
+		}
+		tmp := StoreRec{Addr: addr, Size: size}
+		if !tmp.Overlaps(ld.Addr, ld.Size) {
+			continue
+		}
+		if ld.FwdOK && ld.FwdSeq > storeSeq {
+			continue // correctly forwarded from a younger-than-store store
+		}
+		return *ld, true
+	}
+	return LoadRec{}, false
+}

@@ -1,0 +1,187 @@
+package lsq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func resolvedStore(seq, addr uint64, size int, data uint64) StoreRec {
+	return StoreRec{Seq: seq, Addr: addr, Size: size, Data: data,
+		AddrKnownAt: 1, DataKnownAt: 1}
+}
+
+func TestOverlapContains(t *testing.T) {
+	s := StoreRec{Addr: 0x100, Size: 8}
+	cases := []struct {
+		addr              uint64
+		size              int
+		overlaps, contain bool
+	}{
+		{0x100, 8, true, true},
+		{0x100, 4, true, true},
+		{0x104, 4, true, true},
+		{0x0F8, 8, false, false},
+		{0x108, 8, false, false},
+		{0x0FC, 8, true, false}, // straddles the front
+		{0x104, 8, true, false}, // straddles the back
+	}
+	for _, c := range cases {
+		if s.Overlaps(c.addr, c.size) != c.overlaps {
+			t.Errorf("overlaps(%#x,%d) = %v", c.addr, c.size, !c.overlaps)
+		}
+		if s.Contains(c.addr, c.size) != c.contain {
+			t.Errorf("contains(%#x,%d) = %v", c.addr, c.size, !c.contain)
+		}
+	}
+}
+
+func TestExtractData(t *testing.T) {
+	s := StoreRec{Addr: 0x100, Size: 8, Data: 0x8877665544332211}
+	if v := s.ExtractData(0x100, 8); v != 0x8877665544332211 {
+		t.Errorf("full = %#x", v)
+	}
+	if v := s.ExtractData(0x104, 4); v != 0x88776655 {
+		t.Errorf("upper half = %#x", v)
+	}
+	if v := s.ExtractData(0x102, 2); v != 0x4433 {
+		t.Errorf("middle word = %#x", v)
+	}
+	if v := s.ExtractData(0x107, 1); v != 0x88 {
+		t.Errorf("last byte = %#x", v)
+	}
+}
+
+func TestExtractDataQuickAgainstByteModel(t *testing.T) {
+	f := func(data uint64, off, sizeSel uint8) bool {
+		size := 1 << (sizeSel % 3) // 1,2,4
+		o := uint64(off) % uint64(8-size+1)
+		s := StoreRec{Addr: 0x200, Size: 8, Data: data}
+		got := s.ExtractData(0x200+o, size)
+		var want uint64
+		for i := size - 1; i >= 0; i-- {
+			want = want<<8 | uint64(byte(data>>(8*(int(o)+i))))
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreQueueOrderAndSquash(t *testing.T) {
+	q := NewStoreQueue(4)
+	q.Push(StoreRec{Seq: 1})
+	q.Push(StoreRec{Seq: 3})
+	q.Push(StoreRec{Seq: 5})
+	if q.Len() != 3 || q.Full() {
+		t.Fatalf("len=%d full=%v", q.Len(), q.Full())
+	}
+	if n := q.SquashYoungerThan(3); n != 1 {
+		t.Errorf("squashed %d, want 1", n)
+	}
+	if q.Head().Seq != 1 {
+		t.Errorf("head = %d", q.Head().Seq)
+	}
+	rec := q.PopHead()
+	if rec.Seq != 1 || q.Len() != 1 {
+		t.Error("pop head")
+	}
+	if !q.Remove(3) || q.Remove(3) {
+		t.Error("remove semantics")
+	}
+}
+
+func TestStoreQueuePushOutOfOrderPanics(t *testing.T) {
+	q := NewStoreQueue(4)
+	q.Push(StoreRec{Seq: 5})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	q.Push(StoreRec{Seq: 4})
+}
+
+func TestSearchYoungestMatchWins(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Push(resolvedStore(1, 0x100, 8, 0xAAAA))
+	q.Push(resolvedStore(2, 0x100, 8, 0xBBBB))
+	res := q.Search(10, 0x100, 8, 100)
+	if res.Kind != SearchForward || res.StoreSeq != 2 || res.Value != 0xBBBB {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSearchIgnoresYoungerStores(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Push(resolvedStore(5, 0x100, 8, 0xAAAA))
+	res := q.Search(3, 0x100, 8, 100)
+	if res.Kind != SearchMiss || res.AmbiguousOlder {
+		t.Fatalf("younger store leaked into the search: %+v", res)
+	}
+}
+
+func TestSearchTimeBasedVisibility(t *testing.T) {
+	q := NewStoreQueue(8)
+	rec := StoreRec{Seq: 1, Addr: 0x100, Size: 8, Data: 7,
+		AddrKnownAt: 50, DataKnownAt: 60}
+	q.Push(rec)
+	// Before the STA resolves: the store is an unknown address.
+	res := q.Search(10, 0x100, 8, 40)
+	if res.Kind != SearchMiss || !res.AmbiguousOlder {
+		t.Fatalf("pre-STA: %+v", res)
+	}
+	// Address known, data not yet: DataWait.
+	res = q.Search(10, 0x100, 8, 55)
+	if res.Kind != SearchDataWait || res.StoreSeq != 1 {
+		t.Fatalf("pre-STD: %+v", res)
+	}
+	// Both visible: forward.
+	res = q.Search(10, 0x100, 8, 60)
+	if res.Kind != SearchForward || res.Value != 7 {
+		t.Fatalf("post-STD: %+v", res)
+	}
+}
+
+func TestSearchAmbiguousBetweenMatchAndLoad(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Push(resolvedStore(1, 0x100, 8, 0xAAAA))
+	q.Push(StoreRec{Seq: 2, AddrKnownAt: ^uint64(0), DataKnownAt: ^uint64(0)})
+	res := q.Search(10, 0x100, 8, 100)
+	if res.Kind != SearchForward || !res.AmbiguousOlder {
+		t.Fatalf("res = %+v", res)
+	}
+	// An unresolved store older than the match does not make the load
+	// ambiguous: the match screens it.
+	q2 := NewStoreQueue(8)
+	q2.Push(StoreRec{Seq: 1, AddrKnownAt: ^uint64(0), DataKnownAt: ^uint64(0)})
+	q2.Push(resolvedStore(2, 0x100, 8, 0xBBBB))
+	res = q2.Search(10, 0x100, 8, 100)
+	if res.Kind != SearchForward || res.AmbiguousOlder {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSearchPartialOverlap(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Push(resolvedStore(1, 0x104, 4, 0xCC))
+	res := q.Search(10, 0x100, 8, 100) // load covers more than the store
+	if res.Kind != SearchPartial || res.StoreSeq != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestOldestUnknownAddr(t *testing.T) {
+	q := NewStoreQueue(8)
+	q.Push(resolvedStore(1, 0x100, 8, 1))
+	q.Push(StoreRec{Seq: 2, AddrKnownAt: 90, DataKnownAt: ^uint64(0)})
+	if q.OldestUnknownAddr(10, 100) {
+		t.Error("all addresses visible at 100")
+	}
+	if !q.OldestUnknownAddr(10, 50) {
+		t.Error("store 2 unresolved at 50")
+	}
+	if q.OldestUnknownAddr(2, 50) {
+		t.Error("only stores older than the load count")
+	}
+}

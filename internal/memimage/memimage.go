@@ -1,0 +1,133 @@
+// Package memimage provides a sparse, paged functional memory image.
+//
+// Two images back every simulation: the emulator's architectural image
+// (advanced in program order as the oracle stream is generated) and the
+// timing core's committed image (advanced at store commit). A load executing
+// speculatively in the timing core reads the committed image — and therefore
+// observes exactly the stale value real hardware would observe when it issues
+// ahead of a conflicting older store.
+package memimage
+
+const (
+	pageShift = 12
+	// PageBytes is the allocation granule of the image.
+	PageBytes = 1 << pageShift
+	pageMask  = PageBytes - 1
+)
+
+// Image is a sparse 64-bit byte-addressable memory. The zero value is an
+// empty image ready to use; unwritten bytes read as zero.
+type Image struct {
+	pages map[uint64]*[PageBytes]byte
+}
+
+// New returns an empty image.
+func New() *Image {
+	return &Image{pages: make(map[uint64]*[PageBytes]byte)}
+}
+
+func (m *Image) page(addr uint64, alloc bool) *[PageBytes]byte {
+	if m.pages == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages = make(map[uint64]*[PageBytes]byte)
+	}
+	key := addr >> pageShift
+	p := m.pages[key]
+	if p == nil && alloc {
+		p = new([PageBytes]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (m *Image) ByteAt(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte sets the byte at addr.
+func (m *Image) SetByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&pageMask] = v
+}
+
+// Read returns size bytes starting at addr as a little-endian integer.
+// size must be 1, 2, 4, or 8; accesses may straddle page boundaries.
+func (m *Image) Read(addr uint64, size int) uint64 {
+	var v uint64
+	if p := m.page(addr, false); p != nil && int(addr&pageMask)+size <= PageBytes {
+		off := addr & pageMask
+		for i := size - 1; i >= 0; i-- {
+			v = v<<8 | uint64(p[off+uint64(i)])
+		}
+		return v
+	}
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.ByteAt(addr+uint64(i)))
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Image) Write(addr uint64, size int, v uint64) {
+	if p := m.page(addr, true); int(addr&pageMask)+size <= PageBytes {
+		off := addr & pageMask
+		for i := 0; i < size; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// Read32 reads a 32-bit word (used by instruction fetch).
+func (m *Image) Read32(addr uint64) uint32 { return uint32(m.Read(addr, 4)) }
+
+// Write32 writes a 32-bit word.
+func (m *Image) Write32(addr uint64, v uint32) { m.Write(addr, 4, uint64(v)) }
+
+// Clone returns a deep copy of the image. The timing core clones the initial
+// program image so speculative-commit state never aliases the oracle's.
+func (m *Image) Clone() *Image {
+	c := New()
+	for k, p := range m.pages {
+		np := new([PageBytes]byte)
+		*np = *p
+		c.pages[k] = np
+	}
+	return c
+}
+
+// Pages reports how many pages have been touched (test/diagnostic aid).
+func (m *Image) Pages() int { return len(m.pages) }
+
+// Diff returns the address of the first differing byte between two images,
+// or ok=false if they are identical. Unallocated pages compare as zero.
+func (m *Image) Diff(o *Image) (addr uint64, ok bool) {
+	check := func(a, b *Image) (uint64, bool) {
+		for key, p := range a.pages {
+			q := b.page(key<<pageShift, false)
+			for i := range p {
+				var qb byte
+				if q != nil {
+					qb = q[i]
+				}
+				if p[i] != qb {
+					return key<<pageShift | uint64(i), true
+				}
+			}
+		}
+		return 0, false
+	}
+	if a, found := check(m, o); found {
+		return a, true
+	}
+	return check(o, m)
+}

@@ -1,0 +1,143 @@
+package memimage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReadsZero(t *testing.T) {
+	m := New()
+	if v := m.Read(0x1234, 8); v != 0 {
+		t.Errorf("fresh read = %#x", v)
+	}
+	var zero Image
+	if v := zero.Read(0x1234, 8); v != 0 {
+		t.Errorf("zero-value read = %#x", v)
+	}
+}
+
+func TestWriteReadWidths(t *testing.T) {
+	m := New()
+	m.Write(0x100, 8, 0x1122334455667788)
+	if v := m.Read(0x100, 8); v != 0x1122334455667788 {
+		t.Fatalf("quad = %#x", v)
+	}
+	if v := m.Read(0x100, 4); v != 0x55667788 {
+		t.Errorf("low long = %#x", v)
+	}
+	if v := m.Read(0x104, 4); v != 0x11223344 {
+		t.Errorf("high long = %#x", v)
+	}
+	if v := m.Read(0x100, 2); v != 0x7788 {
+		t.Errorf("word = %#x", v)
+	}
+	if v := m.Read(0x100, 1); v != 0x88 {
+		t.Errorf("byte = %#x", v)
+	}
+	m.Write(0x102, 1, 0xAA)
+	if v := m.Read(0x100, 8); v != 0x1122334455AA7788 {
+		t.Errorf("after byte poke = %#x", v)
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	addr := uint64(PageBytes - 3)
+	m.Write(addr, 8, 0xDEADBEEFCAFEF00D)
+	if v := m.Read(addr, 8); v != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("straddle read = %#x", v)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("pages = %d, want 2", m.Pages())
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	m.Write(0x10, 4, 0x04030201)
+	for i, want := range []byte{1, 2, 3, 4} {
+		if got := m.ByteAt(0x10 + uint64(i)); got != want {
+			t.Errorf("byte %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := New()
+	m.Write(0x40, 8, 7)
+	c := m.Clone()
+	c.Write(0x40, 8, 9)
+	if v := m.Read(0x40, 8); v != 7 {
+		t.Errorf("original mutated: %d", v)
+	}
+	if v := c.Read(0x40, 8); v != 9 {
+		t.Errorf("clone = %d", v)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, b := New(), New()
+	if _, found := a.Diff(b); found {
+		t.Error("empty images differ")
+	}
+	a.Write(0x1000, 8, 5)
+	b.Write(0x1000, 8, 5)
+	if _, found := a.Diff(b); found {
+		t.Error("equal images differ")
+	}
+	b.Write(0x2000, 1, 1)
+	if addr, found := a.Diff(b); !found || addr != 0x2000 {
+		t.Errorf("diff = %#x found=%v", addr, found)
+	}
+	// Zero-valued writes must compare equal to untouched pages.
+	c, d := New(), New()
+	c.Write(0x3000, 8, 0)
+	if _, found := c.Diff(d); found {
+		t.Error("zero write vs untouched page differ")
+	}
+}
+
+func TestRead32Write32(t *testing.T) {
+	m := New()
+	m.Write32(0x20, 0xFEEDF00D)
+	if v := m.Read32(0x20); v != 0xFEEDF00D {
+		t.Errorf("read32 = %#x", v)
+	}
+}
+
+// TestQuickAgainstMapModel checks the image against a trivial byte-map model
+// under random operations.
+func TestQuickAgainstMapModel(t *testing.T) {
+	type op struct {
+		Addr  uint32
+		Size  uint8
+		Val   uint64
+		Write bool
+	}
+	f := func(ops []op) bool {
+		m := New()
+		model := map[uint64]byte{}
+		for _, o := range ops {
+			size := 1 << (o.Size % 4) // 1,2,4,8
+			addr := uint64(o.Addr)
+			if o.Write {
+				m.Write(addr, size, o.Val)
+				for i := 0; i < size; i++ {
+					model[addr+uint64(i)] = byte(o.Val >> (8 * i))
+				}
+				continue
+			}
+			var want uint64
+			for i := size - 1; i >= 0; i-- {
+				want = want<<8 | uint64(model[addr+uint64(i)])
+			}
+			if m.Read(addr, size) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

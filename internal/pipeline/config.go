@@ -1,0 +1,289 @@
+// Package pipeline implements the cycle-level dynamically-scheduled
+// superscalar core: fetch through commit, the decoupled pre-commit
+// re-execution pipeline, and the three load optimizations (NLQ, SSQ, RLE)
+// with and without the SVW re-execution filter.
+//
+// The timing model follows the paper's two machine configurations (§4): an
+// 8-wide, 512-entry-ROB machine for the NLQ and SSQ studies and a 4-wide,
+// 128-entry-ROB machine for the RLE study, both with a 15-stage base
+// pipeline, store-sets load speculation, and a single store retirement port
+// shared between store commit and load re-execution.
+package pipeline
+
+import (
+	"svwsim/internal/bpred"
+	"svwsim/internal/cache"
+	"svwsim/internal/core"
+	"svwsim/internal/rle"
+	"svwsim/internal/storesets"
+)
+
+// LSUKind selects the load-store unit design (paper Fig. 2).
+type LSUKind uint8
+
+// LSU designs.
+const (
+	// LSUBaseline: associative SQ searched by every load; associative LQ
+	// searched by every resolving store.
+	LSUBaseline LSUKind = iota
+	// LSUNLQ: the LQ associative port is deleted; ordering violations are
+	// caught by pre-commit re-execution of marked loads. Store issue
+	// bandwidth doubles (the deleted LQ port was the limiter).
+	LSUNLQ
+	// LSUSSQ: forwarding through a small FSQ (steering-predicted) plus
+	// per-bank best-effort forwarding buffers; the RSQ is never searched.
+	// All loads re-execute.
+	LSUSSQ
+)
+
+func (k LSUKind) String() string {
+	switch k {
+	case LSUBaseline:
+		return "baseline"
+	case LSUNLQ:
+		return "nlq"
+	case LSUSSQ:
+		return "ssq"
+	}
+	return "?"
+}
+
+// RexKind selects the re-execution engine model.
+type RexKind uint8
+
+// Re-execution engines.
+const (
+	// RexNone: no re-execution pipeline (baseline machines).
+	RexNone RexKind = iota
+	// RexReal: the in-order pre-commit re-execution pipeline, contending
+	// with store commit for the data cache port.
+	RexReal
+	// RexPerfect: ideal re-execution — zero latency, infinite bandwidth —
+	// the paper's +PERFECT upper bound. Mis-speculations are still detected
+	// and still flush.
+	RexPerfect
+)
+
+func (k RexKind) String() string {
+	switch k {
+	case RexNone:
+		return "none"
+	case RexReal:
+		return "real"
+	case RexPerfect:
+		return "perfect"
+	}
+	return "?"
+}
+
+// SVWConfig controls the store vulnerability window filter.
+type SVWConfig struct {
+	Enabled bool
+	// UpdateOnForward raises a load's SVW to the forwarding store's SSN
+	// (the +UPD configurations). Applies to SQ and FSQ forwarding; best
+	// effort forwarding cannot maintain the required invariants (§4.2).
+	UpdateOnForward bool
+	// SSNBits is the hardware SSN width; 0 means infinite (no wrap drains).
+	SSNBits int
+	SSBF    core.SSBFConfig
+	// SpeculativeSSBF lets stores update the SSBF in the SVW stage before
+	// all previous loads have retired (§3.6, the default). False models the
+	// atomic policy, which elongates the serialization.
+	SpeculativeSSBF bool
+}
+
+// RLEConfig controls redundant load elimination.
+type RLEConfig struct {
+	Enabled bool
+	IT      rle.Config
+	// SquashReuse permits integration through entries created by squashed
+	// instructions (§4.3; disabling it is the SVW−SQU configuration).
+	SquashReuse bool
+}
+
+// NLQSMConfig controls the synthetic inter-thread invalidation injector used
+// to exercise the NLQsm mechanism (an extension; the paper's evaluation does
+// not run shared-memory workloads either).
+type NLQSMConfig struct {
+	Enabled bool
+	// IntervalCycles between injected invalidations.
+	IntervalCycles uint64
+}
+
+// Config parameterizes one machine.
+type Config struct {
+	Name string
+
+	// Widths.
+	FetchWidth  int
+	RenameWidth int
+	CommitWidth int
+	IntIssue    int // integer ALU+multiply ports
+	LoadIssue   int
+	StoreIssue  int
+	BranchIssue int
+	TotalIssue  int
+
+	// Structures.
+	ROBSize  int
+	IQSize   int
+	LQSize   int
+	SQSize   int
+	PhysRegs int
+
+	// Depths (cycles).
+	FrontDepth   int // fetch -> rename (3 fetch + 2 decode + 2 rename)
+	SchedDepth   int // rename -> earliest issue (2 schedule)
+	RegReadDepth int // issue -> execute start (3 register read)
+	MulLat       int
+
+	// Load-store unit.
+	LSU LSUKind
+	// LQSearch enables the conventional store-resolve LQ search. On for
+	// baseline and SSQ machines, off for NLQ.
+	LQSearch bool
+	// LoadLat is the minimum load-to-use latency: 2 cycles with banked
+	// cache access, 4 on the SSQ-study baseline whose big associative SQ
+	// paces the load pipeline (CACTI argument, §4.2).
+	LoadLat         int
+	FSQSize         int
+	FBSize          int
+	DBanks          int
+	RetirePorts     int
+	RexStoreBufSize int
+
+	// Re-execution engine. RexStages is the pipeline elongation: 2 for
+	// NLQ/SSQ, 4 for RLE (register-file-sourced re-execution).
+	Rex       RexKind
+	RexStages int
+
+	SVW SVWConfig
+	RLE RLEConfig
+
+	// Substrates.
+	Mem  cache.HierarchyConfig
+	BP   bpred.Config
+	SS   storesets.Config
+	SPCT core.SPCTConfig
+
+	NLQSM NLQSMConfig
+
+	// Run limits. WarmupInsts commit before statistics start counting
+	// (predictor and cache warm-up, like the paper's 5% warm-up sampling);
+	// MaxInsts includes the warm-up.
+	WarmupInsts uint64
+	MaxInsts    uint64
+	MaxCycles   uint64
+
+	// TraceCommit, when non-nil, receives one record per committed
+	// instruction (pipetrace support; see cmd/svwtrace).
+	TraceCommit func(TraceRecord)
+}
+
+// TraceRecord is the per-instruction stage timeline emitted to TraceCommit.
+type TraceRecord struct {
+	Seq        uint64
+	PC         uint64
+	Text       string // disassembly
+	FetchC     uint64
+	RenameC    uint64
+	IssueC     uint64
+	CompleteC  uint64
+	RexDoneC   uint64 // ^0 when the instruction never passed a rex stage
+	CommitC    uint64
+	Marked     bool
+	Filtered   bool
+	Eliminated bool
+	Forwarded  bool
+}
+
+// Wide8Config returns the paper's 8-way NLQ/SSQ machine: 512-entry ROB,
+// 128-entry LQ, 64-entry SQ, 200 issue queue entries, 448 registers; issue
+// of 5 integer, 2 load, 1 store (one LQ associative port) and 1 branch.
+func Wide8Config() Config {
+	return Config{
+		Name:        "wide8-baseline",
+		FetchWidth:  8,
+		RenameWidth: 8,
+		CommitWidth: 8,
+		IntIssue:    5,
+		LoadIssue:   2,
+		StoreIssue:  1,
+		BranchIssue: 1,
+		TotalIssue:  8,
+
+		ROBSize:  512,
+		IQSize:   200,
+		LQSize:   128,
+		SQSize:   64,
+		PhysRegs: 448,
+
+		FrontDepth:   7,
+		SchedDepth:   2,
+		RegReadDepth: 3,
+		MulLat:       3,
+
+		LSU:             LSUBaseline,
+		LQSearch:        true,
+		LoadLat:         2,
+		FSQSize:         16,
+		FBSize:          8,
+		DBanks:          2,
+		RetirePorts:     1,
+		RexStoreBufSize: 8,
+
+		Rex:       RexNone,
+		RexStages: 2,
+		SVW: SVWConfig{
+			SSNBits:         16,
+			SSBF:            core.DefaultSSBFConfig(),
+			SpeculativeSSBF: true,
+		},
+		RLE: RLEConfig{IT: rle.DefaultConfig(), SquashReuse: true},
+
+		Mem:  cache.DefaultHierarchyConfig(),
+		BP:   bpred.DefaultConfig(),
+		SS:   storesets.DefaultConfig(),
+		SPCT: core.DefaultSPCTConfig(),
+
+		WarmupInsts: 50_000,
+		MaxInsts:    300_000,
+		MaxCycles:   40_000_000,
+	}
+}
+
+// Narrow4Config returns the paper's 4-wide RLE machine: 128-entry ROB,
+// 32-entry LQ, 16-entry SQ, 50 issue queue entries, 160 registers; issue of
+// 3 integer, 1 load, 1 store, 1 branch.
+func Narrow4Config() Config {
+	c := Wide8Config()
+	c.Name = "narrow4-baseline"
+	c.FetchWidth = 4
+	c.RenameWidth = 4
+	c.CommitWidth = 4
+	c.IntIssue = 3
+	c.LoadIssue = 1
+	c.StoreIssue = 1
+	c.BranchIssue = 1
+	c.TotalIssue = 4
+	c.ROBSize = 128
+	c.IQSize = 50
+	c.LQSize = 32
+	c.SQSize = 16
+	c.PhysRegs = 160
+	c.RexStages = 4
+	return c
+}
+
+// commitLat returns the completion-to-commit latency: one base commit stage,
+// elongated by the re-execution pipeline and the SVW stage when present.
+func (c *Config) commitLat() uint64 {
+	if c.Rex != RexReal {
+		return 1
+	}
+	lat := 1 + c.RexStages
+	if c.SVW.Enabled {
+		lat++
+	}
+	return uint64(lat)
+}

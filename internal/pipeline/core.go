@@ -1,0 +1,325 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"svwsim/internal/bpred"
+	"svwsim/internal/cache"
+	"svwsim/internal/core"
+	"svwsim/internal/emu"
+	"svwsim/internal/lsq"
+	"svwsim/internal/memimage"
+	"svwsim/internal/prog"
+	"svwsim/internal/rle"
+	"svwsim/internal/storesets"
+)
+
+// Core is one simulated machine bound to one program run.
+type Core struct {
+	cfg Config
+
+	// Oracle side.
+	stream *emu.Stream
+
+	// Committed architectural memory: advanced only at store commit. Loads
+	// executing speculatively read this image (plus forwarding), which is
+	// how stale values arise.
+	commitMem *memimage.Image
+
+	// Structures.
+	rob   *rob
+	sq    *lsq.StoreQueue // conventional SQ / SSQ's RSQ
+	fsq   *lsq.StoreQueue // SSQ only
+	lq    *lsq.LoadQueue
+	fbs   []*lsq.FwdBuffer // per bank, SSQ only
+	steer *lsq.Steering    // SSQ only
+
+	// Renaming.
+	rmap     [32]int
+	freeList []int
+	refCnt   []int
+	physVal  []uint64
+	readyAt  []uint64 // value-available cycle per phys reg
+
+	// Scheduler.
+	iq []uint64 // seqs of dispatched, un-issued instructions, age-ordered
+
+	// Completion events: cycle -> (seq, uid) pairs.
+	events map[uint64][]eventRec
+	// Stores whose address resolved but whose data register is in flight.
+	pendingSTD []eventRec
+
+	// Fetch.
+	fetchQ        []fetchRec
+	pendingRec    *emu.DynInst
+	fetchStallTil uint64
+	waitBranchSeq uint64 // seq of unresolved mispredicted branch, or ^0
+	lastFetchLine uint64
+	haltSeen      bool
+
+	// SSN state.
+	ssnRename    core.SSN
+	ssnRetire    core.SSN
+	drainPending bool
+	// drainedAt remembers the SSN at the last completed wrap drain so the
+	// store that triggered it can proceed without re-arming the drain.
+	drainedAt core.SSN
+	wrap      core.WrapControl
+
+	// Re-execution engine.
+	rexHead     uint64 // seq of next instruction to pass the rex pipe
+	rexStoreBuf []uint64
+	// portsUsed counts D$ retirement-port grants this cycle: store commits
+	// plus re-execution read launches. Commit runs first each cycle,
+	// giving it priority for the shared port, per the paper.
+	portsUsed int
+
+	// Substrates.
+	hier *cache.Hierarchy
+	bp   *bpred.Predictor
+	ss   *storesets.StoreSets
+	ssbf *core.SSBF
+	spct *core.SPCT
+	it   *rle.Table
+
+	// Run state.
+	cycle          uint64
+	uidGen         uint64
+	done           bool
+	stats          Stats
+	flushWant      *flushReq
+	lastStoreLine  uint64
+	committedTotal uint64 // includes warm-up commits
+	warmDone       bool
+	warmCycle      uint64 // cycle at which measurement began
+	stallPC        map[uint64]uint64
+}
+
+// TopStallPCs returns up to n (pc, cycles) pairs of head-blocking PCs,
+// most-blocking first (diagnostics).
+func (c *Core) TopStallPCs(n int) [][2]uint64 {
+	var out [][2]uint64
+	for pc, cnt := range c.stallPC {
+		out = append(out, [2]uint64{pc, cnt})
+	}
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j][1] > out[i][1] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+type eventRec struct {
+	seq uint64
+	uid uint64
+}
+
+type fetchRec struct {
+	dyn    *emu.DynInst
+	fetchC uint64
+}
+
+type flushReq struct {
+	keepSeq uint64 // squash everything with seq > keepSeq
+}
+
+// New builds a core over a fresh instance of the program.
+func New(cfg Config, p *prog.Program) *Core {
+	img := p.NewImage()
+	em := emu.New(img, p.Entry)
+	c := &Core{
+		cfg:           cfg,
+		stream:        emu.NewStream(em),
+		commitMem:     p.NewImage(),
+		rob:           newROB(cfg.ROBSize),
+		sq:            lsq.NewStoreQueue(cfg.SQSize),
+		lq:            lsq.NewLoadQueue(cfg.LQSize),
+		events:        make(map[uint64][]eventRec),
+		hier:          cache.NewHierarchy(cfg.Mem),
+		bp:            bpred.New(cfg.BP),
+		ss:            storesets.New(cfg.SS),
+		spct:          core.NewSPCT(cfg.SPCT),
+		wrap:          core.WrapControl{Bits: cfg.SVW.SSNBits},
+		waitBranchSeq: ^uint64(0),
+	}
+	if cfg.LSU == LSUSSQ {
+		c.fsq = lsq.NewStoreQueue(cfg.FSQSize)
+		c.steer = lsq.NewSteering()
+		c.fbs = make([]*lsq.FwdBuffer, cfg.DBanks)
+		for i := range c.fbs {
+			c.fbs[i] = lsq.NewFwdBuffer(cfg.FBSize)
+		}
+	}
+	if cfg.SVW.Enabled {
+		c.ssbf = core.NewSSBF(cfg.SVW.SSBF)
+	}
+	if cfg.RLE.Enabled {
+		c.it = rle.New(cfg.RLE.IT)
+	}
+
+	// Physical register 0 is pinned: it backs architectural zero and the
+	// initial (all-zero) mappings of every architectural register.
+	c.refCnt = make([]int, cfg.PhysRegs)
+	c.physVal = make([]uint64, cfg.PhysRegs)
+	c.readyAt = make([]uint64, cfg.PhysRegs)
+	c.refCnt[0] = 1 << 30 // pinned
+	for i := range c.rmap {
+		c.rmap[i] = 0
+	}
+	for p := cfg.PhysRegs - 1; p >= 1; p-- {
+		c.freeList = append(c.freeList, p)
+	}
+	if cfg.WarmupInsts == 0 {
+		c.warmDone = true
+	}
+	return c
+}
+
+// Stats returns the run statistics (valid after Run).
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Cycle returns the current cycle.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// CommittedMem exposes the committed architectural memory image. After a
+// run, it must equal the image a pure functional execution of the same
+// number of instructions produces — the end-to-end correctness oracle used
+// by the integration tests.
+func (c *Core) CommittedMem() *memimage.Image { return c.commitMem }
+
+// CommittedTotal reports all commits including warm-up.
+func (c *Core) CommittedTotal() uint64 { return c.committedTotal }
+
+// Run simulates until MaxInsts instructions commit, the program halts, or
+// MaxCycles elapse. It returns an error only for internal inconsistencies
+// (oracle stream errors), never for program behavior.
+func (c *Core) Run() error {
+	for !c.done {
+		if c.cfg.MaxCycles > 0 && c.cycle >= c.cfg.MaxCycles {
+			return fmt.Errorf("pipeline: cycle limit %d hit at %d committed insts (deadlock?)\n%s",
+				c.cfg.MaxCycles, c.stats.Committed, c.debugState())
+		}
+		c.step()
+		if err := c.stream.Err(); err != nil {
+			return err
+		}
+	}
+	c.finalizeStats()
+	return nil
+}
+
+// step advances one cycle. Stages run commit-first (reverse pipeline order)
+// so each stage sees the previous cycle's state of its upstream neighbor.
+func (c *Core) step() {
+	c.portsUsed = 0
+	c.commit()
+	if c.flushWant != nil {
+		c.doFlush()
+		c.cycle++
+		return
+	}
+	if c.done {
+		return
+	}
+	c.rex()
+	c.writeback()
+	if c.flushWant != nil { // ordering violation found at store resolve
+		c.doFlush()
+		c.cycle++
+		return
+	}
+	c.issue()
+	c.rename()
+	c.fetch()
+	if c.cfg.NLQSM.Enabled {
+		c.maybeInvalidate()
+	}
+	if iv := c.cfg.SS.ClearInterval; iv > 0 && c.cycle > 0 && c.cycle%iv == 0 {
+		c.ss.Clear()
+	}
+	c.cycle++
+}
+
+func (c *Core) finalizeStats() {
+	c.stats.Cycles = c.cycle - c.warmCycle
+	c.stats.BranchAccuracy = c.bp.Accuracy()
+	c.stats.ICacheMissRate = c.hier.ICache.MissRate()
+	c.stats.DCacheMissRate = c.hier.DCache.MissRate()
+	c.stats.L2MissRate = c.hier.L2.MissRate()
+	if c.ssbf != nil {
+		c.stats.SSBFLookups = c.ssbf.Lookups
+		c.stats.SSBFPositives = c.ssbf.Positives
+	}
+	c.stats.WrapDrains = c.wrap.Drains
+}
+
+// uopAt returns the in-flight uop with seq, or nil.
+func (c *Core) uopAt(seq uint64) *uop { return c.rob.at(seq) }
+
+// scheduleEvent registers a completion event.
+func (c *Core) scheduleEvent(cycle uint64, u *uop) {
+	c.events[cycle] = append(c.events[cycle], eventRec{seq: u.seq, uid: u.uid})
+}
+
+// --- Physical register management ---------------------------------------
+
+func (c *Core) allocPhys() (int, bool) {
+	n := len(c.freeList)
+	if n == 0 {
+		return noPhys, false
+	}
+	p := c.freeList[n-1]
+	c.freeList = c.freeList[:n-1]
+	c.refCnt[p] = 0
+	c.readyAt[p] = ^uint64(0)
+	return p, true
+}
+
+// addRef pins a physical register (mapping reference or IT reference).
+func (c *Core) addRef(p int) {
+	if p > 0 {
+		c.refCnt[p]++
+	}
+}
+
+// releaseRef drops a reference; registers free when the count reaches zero,
+// which also invalidates IT entries whose signature depends on them
+// (cascading, since those entries hold references of their own).
+func (c *Core) releaseRef(p int) {
+	work := []int{p}
+	for len(work) > 0 {
+		q := work[len(work)-1]
+		work = work[:len(work)-1]
+		if q <= 0 {
+			continue
+		}
+		c.refCnt[q]--
+		if c.refCnt[q] > 0 {
+			continue
+		}
+		if c.refCnt[q] < 0 {
+			panic("pipeline: negative physical register refcount")
+		}
+		c.freeList = append(c.freeList, q)
+		if c.it != nil {
+			for _, e := range c.it.InvalidateByBase(q) {
+				work = append(work, e.DestPhys)
+			}
+		}
+	}
+}
+
+// setPhysValue records the value produced into p (used by squash reuse and
+// eliminated-load verification).
+func (c *Core) setPhysValue(p int, v uint64, when uint64) {
+	if p > 0 {
+		c.physVal[p] = v
+		c.readyAt[p] = when
+	}
+}

@@ -1,0 +1,80 @@
+package pipeline
+
+import (
+	"svwsim/internal/emu"
+	"svwsim/internal/isa"
+)
+
+// Fetch: consume oracle records at up to FetchWidth per cycle, modeling the
+// instruction cache, the one-taken-branch-per-cycle limit, BTB bubbles, and
+// mispredict stalls (fetch freezes until the branch resolves; the front-end
+// refill is modeled by FrontDepth on the replacement instructions).
+
+func (c *Core) fetch() {
+	if c.haltSeen || c.cycle < c.fetchStallTil || c.waitBranchSeq != ^uint64(0) {
+		return
+	}
+	capacity := c.cfg.FetchWidth * (c.cfg.FrontDepth + 1)
+	takenSeen := 0
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.fetchQ) >= capacity {
+			return
+		}
+		rec := c.pendingRec
+		if rec == nil {
+			rec = c.stream.Next()
+			if rec == nil {
+				c.haltSeen = true // stream exhausted (halt already delivered)
+				return
+			}
+		}
+		c.pendingRec = rec
+
+		// Instruction cache: pay for each new line entered.
+		line := rec.PC &^ 63
+		if line != c.lastFetchLine {
+			done := c.hier.ICache.Access(rec.PC, c.cycle)
+			hit := c.cycle + uint64(c.cfg.Mem.ICache.Latency)
+			c.lastFetchLine = line
+			if done > hit {
+				c.fetchStallTil = done
+				return // record stays pending
+			}
+		}
+
+		inst := rec.Inst
+		if inst.IsBranch() {
+			if rec.Taken {
+				takenSeen++
+				if takenSeen > 1 {
+					return // past one taken branch per cycle; resume next cycle
+				}
+			}
+			out := c.bp.Lookup(rec.PC, inst, rec.Taken, rec.NextPC)
+			c.accept(rec)
+			switch {
+			case out.DirMispredict || out.TargetMispredict:
+				c.stats.Mispredicts++
+				c.waitBranchSeq = rec.Seq
+				return
+			case out.BTBMiss && rec.Taken:
+				// Target produced at decode: short redirect bubble.
+				c.fetchStallTil = c.cycle + 2
+				return
+			}
+			continue
+		}
+		c.accept(rec)
+		if inst.Op == isa.OpHalt {
+			c.haltSeen = true
+			return
+		}
+	}
+}
+
+// accept moves the pending record into the fetch queue.
+func (c *Core) accept(rec *emu.DynInst) {
+	c.fetchQ = append(c.fetchQ, fetchRec{dyn: rec, fetchC: c.cycle})
+	c.pendingRec = nil
+	c.stats.FetchedInsts++
+}

@@ -1,0 +1,378 @@
+package pipeline
+
+import (
+	"testing"
+
+	"svwsim/internal/emu"
+	"svwsim/internal/prog"
+	"svwsim/internal/workload"
+)
+
+// testConfig returns a fast Wide8 derivative for integration tests.
+func testConfig() Config {
+	c := Wide8Config()
+	c.WarmupInsts = 2_000
+	c.MaxInsts = 25_000
+	return c
+}
+
+func testProgram() *prog.Program {
+	return workload.Build(workload.TestProfile(7))
+}
+
+// runCore builds, runs, and returns the core, failing the test on error.
+func runCore(t *testing.T, cfg Config, p *prog.Program) *Core {
+	t.Helper()
+	c := New(cfg, p)
+	if err := c.Run(); err != nil {
+		t.Fatalf("%s: %v", cfg.Name, err)
+	}
+	return c
+}
+
+// verifyArchState is the end-to-end oracle: after N committed instructions,
+// the timing core's committed memory must be byte-identical to a pure
+// functional execution of the same N instructions. Any mis-handled flush,
+// forwarding path, elimination, or SVW filtering decision that let a wrong
+// value commit shows up here.
+func verifyArchState(t *testing.T, c *Core, p *prog.Program) {
+	t.Helper()
+	ref := emu.New(p.NewImage(), p.Entry)
+	for i := uint64(0); i < c.CommittedTotal(); i++ {
+		if _, err := ref.Step(); err != nil {
+			t.Fatalf("reference step: %v", err)
+		}
+	}
+	if addr, diff := c.CommittedMem().Diff(ref.Mem); diff {
+		t.Fatalf("committed memory diverges from functional execution at %#x", addr)
+	}
+}
+
+func allConfigs() []Config {
+	mk := func(name string, f func(*Config)) Config {
+		c := testConfig()
+		c.Name = name
+		f(&c)
+		return c
+	}
+	return []Config{
+		mk("baseline", func(c *Config) {}),
+		mk("nlq", func(c *Config) {
+			c.LSU = LSUNLQ
+			c.LQSearch = false
+			c.StoreIssue = 2
+			c.Rex = RexReal
+		}),
+		mk("nlq+svw", func(c *Config) {
+			c.LSU = LSUNLQ
+			c.LQSearch = false
+			c.StoreIssue = 2
+			c.Rex = RexReal
+			c.SVW.Enabled = true
+			c.SVW.UpdateOnForward = true
+		}),
+		mk("ssq", func(c *Config) {
+			c.LSU = LSUSSQ
+			c.Rex = RexReal
+		}),
+		mk("ssq+svw", func(c *Config) {
+			c.LSU = LSUSSQ
+			c.Rex = RexReal
+			c.SVW.Enabled = true
+			c.SVW.UpdateOnForward = true
+		}),
+		mk("ssq+svw-atomic", func(c *Config) {
+			c.LSU = LSUSSQ
+			c.Rex = RexReal
+			c.SVW.Enabled = true
+			c.SVW.SpeculativeSSBF = false
+		}),
+		mk("nlq+perfect", func(c *Config) {
+			c.LSU = LSUNLQ
+			c.LQSearch = false
+			c.Rex = RexPerfect
+		}),
+		mk("rle", func(c *Config) {
+			c.RLE.Enabled = true
+			c.Rex = RexReal
+			c.RexStages = 4
+		}),
+		mk("rle+svw", func(c *Config) {
+			c.RLE.Enabled = true
+			c.Rex = RexReal
+			c.RexStages = 4
+			c.SVW.Enabled = true
+			c.SVW.UpdateOnForward = true
+		}),
+		mk("rle+svw-squ", func(c *Config) {
+			c.RLE.Enabled = true
+			c.Rex = RexReal
+			c.RexStages = 4
+			c.SVW.Enabled = true
+			c.RLE.SquashReuse = false
+		}),
+		mk("rle+ssq+svw", func(c *Config) {
+			// §3.5: composed optimizations.
+			c.LSU = LSUSSQ
+			c.RLE.Enabled = true
+			c.Rex = RexReal
+			c.RexStages = 4
+			c.SVW.Enabled = true
+			c.SVW.UpdateOnForward = true
+		}),
+	}
+}
+
+// TestArchitecturalCorrectnessAllConfigs is the central integration test:
+// every machine configuration must commit the exact architectural state of
+// the program, no matter how aggressively it speculates.
+func TestArchitecturalCorrectnessAllConfigs(t *testing.T) {
+	for _, cfg := range allConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			p := testProgram()
+			c := runCore(t, cfg, p)
+			if c.CommittedTotal() < cfg.MaxInsts {
+				t.Fatalf("committed %d < %d", c.CommittedTotal(), cfg.MaxInsts)
+			}
+			verifyArchState(t, c, p)
+		})
+	}
+}
+
+// TestCorrectnessAcrossSeeds widens the oracle over several generated
+// kernels on the most aggressive configuration.
+func TestCorrectnessAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		cfg := testConfig()
+		cfg.Name = "ssq+svw"
+		cfg.LSU = LSUSSQ
+		cfg.Rex = RexReal
+		cfg.SVW.Enabled = true
+		cfg.SVW.UpdateOnForward = true
+		t.Run(workload.TestProfile(seed).Name, func(t *testing.T) {
+			t.Parallel()
+			p := workload.Build(workload.TestProfile(seed))
+			c := runCore(t, cfg, p)
+			verifyArchState(t, c, p)
+		})
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.LSU = LSUNLQ
+	cfg.LQSearch = false
+	cfg.Rex = RexReal
+	cfg.SVW.Enabled = true
+	p := testProgram()
+	a := runCore(t, cfg, p)
+	b := runCore(t, cfg, p)
+	if *a.Stats() != *b.Stats() {
+		t.Errorf("two identical runs diverged:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestSVWFilterSoundness: with SVW filtering on, every mis-speculation must
+// still be caught — equivalently, architectural state stays correct (checked
+// above) AND filtered loads never include a load whose value was wrong. The
+// second half is checked here structurally: failures detected must not drop
+// when the filter is enabled (the filter only skips *verified-safe* loads).
+func TestSVWFilterSoundness(t *testing.T) {
+	base := testConfig()
+	base.LSU = LSUNLQ
+	base.LQSearch = false
+	base.StoreIssue = 2
+	base.Rex = RexReal
+
+	with := base
+	with.SVW.Enabled = true
+	with.SVW.UpdateOnForward = true
+
+	p := testProgram()
+	cOff := runCore(t, base, p)
+	cOn := runCore(t, with, p)
+	verifyArchState(t, cOn, p)
+
+	offFail := cOff.Stats().RexFailures
+	onFail := cOn.Stats().RexFailures
+	// Timing differs slightly between runs, so exact equality is too
+	// strict; but the filter must not hide a substantial share of real
+	// mis-speculations.
+	if offFail > 4 && onFail*2 < offFail {
+		t.Errorf("filter appears to hide mis-speculations: %d -> %d", offFail, onFail)
+	}
+	if cOn.Stats().RexFiltered == 0 {
+		t.Error("filter never filtered anything")
+	}
+	if cOn.Stats().RexLoads >= cOff.Stats().RexLoads {
+		t.Error("SVW did not reduce re-executions")
+	}
+}
+
+func TestNLQDetectsOrderingViolationsViaRex(t *testing.T) {
+	cfg := testConfig()
+	cfg.LSU = LSUNLQ
+	cfg.LQSearch = false
+	cfg.StoreIssue = 2
+	cfg.Rex = RexReal
+	p := testProgram()
+	c := runCore(t, cfg, p)
+	if c.Stats().OrderingViolations != 0 {
+		t.Error("NLQ has no LQ search; violations must come from rex")
+	}
+	verifyArchState(t, c, p)
+}
+
+func TestBaselineDetectsViolationsViaLQSearch(t *testing.T) {
+	cfg := testConfig()
+	p := testProgram()
+	c := runCore(t, cfg, p)
+	if c.Stats().RexFlushes != 0 {
+		t.Error("baseline has no rex engine")
+	}
+	verifyArchState(t, c, p)
+}
+
+func TestSSQSteeringTrains(t *testing.T) {
+	cfg := testConfig()
+	cfg.LSU = LSUSSQ
+	cfg.Rex = RexReal
+	cfg.SVW.Enabled = true
+	p := testProgram()
+	c := runCore(t, cfg, p)
+	loads, stores := c.steer.Counts()
+	if loads == 0 && stores == 0 && c.Stats().RexFailures > 0 {
+		t.Error("rex failures under SSQ should train the steering predictor")
+	}
+	verifyArchState(t, c, p)
+}
+
+func TestRLEEliminatesAndStaysCorrect(t *testing.T) {
+	cfg := testConfig()
+	cfg.RLE.Enabled = true
+	cfg.Rex = RexReal
+	cfg.RexStages = 4
+	p := testProgram()
+	c := runCore(t, cfg, p)
+	if c.Stats().Eliminated == 0 {
+		t.Fatal("no eliminations on a redundancy-bearing kernel")
+	}
+	if c.Stats().ElimReuse == 0 || c.Stats().ElimBypass == 0 {
+		t.Errorf("missing elimination kind: reuse=%d bypass=%d",
+			c.Stats().ElimReuse, c.Stats().ElimBypass)
+	}
+	verifyArchState(t, c, p)
+}
+
+func TestSSNWrapDrains(t *testing.T) {
+	cfg := testConfig()
+	cfg.LSU = LSUSSQ
+	cfg.Rex = RexReal
+	cfg.SVW.Enabled = true
+	cfg.SVW.SSNBits = 8 // drain every 256 stores
+	p := testProgram()
+	c := runCore(t, cfg, p)
+	if c.Stats().WrapDrains == 0 {
+		t.Error("8-bit SSNs must wrap within 25k instructions")
+	}
+	verifyArchState(t, c, p)
+}
+
+func TestNLQSMInvalidationMechanism(t *testing.T) {
+	cfg := testConfig()
+	cfg.LSU = LSUNLQ
+	cfg.LQSearch = false
+	cfg.Rex = RexReal
+	cfg.SVW.Enabled = true
+	cfg.NLQSM = NLQSMConfig{Enabled: true, IntervalCycles: 100}
+	p := testProgram()
+	c := runCore(t, cfg, p)
+	if c.Stats().Invalidations == 0 {
+		t.Fatal("injector never fired")
+	}
+	if c.Stats().MarkedByKind[markNLQSM] == 0 {
+		t.Error("invalidations marked no loads")
+	}
+	verifyArchState(t, c, p)
+}
+
+func TestPhysicalRegisterConservation(t *testing.T) {
+	// After a run drains, every non-pinned register must be free or still
+	// referenced by a live IT entry.
+	cfg := testConfig()
+	cfg.RLE.Enabled = true
+	cfg.Rex = RexReal
+	p := testProgram()
+	c := runCore(t, cfg, p)
+	inIT := 0
+	if c.it != nil {
+		inIT = c.it.Len()
+	}
+	free := len(c.freeList)
+	mapped := 0
+	seen := map[int]bool{}
+	for _, ph := range c.rmap {
+		if ph != 0 && !seen[ph] {
+			seen[ph] = true
+			mapped++
+		}
+	}
+	// free + mapped + (IT-held) + in-flight (≤ ROB) must cover the file.
+	if free+mapped+inIT+c.rob.size() < cfg.PhysRegs-1-32 {
+		t.Errorf("register leak: free=%d mapped=%d it=%d rob=%d of %d",
+			free, mapped, inIT, c.rob.size(), cfg.PhysRegs)
+	}
+}
+
+func TestNarrow4ConfigRuns(t *testing.T) {
+	cfg := Narrow4Config()
+	cfg.WarmupInsts = 2_000
+	cfg.MaxInsts = 20_000
+	cfg.RLE.Enabled = true
+	cfg.Rex = RexReal
+	p := testProgram()
+	c := runCore(t, cfg, p)
+	verifyArchState(t, c, p)
+}
+
+func TestStatsInternalConsistency(t *testing.T) {
+	cfg := testConfig()
+	cfg.LSU = LSUSSQ
+	cfg.Rex = RexReal
+	cfg.SVW.Enabled = true
+	p := testProgram()
+	c := runCore(t, cfg, p)
+	s := c.Stats()
+	if s.Committed == 0 || s.CommittedLoads == 0 || s.CommittedStores == 0 {
+		t.Fatal("empty stats")
+	}
+	if s.MarkedLoads != s.CommittedLoads {
+		t.Errorf("SSQ marks all loads: %d != %d", s.MarkedLoads, s.CommittedLoads)
+	}
+	if s.RexFiltered > s.MarkedLoads {
+		t.Error("filtered exceeds marked")
+	}
+	if s.IPC() <= 0 {
+		t.Error("IPC")
+	}
+	if s.RexRate() < 0 || s.MarkedRate() > 1.01 {
+		t.Error("rates out of range")
+	}
+}
+
+func TestRetirePortsAblation(t *testing.T) {
+	one := testConfig()
+	two := testConfig()
+	two.RetirePorts = 2
+	p := testProgram()
+	c1 := runCore(t, one, p)
+	c2 := runCore(t, two, p)
+	// More ports can only help (or be neutral) within noise.
+	if c2.Stats().IPC() < c1.Stats().IPC()*0.97 {
+		t.Errorf("second retirement port slowed the machine: %.3f -> %.3f",
+			c1.Stats().IPC(), c2.Stats().IPC())
+	}
+}

@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"svwsim/internal/workload"
+)
+
+// randomProfile derives a random but valid kernel profile from a seed.
+func randomProfile(seed int64) workload.Profile {
+	r := rand.New(rand.NewSource(seed))
+	w := workload.Weights{
+		Hash:   1 + r.Intn(6),
+		Fwd:    r.Intn(3),
+		Reload: r.Intn(3),
+		Bypass: r.Intn(3),
+		Chase:  r.Intn(3),
+		Stream: r.Intn(4),
+		Swap:   r.Intn(3),
+		ALU:    1 + r.Intn(4),
+		Call:   r.Intn(3),
+		Late:   r.Intn(3),
+	}
+	return workload.Profile{
+		Name: "prop", Seed: seed, Blocks: 12 + r.Intn(24),
+		W:           w,
+		HashEntries: 512 << r.Intn(2), SwapEntries: 128 << r.Intn(3),
+		ChaseNodes: 128 << r.Intn(3), CallSaves: 1 + r.Intn(5),
+		FwdDist: r.Intn(6), FwdAmbigPct: r.Intn(80),
+		BranchNoisePct: r.Intn(10), UseMul: r.Intn(2) == 0,
+	}
+}
+
+// TestPropertyArchCorrectness runs randomized kernels through aggressive
+// configurations and requires byte-identical committed state — a randomized
+// extension of the fixed-kernel oracle tests.
+func TestPropertyArchCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	mkConfigs := func() []Config {
+		nlq := testConfig()
+		nlq.Name = "nlq+svw"
+		nlq.MaxInsts, nlq.WarmupInsts = 12_000, 1_000
+		nlq.LSU = LSUNLQ
+		nlq.LQSearch = false
+		nlq.StoreIssue = 2
+		nlq.Rex = RexReal
+		nlq.SVW.Enabled = true
+		nlq.SVW.UpdateOnForward = true
+
+		ssq := testConfig()
+		ssq.Name = "ssq+svw"
+		ssq.MaxInsts, ssq.WarmupInsts = 12_000, 1_000
+		ssq.LSU = LSUSSQ
+		ssq.Rex = RexReal
+		ssq.SVW.Enabled = true
+		ssq.SVW.UpdateOnForward = true
+
+		rle := Narrow4Config()
+		rle.Name = "rle+svw"
+		rle.MaxInsts, rle.WarmupInsts = 12_000, 1_000
+		rle.RLE.Enabled = true
+		rle.Rex = RexReal
+		rle.RexStages = 4
+		rle.SVW.Enabled = true
+		// Stress the wrap drain too.
+		rle.SVW.SSNBits = 10
+		return []Config{nlq, ssq, rle}
+	}
+	for seed := int64(100); seed < 112; seed++ {
+		seed := seed
+		t.Run(randomProfile(seed).Name+string(rune('a'+seed-100)), func(t *testing.T) {
+			t.Parallel()
+			p := workload.Build(randomProfile(seed))
+			for _, cfg := range mkConfigs() {
+				c := runCore(t, cfg, p)
+				verifyArchState(t, c, p)
+				if c.CommittedTotal() < cfg.MaxInsts {
+					t.Fatalf("%s halted early at %d", cfg.Name, c.CommittedTotal())
+				}
+			}
+		})
+	}
+}

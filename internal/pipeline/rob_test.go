@@ -1,0 +1,200 @@
+package pipeline
+
+import (
+	"testing"
+
+	"svwsim/internal/rle"
+)
+
+func TestROBPushPop(t *testing.T) {
+	r := newROB(4)
+	if !r.empty() || r.full() {
+		t.Fatal("fresh ROB state")
+	}
+	for i := uint64(0); i < 4; i++ {
+		u := r.push(i)
+		if u.seq != i {
+			t.Fatalf("push seq %d", u.seq)
+		}
+	}
+	if !r.full() || r.size() != 4 {
+		t.Fatal("full ROB state")
+	}
+	if r.headSeq != 0 || r.tailSeq() != 3 {
+		t.Fatalf("head/tail = %d/%d", r.headSeq, r.tailSeq())
+	}
+	r.popHead()
+	if r.headSeq != 1 || r.size() != 3 {
+		t.Fatal("after pop")
+	}
+	// Ring wrap: push seq 4 into the freed slot.
+	r.push(4)
+	if r.tailSeq() != 4 || !r.full() {
+		t.Fatal("wrapped push")
+	}
+}
+
+func TestROBAt(t *testing.T) {
+	r := newROB(8)
+	for i := uint64(10); i < 14; i++ {
+		r.push(i)
+	}
+	if u := r.at(12); u == nil || u.seq != 12 {
+		t.Error("at(12)")
+	}
+	if r.at(9) != nil || r.at(14) != nil {
+		t.Error("out-of-window lookups must be nil")
+	}
+	r.popHead()
+	if r.at(10) != nil {
+		t.Error("popped entry still visible")
+	}
+}
+
+func TestROBNonContiguousPushPanics(t *testing.T) {
+	r := newROB(8)
+	r.push(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.push(7)
+}
+
+func TestROBTruncate(t *testing.T) {
+	r := newROB(8)
+	for i := uint64(0); i < 6; i++ {
+		r.push(i)
+	}
+	r.truncateTo(3)
+	if r.tailSeq() != 3 || r.size() != 4 {
+		t.Fatalf("truncate: tail=%d size=%d", r.tailSeq(), r.size())
+	}
+	// Truncating before the head empties the ROB.
+	r2 := newROB(8)
+	r2.push(5)
+	r2.push(6)
+	r2.truncateTo(2)
+	if !r2.empty() {
+		t.Error("truncate below head should empty")
+	}
+	// Truncating at or past the tail is a no-op.
+	r3 := newROB(8)
+	r3.push(0)
+	r3.truncateTo(5)
+	if r3.size() != 1 {
+		t.Error("truncate past tail changed size")
+	}
+}
+
+func TestROBReusesSeqsAfterTruncate(t *testing.T) {
+	// Flush recovery refetches the same sequence numbers.
+	r := newROB(8)
+	for i := uint64(0); i < 5; i++ {
+		r.push(i)
+	}
+	r.truncateTo(1)
+	u := r.push(2)
+	if u.seq != 2 || r.tailSeq() != 2 {
+		t.Error("refetch push failed")
+	}
+	// Fresh entry state.
+	if u.issued || u.completed || u.destPhys != noPhys || u.rexDoneAt != ^uint64(0) {
+		t.Error("reused slot not reset")
+	}
+}
+
+func TestPhysRefcounting(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, testProgram())
+	p, ok := c.allocPhys()
+	if !ok || p <= 0 {
+		t.Fatal("alloc")
+	}
+	free0 := len(c.freeList)
+	c.addRef(p)
+	c.addRef(p)
+	c.releaseRef(p)
+	if len(c.freeList) != free0 {
+		t.Error("released too early")
+	}
+	c.releaseRef(p)
+	if len(c.freeList) != free0+1 {
+		t.Error("not released at refcount zero")
+	}
+}
+
+func TestReleaseRefCascadesThroughIT(t *testing.T) {
+	cfg := testConfig()
+	cfg.RLE.Enabled = true
+	c := New(cfg, testProgram())
+	base, _ := c.allocPhys()
+	dest, _ := c.allocPhys()
+	c.addRef(base)
+	c.addRef(dest) // the IT's reference
+	c.it.Insert(rle.Entry{Sig: 12345, BasePhys: base, DestPhys: dest})
+	free0 := len(c.freeList)
+	// Freeing the base register invalidates the entry, which releases the
+	// destination register.
+	c.releaseRef(base)
+	if len(c.freeList) != free0+2 {
+		t.Errorf("cascade freed %d regs, want 2", len(c.freeList)-free0)
+	}
+	if c.it.Len() != 0 {
+		t.Error("entry survived its base register")
+	}
+}
+
+func TestZeroRegisterPinned(t *testing.T) {
+	cfg := testConfig()
+	c := New(cfg, testProgram())
+	free0 := len(c.freeList)
+	c.releaseRef(0)
+	c.releaseRef(0)
+	if len(c.freeList) != free0 {
+		t.Error("phys 0 must never free")
+	}
+	if c.readyAt[0] != 0 {
+		t.Error("phys 0 must always be ready")
+	}
+}
+
+func TestCommitLatencies(t *testing.T) {
+	c := testConfig()
+	if c.commitLat() != 1 {
+		t.Error("baseline commit latency")
+	}
+	c.Rex = RexReal
+	c.RexStages = 2
+	if c.commitLat() != 3 {
+		t.Error("rex elongation")
+	}
+	c.SVW.Enabled = true
+	if c.commitLat() != 4 {
+		t.Error("SVW stage elongation")
+	}
+	c.Rex = RexPerfect
+	if c.commitLat() != 1 {
+		t.Error("perfect rex has no elongation")
+	}
+}
+
+func TestConfigPresetShapes(t *testing.T) {
+	w := Wide8Config()
+	if w.ROBSize != 512 || w.LQSize != 128 || w.SQSize != 64 ||
+		w.IQSize != 200 || w.PhysRegs != 448 || w.CommitWidth != 8 {
+		t.Error("8-wide preset deviates from §4")
+	}
+	n := Narrow4Config()
+	if n.ROBSize != 128 || n.LQSize != 32 || n.SQSize != 16 ||
+		n.IQSize != 50 || n.PhysRegs != 160 || n.CommitWidth != 4 {
+		t.Error("4-wide preset deviates from §4")
+	}
+	if n.RexStages != 4 || w.RexStages != 2 {
+		t.Error("rex pipeline depths")
+	}
+	if w.FrontDepth+w.SchedDepth+w.RegReadDepth+3 != 15 {
+		t.Error("base pipeline is 15 stages")
+	}
+}

@@ -1,0 +1,133 @@
+package pipeline
+
+// Stats aggregates one run's counters. Rates are derived by methods so raw
+// counters stay mergeable.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	CommittedLoads  uint64
+	CommittedStores uint64
+	CommittedBr     uint64
+
+	// Load optimization accounting (committed loads only).
+	MarkedLoads   uint64 // loads tagged for potential re-execution
+	RexLoads      uint64 // loads that actually re-accessed the cache
+	RexFiltered   uint64 // marked loads the SVW filter excused
+	RexFailures   uint64 // re-executions that detected a mis-speculation
+	RexByKind     [8]uint64
+	MarkedByKind  [8]uint64
+	Eliminated    uint64 // RLE: loads removed from the execution engine
+	ElimReuse     uint64
+	ElimBypass    uint64
+	ElimSquash    uint64 // eliminations through squash-marked entries
+	FSQLoads      uint64 // SSQ: committed loads that searched the FSQ
+	BestEffortFwd uint64 // SSQ: loads forwarded by a per-bank buffer
+	SQForwards    uint64 // loads forwarded from SQ/FSQ
+
+	// Flushes.
+	OrderingViolations uint64 // LQ-search flushes (baseline machines)
+	RexFlushes         uint64 // re-execution-failure flushes
+	Mispredicts        uint64
+
+	// Load scheduling friction (cycle-granular retry events).
+	LoadWaitData   uint64 // blocked on a matching store's data
+	LoadWaitCommit uint64 // blocked on a partial-overlap store's commit
+	LoadWaitSS     uint64 // blocked on a store-set dependence
+
+	// Commit-blocked cycles by cause (first blocked slot of each cycle).
+	StallHeadEmpty  uint64 // ROB empty
+	StallIncomplete uint64 // head not executed yet
+	StallCommitLat  uint64 // head inside the commit/rex pipeline depth
+	StallRexWait    uint64 // head completed, rex has not passed it
+	StallStorePort  uint64 // head store lacks a retirement port
+
+	// StallIncomplete broken down by the blocking head's class, and for
+	// un-issued heads, by what kept them from issuing.
+	StallHeadLoad     uint64
+	StallHeadStore    uint64
+	StallHeadALU      uint64
+	StallHeadBranch   uint64
+	StallHeadUnissued uint64 // head had not even issued yet
+
+	// SVW machinery.
+	SSBFLookups   uint64
+	SSBFPositives uint64
+	WrapDrains    uint64
+
+	// Front end / memory (copied from substrates at run end).
+	FetchedInsts   uint64
+	BranchAccuracy float64
+	ICacheMissRate float64
+	DCacheMissRate float64
+	L2MissRate     float64
+
+	// NLQsm extension.
+	Invalidations uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// RexRate returns re-executed loads as a fraction of committed loads — the
+// paper's "% loads re-executed".
+func (s *Stats) RexRate() float64 {
+	if s.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(s.RexLoads) / float64(s.CommittedLoads)
+}
+
+// MarkedRate returns marked loads as a fraction of committed loads.
+func (s *Stats) MarkedRate() float64 {
+	if s.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(s.MarkedLoads) / float64(s.CommittedLoads)
+}
+
+// FilterEffectiveness returns the fraction of marked loads the SVW filter
+// excused from re-execution.
+func (s *Stats) FilterEffectiveness() float64 {
+	if s.MarkedLoads == 0 {
+		return 0
+	}
+	return float64(s.RexFiltered) / float64(s.MarkedLoads)
+}
+
+// ElimRate returns eliminated loads as a fraction of committed loads.
+func (s *Stats) ElimRate() float64 {
+	if s.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(s.Eliminated) / float64(s.CommittedLoads)
+}
+
+// RexRateOf returns the re-execution rate attributable to one mark kind.
+func (s *Stats) RexRateOf(k markKind) float64 {
+	if s.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(s.RexByKind[k]) / float64(s.CommittedLoads)
+}
+
+// RexRateFSQ and RexRateBest split the SSQ re-execution rate for Fig. 6.
+func (s *Stats) RexRateFSQ() float64 { return s.RexRateOf(markSSQFSQ) }
+
+// RexRateBest is the non-FSQ share of the SSQ re-execution rate.
+func (s *Stats) RexRateBest() float64 { return s.RexRateOf(markSSQBest) }
+
+// RexRateReuse and RexRateBypass split the RLE re-execution rate for Fig. 7.
+func (s *Stats) RexRateReuse() float64 { return s.RexRateOf(markRLEReuse) }
+
+// RexRateBypass is the memory-bypassing share of the RLE re-execution rate.
+func (s *Stats) RexRateBypass() float64 { return s.RexRateOf(markRLEBypass) }
+
+// RexRateNLQSM is the share of re-executions forced by injected coherence
+// invalidations (NLQsm extension).
+func (s *Stats) RexRateNLQSM() float64 { return s.RexRateOf(markNLQSM) }

@@ -1,0 +1,56 @@
+package pipeline
+
+import "testing"
+
+func TestStatsRates(t *testing.T) {
+	s := Stats{
+		Cycles:         1000,
+		Committed:      2000,
+		CommittedLoads: 400,
+		MarkedLoads:    100,
+		RexLoads:       40,
+		RexFiltered:    60,
+		Eliminated:     80,
+	}
+	if s.IPC() != 2.0 {
+		t.Errorf("IPC = %f", s.IPC())
+	}
+	if s.RexRate() != 0.1 {
+		t.Errorf("rex rate = %f", s.RexRate())
+	}
+	if s.MarkedRate() != 0.25 {
+		t.Errorf("marked rate = %f", s.MarkedRate())
+	}
+	if s.FilterEffectiveness() != 0.6 {
+		t.Errorf("filter effectiveness = %f", s.FilterEffectiveness())
+	}
+	if s.ElimRate() != 0.2 {
+		t.Errorf("elim rate = %f", s.ElimRate())
+	}
+}
+
+func TestStatsZeroDenominators(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.RexRate() != 0 || s.MarkedRate() != 0 ||
+		s.FilterEffectiveness() != 0 || s.ElimRate() != 0 {
+		t.Error("zero-denominator rates must be 0")
+	}
+}
+
+func TestStatsKindBreakdowns(t *testing.T) {
+	s := Stats{CommittedLoads: 200}
+	s.RexByKind[markSSQFSQ] = 10
+	s.RexByKind[markSSQBest] = 30
+	s.RexByKind[markRLEReuse] = 20
+	s.RexByKind[markRLEBypass] = 40
+	s.RexByKind[markNLQSM] = 2
+	if s.RexRateFSQ() != 0.05 || s.RexRateBest() != 0.15 {
+		t.Error("SSQ breakdown")
+	}
+	if s.RexRateReuse() != 0.10 || s.RexRateBypass() != 0.20 {
+		t.Error("RLE breakdown")
+	}
+	if s.RexRateNLQSM() != 0.01 {
+		t.Error("NLQsm breakdown")
+	}
+}

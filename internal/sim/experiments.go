@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"svwsim/internal/core"
+	"svwsim/internal/pipeline"
+	"svwsim/internal/workload"
+)
+
+// Ladder is one figure's configuration family: a baseline plus the variants
+// whose re-execution rates and baseline-relative speedups the figure plots.
+type Ladder struct {
+	Name     string
+	Baseline pipeline.Config
+	Configs  []pipeline.Config
+	Labels   []string
+}
+
+// Fig5Ladder returns the NLQls study (paper Fig. 5).
+func Fig5Ladder() Ladder {
+	return Ladder{
+		Name:     "fig5-nlq",
+		Baseline: BaselineNLQ(),
+		Configs: []pipeline.Config{
+			NLQ(SVWOff), NLQ(SVWNoUpd), NLQ(SVWUpd), NLQ(Perfect),
+		},
+		Labels: []string{"NLQ", "+SVW-UPD", "+SVW+UPD", "+PERFECT"},
+	}
+}
+
+// Fig6Ladder returns the SSQ study (paper Fig. 6).
+func Fig6Ladder() Ladder {
+	return Ladder{
+		Name:     "fig6-ssq",
+		Baseline: BaselineSSQ(),
+		Configs: []pipeline.Config{
+			SSQ(SVWOff), SSQ(SVWNoUpd), SSQ(SVWUpd), SSQ(Perfect),
+		},
+		Labels: []string{"SSQ", "+SVW-UPD", "+SVW+UPD", "+PERFECT"},
+	}
+}
+
+// Fig7Ladder returns the RLE study (paper Fig. 7).
+func Fig7Ladder() Ladder {
+	return Ladder{
+		Name:     "fig7-rle",
+		Baseline: BaselineRLE(),
+		Configs: []pipeline.Config{
+			RLE(RLERaw), RLE(RLESVW), RLE(RLESVWNoSQ), RLE(RLEPerfect),
+		},
+		Labels: []string{"RLE", "+SVW", "+SVW-SQU", "+PERFECT"},
+	}
+}
+
+// LadderResult holds one ladder's runs: Base[b] is the baseline on benchmark
+// b; Runs[c][b] is config c on benchmark b.
+type LadderResult struct {
+	Ladder  Ladder
+	Benches []string
+	Base    []Result
+	Runs    [][]Result
+}
+
+// RunLadder executes a ladder over the benchmarks with par workers
+// (0 = GOMAXPROCS). insts 0 keeps each config's default budget.
+func RunLadder(l Ladder, benches []string, insts uint64, par int) (*LadderResult, error) {
+	res := &LadderResult{Ladder: l, Benches: benches}
+	res.Base = make([]Result, len(benches))
+	res.Runs = make([][]Result, len(l.Configs))
+	for i := range res.Runs {
+		res.Runs[i] = make([]Result, len(benches))
+	}
+
+	type job struct {
+		cfg   pipeline.Config
+		bench string
+		out   *Result
+	}
+	var jobs []job
+	for bi, bench := range benches {
+		jobs = append(jobs, job{l.Baseline, bench, &res.Base[bi]})
+		for ci, cfg := range l.Configs {
+			jobs = append(jobs, job{cfg, bench, &res.Runs[ci][bi]})
+		}
+	}
+	if err := runJobs(jobs, insts, par, func(j job) (Result, error) {
+		return Run(j.cfg, j.bench, insts)
+	}, func(j job, r Result) { *j.out = r }); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runJobs fans work out over a bounded worker pool, failing fast on error.
+func runJobs[T any](jobs []T, insts uint64, par int,
+	run func(T) (Result, error), store func(T, Result)) error {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err1 error
+	)
+	sem := make(chan struct{}, par)
+	for _, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j T) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r, err := run(j)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if err1 == nil {
+					err1 = err
+				}
+				return
+			}
+			store(j, r)
+		}(j)
+	}
+	wg.Wait()
+	return err1
+}
+
+// Speedup returns config ci's percent IPC improvement over baseline on
+// benchmark bi.
+func (r *LadderResult) Speedup(ci, bi int) float64 {
+	return Speedup(&r.Base[bi], &r.Runs[ci][bi])
+}
+
+// AvgSpeedup averages Speedup over benchmarks.
+func (r *LadderResult) AvgSpeedup(ci int) float64 {
+	var s float64
+	for bi := range r.Benches {
+		s += r.Speedup(ci, bi)
+	}
+	return s / float64(len(r.Benches))
+}
+
+// RexRate returns config ci's re-execution rate on benchmark bi.
+func (r *LadderResult) RexRate(ci, bi int) float64 {
+	return r.Runs[ci][bi].Stats.RexRate()
+}
+
+// AvgRexRate averages RexRate over benchmarks.
+func (r *LadderResult) AvgRexRate(ci int) float64 {
+	var s float64
+	for bi := range r.Benches {
+		s += r.RexRate(ci, bi)
+	}
+	return s / float64(len(r.Benches))
+}
+
+// --- Fig. 8: SSBF organization sensitivity ------------------------------
+
+// SSBFVariant names one Fig. 8 organization.
+type SSBFVariant struct {
+	Label string
+	Cfg   core.SSBFConfig
+}
+
+// Fig8Variants returns the paper's six SSBF organizations.
+func Fig8Variants() []SSBFVariant {
+	return []SSBFVariant{
+		{"128", core.SSBFConfig{Entries: 128, GranuleBytes: 8, LineBytes: 64}},
+		{"512", core.SSBFConfig{Entries: 512, GranuleBytes: 8, LineBytes: 64}},
+		{"2048", core.SSBFConfig{Entries: 2048, GranuleBytes: 8, LineBytes: 64}},
+		{"Bloom", core.SSBFConfig{Entries: 512, GranuleBytes: 8, DualHash: true, DualEntries: 512, LineBytes: 64}},
+		{"4-byte", core.SSBFConfig{Entries: 512, GranuleBytes: 4, LineBytes: 64}},
+		{"Infinite", core.SSBFConfig{Entries: 0, GranuleBytes: 4, LineBytes: 64}},
+	}
+}
+
+// Fig8Result holds rex rates [variant][bench] plus IPCs for the performance
+// sensitivity sentence in §4.4.
+type Fig8Result struct {
+	Benches  []string
+	Variants []SSBFVariant
+	Rex      [][]float64
+	IPC      [][]float64
+}
+
+// RunFig8 sweeps SSBF organizations on the SSQ machine (the optimization
+// with the highest re-execution rates).
+func RunFig8(benches []string, insts uint64, par int) (*Fig8Result, error) {
+	vars := Fig8Variants()
+	out := &Fig8Result{Benches: benches, Variants: vars}
+	out.Rex = make([][]float64, len(vars))
+	out.IPC = make([][]float64, len(vars))
+	for i := range out.Rex {
+		out.Rex[i] = make([]float64, len(benches))
+		out.IPC[i] = make([]float64, len(benches))
+	}
+	type job struct{ vi, bi int }
+	var jobs []job
+	for vi := range vars {
+		for bi := range benches {
+			jobs = append(jobs, job{vi, bi})
+		}
+	}
+	return out, runJobs(jobs, insts, par, func(j job) (Result, error) {
+		cfg := SSQ(SVWUpd)
+		cfg.SVW.SSBF = vars[j.vi].Cfg
+		cfg.Name = "ssq+svw/" + vars[j.vi].Label
+		return Run(cfg, benches[j.bi], insts)
+	}, func(j job, r Result) {
+		out.Rex[j.vi][j.bi] = r.Stats.RexRate()
+		out.IPC[j.vi][j.bi] = r.Stats.IPC()
+	})
+}
+
+// --- §3.6 sensitivity studies --------------------------------------------
+
+// SSNWidthResult holds the wrap-drain study: IPC and drain counts per SSN
+// width, relative to infinite-width SSNs.
+type SSNWidthResult struct {
+	Benches []string
+	Bits    []int // 0 = infinite
+	IPC     [][]float64
+	Drains  [][]uint64
+}
+
+// RunSSNWidth sweeps hardware SSN widths on the SSQ machine.
+func RunSSNWidth(benches []string, bits []int, insts uint64, par int) (*SSNWidthResult, error) {
+	out := &SSNWidthResult{Benches: benches, Bits: bits}
+	out.IPC = make([][]float64, len(bits))
+	out.Drains = make([][]uint64, len(bits))
+	for i := range bits {
+		out.IPC[i] = make([]float64, len(benches))
+		out.Drains[i] = make([]uint64, len(benches))
+	}
+	type job struct{ wi, bi int }
+	var jobs []job
+	for wi := range bits {
+		for bi := range benches {
+			jobs = append(jobs, job{wi, bi})
+		}
+	}
+	return out, runJobs(jobs, insts, par, func(j job) (Result, error) {
+		cfg := SSQ(SVWUpd)
+		cfg.SVW.SSNBits = bits[j.wi]
+		cfg.Name = fmt.Sprintf("ssq+svw/ssn%d", bits[j.wi])
+		return Run(cfg, benches[j.bi], insts)
+	}, func(j job, r Result) {
+		out.IPC[j.wi][j.bi] = r.Stats.IPC()
+		out.Drains[j.wi][j.bi] = r.Stats.WrapDrains
+	})
+}
+
+// SSBFUpdateResult compares speculative vs atomic SSBF update policies.
+type SSBFUpdateResult struct {
+	Benches            []string
+	RexSpec, RexAtomic []float64
+	IPCSpec, IPCAtomic []float64
+}
+
+// RunSSBFUpdatePolicy measures §3.6's speculative-update trade-off on the
+// SSQ machine.
+func RunSSBFUpdatePolicy(benches []string, insts uint64, par int) (*SSBFUpdateResult, error) {
+	out := &SSBFUpdateResult{
+		Benches:   benches,
+		RexSpec:   make([]float64, len(benches)),
+		RexAtomic: make([]float64, len(benches)),
+		IPCSpec:   make([]float64, len(benches)),
+		IPCAtomic: make([]float64, len(benches)),
+	}
+	type job struct {
+		bi   int
+		spec bool
+	}
+	var jobs []job
+	for bi := range benches {
+		jobs = append(jobs, job{bi, true}, job{bi, false})
+	}
+	return out, runJobs(jobs, insts, par, func(j job) (Result, error) {
+		cfg := SSQ(SVWUpd)
+		cfg.SVW.SpeculativeSSBF = j.spec
+		if !j.spec {
+			cfg.Name = "ssq+svw/atomic"
+		}
+		return Run(cfg, benches[j.bi], insts)
+	}, func(j job, r Result) {
+		if j.spec {
+			out.RexSpec[j.bi] = r.Stats.RexRate()
+			out.IPCSpec[j.bi] = r.Stats.IPC()
+		} else {
+			out.RexAtomic[j.bi] = r.Stats.RexRate()
+			out.IPCAtomic[j.bi] = r.Stats.IPC()
+		}
+	})
+}
+
+// AllBenches returns every benchmark name.
+func AllBenches() []string { return workload.Names() }

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table formatting for the experiment harness: each figure prints two blocks
+// mirroring the paper's two panels (re-execution rate on top, percent
+// speedup over the study baseline below).
+
+func header(w io.Writer, title string, benches []string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-10s", "config")
+	for _, b := range benches {
+		fmt.Fprintf(w, "%9s", abbrev(b))
+	}
+	fmt.Fprintf(w, "%9s\n", "avg")
+	fmt.Fprintln(w, strings.Repeat("-", 10+9*(len(benches)+1)))
+}
+
+func abbrev(b string) string {
+	if len(b) > 8 {
+		return b[:8]
+	}
+	return b
+}
+
+// PrintLadder renders a ladder result as the figure's two panels.
+func (r *LadderResult) Print(w io.Writer) {
+	header(w, fmt.Sprintf("%s: %% loads re-executed", r.Ladder.Name), r.Benches)
+	for ci, label := range r.Ladder.Labels {
+		fmt.Fprintf(w, "%-10s", label)
+		for bi := range r.Benches {
+			fmt.Fprintf(w, "%9.1f", 100*r.RexRate(ci, bi))
+		}
+		fmt.Fprintf(w, "%9.1f\n", 100*r.AvgRexRate(ci))
+	}
+	fmt.Fprintln(w)
+
+	header(w, fmt.Sprintf("%s: %% speedup vs %s", r.Ladder.Name, r.Ladder.Baseline.Name), r.Benches)
+	for ci, label := range r.Ladder.Labels {
+		fmt.Fprintf(w, "%-10s", label)
+		for bi := range r.Benches {
+			fmt.Fprintf(w, "%9.1f", r.Speedup(ci, bi))
+		}
+		fmt.Fprintf(w, "%9.1f\n", r.AvgSpeedup(ci))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "baseline IPC:")
+	for bi := range r.Benches {
+		fmt.Fprintf(w, " %s=%.2f", abbrev(r.Benches[bi]), r.Base[bi].IPC())
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintBreakdown renders the stacked-bar split the figure shades: for Fig. 6
+// the FSQ vs best-effort share, for Fig. 7 reuse vs bypassing.
+func (r *LadderResult) PrintBreakdown(w io.Writer, ci int, top, bottom string,
+	topRate, bottomRate func(*Result) float64) {
+	header(w, fmt.Sprintf("%s[%s]: re-execution breakdown (%s / %s)",
+		r.Ladder.Name, r.Ladder.Labels[ci], top, bottom), r.Benches)
+	var sumT, sumB float64
+	fmt.Fprintf(w, "%-10s", top)
+	for bi := range r.Benches {
+		v := topRate(&r.Runs[ci][bi])
+		sumT += v
+		fmt.Fprintf(w, "%9.1f", 100*v)
+	}
+	fmt.Fprintf(w, "%9.1f\n", 100*sumT/float64(len(r.Benches)))
+	fmt.Fprintf(w, "%-10s", bottom)
+	for bi := range r.Benches {
+		v := bottomRate(&r.Runs[ci][bi])
+		sumB += v
+		fmt.Fprintf(w, "%9.1f", 100*v)
+	}
+	fmt.Fprintf(w, "%9.1f\n", 100*sumB/float64(len(r.Benches)))
+	fmt.Fprintln(w)
+}
+
+// Print renders the Fig. 8 table.
+func (r *Fig8Result) Print(w io.Writer) {
+	header(w, "fig8: SSBF organization vs % loads re-executed (SSQ+SVW)", r.Benches)
+	for vi, v := range r.Variants {
+		fmt.Fprintf(w, "%-10s", v.Label)
+		var sum float64
+		for bi := range r.Benches {
+			sum += r.Rex[vi][bi]
+			fmt.Fprintf(w, "%9.1f", 100*r.Rex[vi][bi])
+		}
+		fmt.Fprintf(w, "%9.1f\n", 100*sum/float64(len(r.Benches)))
+	}
+	fmt.Fprintln(w)
+	// Performance delta of the default vs the infinite filter (§4.4 quotes
+	// a 0.3% average, 1.6% max).
+	var avg, max float64
+	maxBench := ""
+	for bi := range r.Benches {
+		d := (r.IPC[len(r.Variants)-1][bi]/r.IPC[1][bi] - 1) * 100
+		avg += d
+		if d > max {
+			max, maxBench = d, r.Benches[bi]
+		}
+	}
+	fmt.Fprintf(w, "perf delta infinite-vs-512: avg %.2f%%, max %.2f%% (%s)\n\n",
+		avg/float64(len(r.Benches)), max, maxBench)
+}
+
+// Print renders the SSN width study.
+func (r *SSNWidthResult) Print(w io.Writer) {
+	header(w, "ssn width: IPC (and wrap drains) on SSQ+SVW", r.Benches)
+	var inf []float64
+	for wi, bits := range r.Bits {
+		if bits == 0 {
+			inf = r.IPC[wi]
+		}
+	}
+	for wi, bits := range r.Bits {
+		label := fmt.Sprintf("%d-bit", bits)
+		if bits == 0 {
+			label = "infinite"
+		}
+		fmt.Fprintf(w, "%-10s", label)
+		var sum float64
+		for bi := range r.Benches {
+			rel := 0.0
+			if inf != nil && inf[bi] > 0 {
+				rel = (r.IPC[wi][bi]/inf[bi] - 1) * 100
+			}
+			sum += rel
+			fmt.Fprintf(w, "%9.2f", rel)
+		}
+		fmt.Fprintf(w, "%9.2f\n", sum/float64(len(r.Benches)))
+	}
+	fmt.Fprintln(w, "(cells: % IPC vs infinite-width SSNs)")
+	fmt.Fprintln(w)
+}
+
+// Print renders the SSBF update-policy study.
+func (r *SSBFUpdateResult) Print(w io.Writer) {
+	header(w, "SSBF update policy: % loads re-executed (SSQ+SVW)", r.Benches)
+	rows := []struct {
+		label string
+		rex   []float64
+	}{{"spec", r.RexSpec}, {"atomic", r.RexAtomic}}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-10s", row.label)
+		var sum float64
+		for bi := range r.Benches {
+			sum += row.rex[bi]
+			fmt.Fprintf(w, "%9.2f", 100*row.rex[bi])
+		}
+		fmt.Fprintf(w, "%9.2f\n", 100*sum/float64(len(r.Benches)))
+	}
+	var dIPC float64
+	for bi := range r.Benches {
+		if r.IPCAtomic[bi] > 0 {
+			dIPC += (r.IPCSpec[bi]/r.IPCAtomic[bi] - 1) * 100
+		}
+	}
+	fmt.Fprintf(w, "speculative updates: avg IPC gain over atomic %.2f%%\n\n",
+		dIPC/float64(len(r.Benches)))
+}

@@ -1,0 +1,117 @@
+package storesets
+
+import "testing"
+
+func newSS() *StoreSets { return New(DefaultConfig()) }
+
+func TestUntrainedPredictsNothing(t *testing.T) {
+	s := newSS()
+	if _, ok := s.RenameLoad(0x1000); ok {
+		t.Error("untrained load should not depend on anything")
+	}
+	if _, ok, set := s.RenameStore(0x2000, 1); ok || set != -1 {
+		t.Error("untrained store should not join a set")
+	}
+}
+
+func TestTrainingCreatesDependence(t *testing.T) {
+	s := newSS()
+	loadPC, storePC := uint64(0x1000), uint64(0x2000)
+	s.Train(loadPC, storePC)
+	// The store renames first, entering the LFST.
+	_, _, set := s.RenameStore(storePC, 7)
+	if set == -1 {
+		t.Fatal("trained store has no set")
+	}
+	dep, ok := s.RenameLoad(loadPC)
+	if !ok || dep != 7 {
+		t.Fatalf("load dep = %d/%v, want 7", dep, ok)
+	}
+}
+
+func TestStoreExecutedClearsLFST(t *testing.T) {
+	s := newSS()
+	s.Train(0x1000, 0x2000)
+	_, _, set := s.RenameStore(0x2000, 7)
+	s.StoreExecuted(set, 7)
+	if _, ok := s.RenameLoad(0x1000); ok {
+		t.Error("executed store should not gate loads")
+	}
+}
+
+func TestLFSTTracksYoungestStore(t *testing.T) {
+	s := newSS()
+	s.Train(0x1000, 0x2000)
+	s.RenameStore(0x2000, 7)
+	s.RenameStore(0x2000, 9)
+	dep, ok := s.RenameLoad(0x1000)
+	if !ok || dep != 9 {
+		t.Fatalf("load should wait on youngest store: %d/%v", dep, ok)
+	}
+	// Executing an older instance must not clear the younger's entry.
+	_, _, set := s.RenameStore(0x2000, 11)
+	s.StoreExecuted(set, 9)
+	dep, ok = s.RenameLoad(0x1000)
+	if !ok || dep != 11 {
+		t.Fatalf("stale clear corrupted LFST: %d/%v", dep, ok)
+	}
+}
+
+func TestStoreSquashedRemoves(t *testing.T) {
+	s := newSS()
+	s.Train(0x1000, 0x2000)
+	_, _, set := s.RenameStore(0x2000, 7)
+	s.StoreSquashed(set, 7)
+	if _, ok := s.RenameLoad(0x1000); ok {
+		t.Error("squashed store should not gate loads")
+	}
+}
+
+func TestMergeAssignsCommonSet(t *testing.T) {
+	s := newSS()
+	s.Train(0x1000, 0x2000) // set A
+	s.Train(0x1100, 0x2100) // set B
+	s.Train(0x1000, 0x2100) // merge
+	a := s.SetOf(0x1000)
+	b := s.SetOf(0x2100)
+	if a != b {
+		t.Errorf("merge failed: %d vs %d", a, b)
+	}
+	if s.Merges != 1 {
+		t.Errorf("merges = %d", s.Merges)
+	}
+}
+
+func TestTrainJoinsExistingSets(t *testing.T) {
+	s := newSS()
+	s.Train(0x1000, 0x2000)
+	s.Train(0x1000, 0x3000) // store joins the load's set
+	if s.SetOf(0x2000) != s.SetOf(0x3000) {
+		t.Error("second store should join the same set")
+	}
+	s.Train(0x1200, 0x3000) // load joins the store's set
+	if s.SetOf(0x1200) != s.SetOf(0x3000) {
+		t.Error("second load should join the same set")
+	}
+}
+
+func TestTrainIgnoresUnknownStorePC(t *testing.T) {
+	s := newSS()
+	s.Train(0x1000, 0) // SPCT had nothing
+	if s.SetOf(0x1000) != -1 {
+		t.Error("store-blind training should be skipped")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := newSS()
+	s.Train(0x1000, 0x2000)
+	s.RenameStore(0x2000, 5)
+	s.Clear()
+	if s.SetOf(0x1000) != -1 || s.SetOf(0x2000) != -1 {
+		t.Error("clear left SSIT entries")
+	}
+	if _, ok := s.RenameLoad(0x1000); ok {
+		t.Error("clear left LFST entries")
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import "svwsim/internal/prog"
+
+// The 16 kernel profiles standing in for the SPEC2000 integer benchmarks of
+// the paper's evaluation (§4). Parameters follow each benchmark's known
+// character and the behaviours the paper's figures attribute to it — e.g.
+// vortex: call-heavy, the suite's highest store-load forwarding and RLE
+// elimination rates with high baseline IPC; twolf: the most aggressive load
+// speculation (highest NLQls re-execution rate); mcf: pointer-chasing and
+// memory-bound; parser: tight store/load interleavings that expose the
+// re-execution serialization cost.
+//
+// Tuning targets (paper figures, shapes not absolutes):
+//   - NLQls marking: avg ~7%, most <10%, twolf highest (~20%), gap lowest.
+//   - Store-to-load forwarding: ~10–20% of loads ("over 80% of loads never
+//     read from older stores").
+//   - RLE elimination: avg ~28%, vortex highest (~42%).
+//   - Mis-speculations (actual collisions) far rarer than marking.
+var profiles = map[string]Profile{
+	"bzip2": {
+		Name: "bzip2", Seed: 101, Blocks: 56,
+		W:           Weights{Stream: 36, ALU: 18, Hash: 12, Fwd: 6, Reload: 12, Late: 1},
+		HashEntries: 1024, SwapEntries: 1024, CallSaves: 4, FwdDist: 4, FwdAmbigPct: 40,
+		BranchNoisePct: 2, UseMul: true,
+	},
+	"crafty": {
+		Name: "crafty", Seed: 102, Blocks: 72,
+		W:           Weights{Hash: 18, Call: 6, Reload: 9, Bypass: 3, ALU: 9, Fwd: 3, Late: 1},
+		HashEntries: 1024, SwapEntries: 1024, CallSaves: 1, CallBodyLen: 16, FwdDist: 4, FwdAmbigPct: 50,
+		BranchNoisePct: 4, UseMul: true,
+	},
+	"eon.c": {
+		Name: "eon.c", Seed: 103, Blocks: 64,
+		W:           Weights{Call: 9, ALU: 9, Stream: 6, Hash: 6, Fwd: 3, Bypass: 3, Late: 1},
+		HashEntries: 1024, SwapEntries: 1024, CallSaves: 2, CallBodyLen: 18, FwdDist: 3, FwdAmbigPct: 30,
+		BranchNoisePct: 5, UseMul: true,
+	},
+	"eon.k": {
+		Name: "eon.k", Seed: 104, Blocks: 64,
+		W:           Weights{Call: 9, ALU: 12, Stream: 6, Hash: 6, Fwd: 3, Bypass: 3, Late: 1},
+		HashEntries: 1024, SwapEntries: 1024, CallSaves: 2, CallBodyLen: 20, FwdDist: 3, FwdAmbigPct: 30,
+		BranchNoisePct: 5, UseMul: true,
+	},
+	"eon.r": {
+		Name: "eon.r", Seed: 105, Blocks: 64,
+		W:           Weights{Call: 6, ALU: 9, Stream: 9, Hash: 6, Fwd: 3, Bypass: 3, Late: 1},
+		HashEntries: 1024, SwapEntries: 1024, CallSaves: 2, CallBodyLen: 18, FwdDist: 3, FwdAmbigPct: 30,
+		BranchNoisePct: 5, UseMul: true,
+	},
+	"gap": {
+		Name: "gap", Seed: 106, Blocks: 56,
+		W:           Weights{ALU: 12, Stream: 12, Hash: 9, Fwd: 3, Reload: 3},
+		HashEntries: 2048, SwapEntries: 1024, CallSaves: 4, FwdDist: 5, FwdAmbigPct: 5,
+		BranchNoisePct: 3, UseMul: true,
+	},
+	"gcc": {
+		Name: "gcc", Seed: 107, Blocks: 128,
+		W:           Weights{Hash: 15, Chase: 3, Call: 6, Fwd: 3, Reload: 6, ALU: 9, Late: 1},
+		HashEntries: 2048, SwapEntries: 1024, ChaseNodes: 4096, CallSaves: 1, CallBodyLen: 20,
+		FwdDist: 4, FwdAmbigPct: 30, BranchNoisePct: 5, UseMul: true,
+	},
+	"gzip": {
+		Name: "gzip", Seed: 108, Blocks: 48,
+		W:           Weights{Stream: 30, ALU: 12, Hash: 12, Fwd: 6, Reload: 6, Late: 1},
+		HashEntries: 1024, SwapEntries: 1024, CallSaves: 4, FwdDist: 5, FwdAmbigPct: 25,
+		BranchNoisePct: 3,
+	},
+	"mcf": {
+		Name: "mcf", Seed: 109, Blocks: 48,
+		W:           Weights{Chase: 15, Hash: 3, ALU: 9, Late: 1, Reload: 3},
+		HashEntries: 2048, SwapEntries: 1024, ChaseNodes: 262144,
+		CallSaves: 4, FwdDist: 4, BranchNoisePct: 4,
+	},
+	"parser": {
+		Name: "parser", Seed: 110, Blocks: 72,
+		W:           Weights{Chase: 6, Fwd: 6, Hash: 9, ALU: 3, Late: 1, Reload: 3, Bypass: 3},
+		HashEntries: 1024, SwapEntries: 1024, ChaseNodes: 8192, CallSaves: 4,
+		FwdDist: 2, FwdAmbigPct: 60, BranchNoisePct: 6,
+	},
+	"perl.d": {
+		Name: "perl.d", Seed: 111, Blocks: 80,
+		W:           Weights{Hash: 18, Call: 6, Fwd: 6, Swap: 1, Bypass: 3, Late: 1},
+		HashEntries: 1024, SwapEntries: 512, CallSaves: 1, CallBodyLen: 14, FwdDist: 3, FwdAmbigPct: 70,
+		BranchNoisePct: 5,
+	},
+	"perl.s": {
+		Name: "perl.s", Seed: 112, Blocks: 80,
+		W:           Weights{Hash: 18, Call: 6, Fwd: 6, Bypass: 3, ALU: 3, Late: 1},
+		HashEntries: 1024, SwapEntries: 512, CallSaves: 1, CallBodyLen: 14, FwdDist: 3, FwdAmbigPct: 40,
+		BranchNoisePct: 4,
+	},
+	"twolf": {
+		Name: "twolf", Seed: 113, Blocks: 72,
+		W:           Weights{Swap: 2, Hash: 9, Chase: 4, ALU: 5, Fwd: 4, Late: 1, Reload: 4, Bypass: 4},
+		HashEntries: 1024, SwapEntries: 1024, ChaseNodes: 2048, CallSaves: 4,
+		FwdDist: 3, FwdAmbigPct: 50, BranchNoisePct: 6,
+	},
+	"vortex": {
+		Name: "vortex", Seed: 114, Blocks: 64,
+		W:           Weights{Call: 12, Bypass: 6, Reload: 6, Fwd: 3, Stream: 9, Hash: 3},
+		HashEntries: 1024, SwapEntries: 1024, CallSaves: 3, CallBodyLen: 10, FwdDist: 3, FwdAmbigPct: 20,
+		BranchNoisePct: 1,
+	},
+	"vpr.p": {
+		Name: "vpr.p", Seed: 115, Blocks: 64,
+		W:           Weights{Swap: 1, Hash: 12, Reload: 12, Bypass: 6, ALU: 6, Late: 1},
+		HashEntries: 1024, SwapEntries: 1024, CallSaves: 4, FwdDist: 3, FwdAmbigPct: 40,
+		BranchNoisePct: 5,
+	},
+	"vpr.r": {
+		Name: "vpr.r", Seed: 116, Blocks: 64,
+		W:           Weights{Chase: 12, Hash: 18, Reload: 6, ALU: 6, Late: 1},
+		HashEntries: 1024, SwapEntries: 1024, ChaseNodes: 65536, CallSaves: 4,
+		FwdDist: 3, FwdAmbigPct: 30, BranchNoisePct: 5,
+	},
+}
+
+// Names returns the benchmark names in the paper's (alphabetical) order.
+func Names() []string { return sortedNames(profiles) }
+
+// Get returns the profile for a benchmark name.
+func Get(name string) (Profile, bool) {
+	p, ok := profiles[name]
+	return p, ok
+}
+
+// MustGet returns the profile or panics; for harness/table code where a
+// missing name is a programming error.
+func MustGet(name string) Profile {
+	p, ok := profiles[name]
+	if !ok {
+		panic("workload: unknown benchmark " + name)
+	}
+	return p
+}
+
+// Fig8Subset returns the benchmarks the paper's Fig. 8 sensitivity study
+// uses: crafty, gcc, perl.d, vortex, vpr.r.
+func Fig8Subset() []string {
+	return []string{"crafty", "gcc", "perl.d", "vortex", "vpr.r"}
+}
+
+// TestProfile returns a small, fast kernel for unit and integration tests:
+// every block type is present, footprints are tiny, and it still produces
+// forwarding, speculation, redundancy, and violations.
+func TestProfile(seed int64) Profile {
+	return Profile{
+		Name: "testkernel", Seed: seed, Blocks: 24,
+		W: Weights{Hash: 6, Fwd: 6, Reload: 3, Bypass: 3, Chase: 3,
+			Stream: 3, Swap: 1, ALU: 3, Call: 3, Late: 1},
+		HashEntries: 1024, SwapEntries: 256, ChaseNodes: 256,
+		CallSaves: 4, FwdDist: 3, BranchNoisePct: 5, UseMul: true,
+	}
+}
+
+// BuildByName builds the named benchmark kernel.
+func BuildByName(name string) *prog.Program { return Build(MustGet(name)) }

@@ -1,0 +1,591 @@
+// Package workload provides the 16 synthetic kernels standing in for the
+// SPEC2000 integer suite (see DESIGN.md, substitution table). Each kernel is
+// generated from a Profile whose parameters are tuned so the kernel's
+// dynamic behaviour matches the qualitative profile the paper reports for
+// the corresponding benchmark: load/store mix, store-to-load forwarding rate
+// and distance, load-speculation aggressiveness, redundancy available to
+// RLE, branch predictability, and cache footprint.
+//
+// Random access addresses come from precomputed index streams: sequential,
+// prefetch-friendly arrays of (load target, store target) pairs generated at
+// build time from the profile seed. This is how real integer code addresses
+// memory — through loaded indices and pointers — and it keeps the dynamic
+// load share realistic (~25–30%) instead of diluting it with address
+// arithmetic. Store addresses that arrive via loads also resolve late, which
+// is exactly the ambiguity that drives load speculation and NLQls marking.
+//
+// Kernels are deterministic: a fixed seed drives both code generation
+// (block mix, offsets) and data initialization (index streams, pointer-chase
+// permutations), so every run of a given profile executes the identical
+// program.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"svwsim/internal/isa"
+	"svwsim/internal/prog"
+)
+
+// Weights selects the relative frequency of each block type in the kernel's
+// unrolled loop body.
+type Weights struct {
+	Hash   int // indexed table loads, occasional stores to a small sub-region
+	Fwd    int // store then aliased-base load: SQ/FSQ forwarding, not integrable
+	Reload int // redundant pointer reloads feeding dependent accesses: RLE reuse
+	Bypass int // store then same-signature load: RLE memory bypassing
+	Chase  int // pointer chasing (serial, cache-hostile at large footprints)
+	Stream int // sequential scan (predictable, high IPC)
+	Swap   int // read-read-write-write on indexed slots: load speculation
+	ALU    int // pure integer work
+	Call   int // function call with register save/restore around a body
+	Late   int // store whose address arrives via a load (resolves late):
+	// younger loads issue past it speculatively — the NLQls marking driver
+}
+
+func (w Weights) total() int {
+	return w.Hash + w.Fwd + w.Reload + w.Bypass + w.Chase + w.Stream +
+		w.Swap + w.ALU + w.Call + w.Late
+}
+
+// Profile parameterizes one kernel.
+type Profile struct {
+	Name string
+	Seed int64
+	// Blocks is the number of blocks unrolled into the loop body (static
+	// code size driver).
+	Blocks int
+	W      Weights
+	// HashEntries / SwapEntries size the random-access regions (8-byte
+	// slots, powers of two). Small swap regions raise collision rates.
+	HashEntries int
+	SwapEntries int
+	// HashStoreEntries confines hash-block stores to a leading sub-region
+	// (default HashEntries/32): programs update a much smaller working set
+	// than they read, which is what keeps a 512-entry SSBF's alias rate
+	// low. 0 means the default.
+	HashStoreEntries int
+	// HashStorePct is the percentage of hash blocks that also store
+	// (default 20).
+	HashStorePct int
+	// ChaseNodes sizes the pointer-chase working set (16-byte nodes);
+	// large values blow out the L2.
+	ChaseNodes int
+	// CallSaves is the number of registers saved/restored per call block.
+	CallSaves int
+	// CallBodyLen is the number of filler ops in each call target's body
+	// between the saves and the restores (default 8). Long bodies push
+	// restores toward the edge of the forwarding window, diluting the
+	// store-to-load forwarding rate the way real call-heavy code does.
+	CallBodyLen int
+	// FwdDist is the number of filler ALU ops between a forwarding store
+	// and its load.
+	FwdDist int
+	// FwdAmbigPct is the percentage of forwarding blocks that interpose a
+	// late-resolving store between the forwarding store and its load: the
+	// load then both forwards and issues past an unresolved address. Such
+	// loads are marked under NLQls, and only the update-on-forward SVW
+	// (+UPD) can filter them — this knob is what separates the paper's
+	// −UPD and +UPD configurations.
+	FwdAmbigPct int
+	// BranchNoisePct is the percentage of blocks followed by a
+	// data-dependent (hard-to-predict) branch.
+	BranchNoisePct int
+	// UseMul sprinkles multiplies into ALU chains.
+	UseMul bool
+}
+
+// Data-region layout inside the kernel image.
+const (
+	hashRegionOff   = 0x000000
+	swapRegionOff   = 0x200000
+	stackRegionOff  = 0x300000
+	streamRegionOff = 0x400000
+	chaseRegionOff  = 0x500000 // up to 4 MB of chase nodes
+	idxARegionOff   = 0xA00000 // hash-target index stream
+	idxBRegionOff   = 0xC00000 // swap-target index stream
+
+	streamBytes = 1 << 13 // stream scan window (L1-co-resident)
+
+	// idxResetIters: the index streams rewind every this many loop
+	// iterations (power of two; tested against the down-counter).
+	idxResetIters = 16
+)
+
+// Register conventions used by the generator.
+const (
+	rIdxA   = isa.Reg(0) // hash-target index stream pointer
+	rLoop   = isa.Reg(1)
+	rHashB  = isa.Reg(2)
+	rSwapB  = isa.Reg(3)
+	rStack  = isa.Reg(4)
+	rChase  = isa.Reg(5)
+	rIdxB   = isa.Reg(6) // swap-target index stream pointer
+	rT0     = isa.Reg(7)
+	rT1     = isa.Reg(8)
+	rT2     = isa.Reg(9)
+	rT3     = isa.Reg(10)
+	rT4     = isa.Reg(11)
+	rT5     = isa.Reg(12)
+	rAcc2   = isa.Reg(13)
+	rMaskA  = isa.Reg(14)
+	rT6     = isa.Reg(15)
+	rStream = isa.Reg(16)
+	rAcc    = isa.Reg(17)
+	rStrB   = isa.Reg(18)
+	rStrE   = isa.Reg(19)
+	rSave0  = isa.Reg(20) // .. rSave0+CallSaves-1 (at most 6)
+	rAcc3   = isa.Reg(26)
+	rAcc4   = isa.Reg(27)
+	rLink   = isa.Reg(28)
+	rMaskB  = isa.Reg(29)
+	rMaskC  = isa.Reg(30) // hash-store sub-region mask
+)
+
+// accRegs is the rotating accumulator bank: blocks consume their loads into
+// per-block accumulators so no single dependence chain threads every load,
+// mirroring the local value consumption of real integer code.
+var accRegs = [4]isa.Reg{rAcc, rAcc2, rAcc3, rAcc4}
+
+// Build generates the kernel program for a profile.
+func Build(p Profile) *prog.Program {
+	if p.Blocks <= 0 || p.W.total() <= 0 {
+		panic("workload: profile needs blocks and weights")
+	}
+	if p.HashStoreEntries == 0 {
+		p.HashStoreEntries = p.HashEntries / 32
+		if p.HashStoreEntries < 64 {
+			p.HashStoreEntries = 64
+		}
+	}
+	if p.HashStorePct == 0 {
+		p.HashStorePct = 20
+	}
+	if p.CallSaves > 6 {
+		p.CallSaves = 6 // r26/r27 belong to the accumulator bank
+	}
+	if p.CallBodyLen == 0 {
+		p.CallBodyLen = 8
+	}
+	g := &gen{
+		b:   prog.NewBuilder(p.Name),
+		rng: rand.New(rand.NewSource(p.Seed)),
+		p:   p,
+	}
+	g.emit()
+	return g.b.Build()
+}
+
+type gen struct {
+	b     *prog.Builder
+	rng   *rand.Rand
+	p     Profile
+	funcs []string // labels of generated call targets
+
+	// Static per-iteration index stream consumption (entries).
+	usesA int
+	usesB int
+}
+
+func (g *gen) emit() {
+	b, p := g.b, g.p
+
+	// Prologue: region bases and constants.
+	b.MovImm(rHashB, prog.DefaultDataBase+hashRegionOff)
+	b.MovImm(rSwapB, prog.DefaultDataBase+swapRegionOff)
+	b.MovImm(rStack, prog.DefaultDataBase+stackRegionOff)
+	b.MovImm(rStream, prog.DefaultDataBase+streamRegionOff)
+	b.MovImm(rStrB, prog.DefaultDataBase+streamRegionOff)
+	b.MovImm(rStrE, prog.DefaultDataBase+streamRegionOff+streamBytes)
+	b.MovImm(rChase, prog.DefaultDataBase+chaseRegionOff)
+	if p.ChaseNodes > 0 {
+		// Second chain starts half-way around the cycle.
+		b.MovImm(rT6, prog.DefaultDataBase+chaseRegionOff+uint64(16*(p.ChaseNodes/2)))
+	}
+	b.MovImm(rIdxA, prog.DefaultDataBase+idxARegionOff)
+	b.MovImm(rIdxB, prog.DefaultDataBase+idxBRegionOff)
+	b.MovImm(rMaskA, uint64(p.HashEntries-1))
+	b.MovImm(rMaskB, uint64(p.SwapEntries-1))
+	b.MovImm(rMaskC, uint64(p.HashStoreEntries-1))
+	b.MovImm(rLoop, 1<<28) // effectively infinite; runs bound by MaxInsts
+	for k, r := range accRegs {
+		b.Lda(r, isa.Zero, int64(11+k))
+	}
+	for i := 0; i < p.CallSaves; i++ {
+		b.Lda(rSave0+isa.Reg(i), isa.Zero, int64(100+i))
+	}
+
+	// Plan the block sequence deterministically.
+	blocks := g.planBlocks()
+
+	b.Label("loop")
+	// Rewind the index streams every idxResetIters iterations (the
+	// down-counter's low bits hit zero); predictable, rarely taken.
+	skip := b.UniqueLabel("idxreset")
+	b.Andi(rT0, rLoop, idxResetIters-1)
+	b.Bne(rT0, skip)
+	b.MovImm(rIdxA, prog.DefaultDataBase+idxARegionOff)
+	b.MovImm(rIdxB, prog.DefaultDataBase+idxBRegionOff)
+	b.Label(skip)
+
+	for i, kind := range blocks {
+		g.emitBlock(kind, i)
+		if p.BranchNoisePct > 0 && g.rng.Intn(100) < p.BranchNoisePct {
+			g.emitNoiseBranch(i)
+		}
+	}
+	b.Addi(rLoop, rLoop, -1)
+	b.Bne(rLoop, "loop")
+	b.Halt()
+
+	g.emitFunctions()
+	g.initData()
+}
+
+type blockKind int
+
+const (
+	bHash blockKind = iota
+	bFwd
+	bReload
+	bBypass
+	bChase
+	bStream
+	bSwap
+	bALU
+	bCall
+	bLate
+)
+
+func (g *gen) planBlocks() []blockKind {
+	w := g.p.W
+	var pool []blockKind
+	add := func(k blockKind, n int) {
+		for i := 0; i < n; i++ {
+			pool = append(pool, k)
+		}
+	}
+	add(bHash, w.Hash)
+	add(bFwd, w.Fwd)
+	add(bReload, w.Reload)
+	add(bBypass, w.Bypass)
+	add(bChase, w.Chase)
+	add(bStream, w.Stream)
+	add(bSwap, w.Swap)
+	add(bALU, w.ALU)
+	add(bCall, w.Call)
+	add(bLate, w.Late)
+
+	out := make([]blockKind, g.p.Blocks)
+	for i := range out {
+		out[i] = pool[g.rng.Intn(len(pool))]
+	}
+	return out
+}
+
+// idxA emits a load of the current hash-target pair field (0 = load target,
+// 8 = store target) into dst; advanceA moves to the next pair.
+func (g *gen) idxA(dst isa.Reg, field int64) { g.b.Ldq(dst, field, rIdxA) }
+
+func (g *gen) advanceA() {
+	g.b.Addi(rIdxA, rIdxA, 16)
+	g.usesA++
+}
+
+// idxB / advanceB are the swap-target stream equivalents.
+func (g *gen) idxB(dst isa.Reg, field int64) { g.b.Ldq(dst, field, rIdxB) }
+
+func (g *gen) advanceB() {
+	g.b.Addi(rIdxB, rIdxB, 16)
+	g.usesB++
+}
+
+func (g *gen) emitBlock(kind blockKind, i int) {
+	b := g.b
+	acc := accRegs[i%len(accRegs)]
+	switch kind {
+	case bHash:
+		g.idxA(rT2, 0)
+		g.advanceA()
+		b.Ldq(rT3, 0, rT2)
+		b.Add(acc, acc, rT3)
+		if g.rng.Intn(100) < g.p.HashStorePct {
+			// Stores go to a static slot in the small leading sub-region:
+			// like most stores in real code (spills, struct fields), the
+			// address is base+offset and resolves early; programs update a
+			// much narrower working set than they read.
+			off := int64(8 * g.rng.Intn(g.p.HashStoreEntries))
+			b.Stq(acc, off, rHashB)
+		}
+
+	case bFwd:
+		// Store through rStack, reload through a same-valued copy so the
+		// physical base registers differ: address forwarding without
+		// integration eligibility.
+		off := int64(8 * g.rng.Intn(64))
+		b.Stq(acc, off, rStack)
+		if g.rng.Intn(100) < g.p.FwdAmbigPct {
+			// Interpose a store whose address arrives via a load (resolves
+			// a load-latency later): the forwarding load below issues past
+			// it while forwarding from the store above — exactly the case
+			// only the +UPD filter can excuse.
+			g.idxB(rT5, 8)
+			b.Stq(rT0, 0, rT5)
+		}
+		g.filler(g.p.FwdDist, acc)
+		b.Mov(rT4, rStack)
+		b.Ldq(rT3, off, rT4)
+		b.Add(acc, acc, rT3)
+
+	case bReload:
+		// A spilled pointer reloaded twice: the second (same-signature)
+		// load is redundant — RLE integrates it — and each reload feeds a
+		// dependent access, so elimination removes real latency from the
+		// address chain. Pointer slots sit above the hash-store sub-region
+		// (read-mostly), and their values are themselves hash-region
+		// addresses.
+		roBase := g.p.HashStoreEntries + 128
+		span := g.p.HashEntries - roBase - 2
+		off := int64(8 * (roBase + g.rng.Intn(span)))
+		b.Ldq(rT2, off, rHashB) // pointer
+		b.Ldq(rT5, 0, rT2)      // dependent access through the pointer
+		b.Add(acc, acc, rT5)
+		g.filler(2, acc)
+		b.Ldq(rT3, off, rHashB) // same signature: RLE load reuse
+		b.Ldq(rT5, 8, rT3)      // dependent access; faster when integrated
+		b.Add(acc, acc, rT5)
+
+	case bBypass:
+		off := int64(8 * (128 + g.rng.Intn(64)))
+		b.Stq(acc, off, rStack)
+		g.filler(g.p.FwdDist, acc)
+		b.Ldq(rT3, off, rStack) // same signature: RLE memory bypassing
+		b.Xor(acc, acc, rT3)
+
+	case bChase:
+		// Two independent chains alternate so chase-heavy kernels have the
+		// memory-level parallelism real pointer codes exhibit (mcf walks
+		// several arc lists concurrently).
+		ptr := rChase
+		if i%2 == 1 {
+			ptr = rT6
+		}
+		b.Ldq(ptr, 0, ptr)
+		b.Ldq(rT3, 8, ptr)
+		b.Add(acc, acc, rT3)
+
+	case bStream:
+		// 4-byte elements, like integer array code. Sub-quad accesses give
+		// the default 8-byte-granule SSBF genuine false sharing — two
+		// adjacent elements share a granule — which the 4-byte-granule
+		// organization of the paper's Fig. 8 then removes.
+		b.Ldl(rT3, 0, rStream)
+		b.Addi(rStream, rStream, 4)
+		b.Add(acc, acc, rT3)
+		if g.rng.Intn(100) < 20 {
+			b.Stl(acc, -4, rStream)
+		}
+		// Wrap: mostly-not-taken, predictable.
+		b.CmpUlt(rT0, rStream, rStrE)
+		lbl := b.UniqueLabel("strwrap")
+		b.Bne(rT0, lbl)
+		b.Mov(rStream, rStrB)
+		b.Label(lbl)
+
+	case bSwap:
+		g.idxB(rT2, 0)
+		g.idxB(rT4, 8)
+		g.advanceB()
+		b.Ldq(rT3, 0, rT2)
+		b.Ldq(rT5, 0, rT4)
+		b.Stq(rT5, 0, rT2)
+		b.Stq(rT3, 0, rT4)
+		b.Add(acc, acc, rT3)
+
+	case bALU:
+		n := 3 + g.rng.Intn(4)
+		g.filler(n, acc)
+		if g.p.UseMul && g.rng.Intn(100) < 30 {
+			b.Mul(acc, acc, rT0)
+			b.Ori(acc, acc, 1)
+		}
+
+	case bCall:
+		fn := g.pickFunc()
+		b.Bsr(rLink, fn)
+
+	case bLate:
+		// A store whose address arrives via a load (a store through a
+		// pointer): its STA resolves a load-latency after issue, so
+		// younger loads issue past it — the NLQls marking pattern — and
+		// occasionally collide with it in the swap region.
+		g.idxB(rT2, 0)
+		g.idxB(rT4, 8)
+		g.advanceB()
+		b.Stq(acc, 0, rT2) // late-resolving address
+		b.Ldq(rT5, 0, rT4) // younger load to the same region
+		b.Add(acc, acc, rT5)
+	}
+}
+
+// filler emits n cheap ALU ops with moderate parallelism: two independent
+// temporaries advance alongside the accumulator, so the critical path grows
+// by roughly n/3 — closer to the ILP of real integer code than a pure
+// dependence chain.
+func (g *gen) filler(n int, acc isa.Reg) {
+	b := g.b
+	for j := 0; j < n; j++ {
+		switch j % 3 {
+		case 0:
+			b.Addi(rT0, rT0, int64(g.rng.Intn(7)+1))
+		case 1:
+			b.Xori(rT1, rT1, int64(g.rng.Intn(255)))
+		default:
+			b.Add(acc, acc, rT0)
+		}
+	}
+}
+
+// emitNoiseBranch emits a data-dependent branch over one instruction. The
+// accumulators hold sums of effectively random table addresses and values;
+// bit 4 is an unpredictable coin.
+func (g *gen) emitNoiseBranch(i int) {
+	b := g.b
+	acc := accRegs[i%len(accRegs)]
+	b.Srli(rT0, acc, 4)
+	b.Andi(rT0, rT0, 1)
+	lbl := b.UniqueLabel("noise")
+	b.Bne(rT0, lbl)
+	b.Addi(acc, acc, 3)
+	b.Label(lbl)
+}
+
+// pickFunc returns (creating on demand) one of a small set of call targets.
+func (g *gen) pickFunc() string {
+	want := 1 + g.rng.Intn(6)
+	for len(g.funcs) < want {
+		g.funcs = append(g.funcs, fmt.Sprintf("fn.%d", len(g.funcs)))
+	}
+	return g.funcs[g.rng.Intn(len(g.funcs))]
+}
+
+// emitFunctions generates the call-block targets: save CallSaves registers
+// to the stack, run a body that clobbers them and does ordinary work, then
+// restore and return. The restores forward from the saves (SQ/FSQ) and are
+// integration candidates (RLE memory bypassing).
+func (g *gen) emitFunctions() {
+	b, p := g.b, g.p
+	for fi, fn := range g.funcs {
+		b.Label(fn)
+		base := int64(256 + 128*fi)
+		for i := 0; i < p.CallSaves; i++ {
+			b.Stq(rSave0+isa.Reg(i), base+int64(8*i), rStack)
+		}
+		acc := accRegs[fi%len(accRegs)]
+		// Body: clobber the saved registers, do real work including a
+		// couple of ordinary (non-forwarding) loads, like any callee.
+		for i := 0; i < p.CallSaves; i++ {
+			b.Addi(rSave0+isa.Reg(i), acc, int64(i))
+		}
+		bodyOff := int64(8 * (p.HashStoreEntries + 160 + 16*fi))
+		b.Ldq(rT2, bodyOff, rHashB)
+		b.Ldq(rT5, 0, rT2) // dependent access through the loaded pointer
+		b.Add(acc, acc, rT5)
+		g.filler(p.CallBodyLen+fi%5, acc)
+		b.Ldq(rT3, bodyOff+8, rHashB)
+		b.Add(acc, acc, rT3)
+		if fi%2 == 1 {
+			// Re-derive the frame pointer: the restores' base physical
+			// register now differs from the saves', so they forward through
+			// the SQ but are not integration candidates — like compilers
+			// that address saves through a different register.
+			b.Addi(rStack, rStack, 8)
+			b.Addi(rStack, rStack, -8)
+		}
+		for i := 0; i < p.CallSaves; i++ {
+			b.Ldq(rSave0+isa.Reg(i), base+int64(8*i), rStack)
+		}
+		b.Ret(rLink)
+	}
+}
+
+// initData lays down initial data: hash-region pointer contents, the index
+// streams, the swap region, the stream window, and the pointer-chase
+// permutation (a single cycle over ChaseNodes 16-byte nodes).
+func (g *gen) initData() {
+	b, p := g.b, g.p
+	hashBase := uint64(prog.DefaultDataBase + hashRegionOff)
+	swapBase := uint64(prog.DefaultDataBase + swapRegionOff)
+
+	// Hash region: every slot holds a pointer into the hash region's
+	// read-mostly band, so dependent accesses through loaded values stay
+	// in-region even off the stored-to sub-region.
+	roBase := p.HashStoreEntries + 128
+	roSpan := p.HashEntries - roBase
+	if roSpan <= 0 {
+		roSpan = p.HashEntries
+		roBase = 0
+	}
+	vals := make([]uint64, p.HashEntries)
+	for i := range vals {
+		vals[i] = hashBase + uint64(8*(roBase+g.rng.Intn(roSpan)))
+	}
+	b.DataQuads(hashBase, vals)
+
+	// Index streams: 16-byte (load target, store target) pairs, one region
+	// worth per idxResetIters iterations of static consumption.
+	nA := g.usesA*idxResetIters + 8
+	pairsA := make([]uint64, 2*nA)
+	for i := 0; i < nA; i++ {
+		pairsA[2*i] = hashBase + uint64(8*g.rng.Intn(p.HashEntries))
+		pairsA[2*i+1] = hashBase + uint64(8*g.rng.Intn(p.HashStoreEntries))
+	}
+	b.DataQuads(prog.DefaultDataBase+idxARegionOff, pairsA)
+
+	nB := g.usesB*idxResetIters + 8
+	pairsB := make([]uint64, 2*nB)
+	for i := 0; i < nB; i++ {
+		pairsB[2*i] = swapBase + uint64(8*g.rng.Intn(p.SwapEntries))
+		pairsB[2*i+1] = swapBase + uint64(8*g.rng.Intn(p.SwapEntries))
+	}
+	b.DataQuads(prog.DefaultDataBase+idxBRegionOff, pairsB)
+
+	// Swap and stream regions: random values.
+	sw := make([]uint64, p.SwapEntries)
+	for i := range sw {
+		sw[i] = g.rng.Uint64() & 0xffff_ffff
+	}
+	b.DataQuads(swapBase, sw)
+	st := make([]uint64, streamBytes/8)
+	for i := range st {
+		st[i] = g.rng.Uint64() & 0xffff
+	}
+	b.DataQuads(prog.DefaultDataBase+streamRegionOff, st)
+
+	if p.ChaseNodes > 0 {
+		perm := g.rng.Perm(p.ChaseNodes)
+		// Build a single cycle: node perm[i] points to node perm[i+1].
+		nodes := make([]uint64, 2*p.ChaseNodes)
+		base := uint64(prog.DefaultDataBase + chaseRegionOff)
+		for i := 0; i < p.ChaseNodes; i++ {
+			from := perm[i]
+			to := perm[(i+1)%p.ChaseNodes]
+			nodes[2*from] = base + uint64(16*to)
+			nodes[2*from+1] = g.rng.Uint64() & 0xffff
+		}
+		b.DataQuads(base, nodes)
+		// rChase starts at the region base (node 0), which closes the walk.
+	}
+}
+
+// sortedNames returns profile names in stable order.
+func sortedNames(m map[string]Profile) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+
+	"svwsim/internal/emu"
+	"svwsim/internal/isa"
+	"svwsim/internal/prog"
+)
+
+// execStats functionally executes a program for n instructions and collects
+// the dynamic mix.
+type execStats struct {
+	insts, loads, stores, branches uint64
+	subQuad                        uint64
+}
+
+func run(t *testing.T, p Profile, n int) execStats {
+	t.Helper()
+	prg := Build(p)
+	e := emu.New(prg.NewImage(), prg.Entry)
+	var s execStats
+	for i := 0; i < n && !e.Halted(); i++ {
+		d, err := e.Step()
+		if err != nil {
+			t.Fatalf("%s: step %d: %v", p.Name, i, err)
+		}
+		s.insts++
+		switch {
+		case d.Inst.IsLoad():
+			s.loads++
+		case d.Inst.IsStore():
+			s.stores++
+		case d.Inst.IsBranch():
+			s.branches++
+		}
+		if d.Inst.IsMem() && d.MemBytes < 8 {
+			s.subQuad++
+		}
+	}
+	return s
+}
+
+func TestAllProfilesExecuteCleanly(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s := run(t, MustGet(name), 30_000)
+			if s.insts < 30_000 {
+				t.Fatalf("halted early at %d", s.insts)
+			}
+			loadFrac := float64(s.loads) / float64(s.insts)
+			if loadFrac < 0.08 || loadFrac > 0.45 {
+				t.Errorf("load fraction %.2f out of the realistic band", loadFrac)
+			}
+			storeFrac := float64(s.stores) / float64(s.insts)
+			if storeFrac < 0.01 || storeFrac > 0.30 {
+				t.Errorf("store fraction %.2f out of the realistic band", storeFrac)
+			}
+		})
+	}
+}
+
+func TestSixteenBenchmarks(t *testing.T) {
+	names := Names()
+	if len(names) != 16 {
+		t.Fatalf("suite has %d benchmarks, want 16", len(names))
+	}
+	for _, want := range []string{"bzip2", "crafty", "eon.c", "eon.k", "eon.r",
+		"gap", "gcc", "gzip", "mcf", "parser", "perl.d", "perl.s", "twolf",
+		"vortex", "vpr.p", "vpr.r"} {
+		if _, ok := Get(want); !ok {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Build(MustGet("gcc"))
+	b := Build(MustGet("gcc"))
+	if len(a.Code) != len(b.Code) {
+		t.Fatal("code length differs")
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("code differs at %d", i)
+		}
+	}
+	if len(a.Data) != len(b.Data) {
+		t.Fatal("data segments differ")
+	}
+}
+
+func TestChaseCycleClosed(t *testing.T) {
+	// The pointer chase must never escape its region or hit a null.
+	p := MustGet("mcf")
+	prg := Build(p)
+	e := emu.New(prg.NewImage(), prg.Entry)
+	base := uint64(prog.DefaultDataBase + chaseRegionOff)
+	end := base + uint64(16*p.ChaseNodes)
+	for i := 0; i < 50_000 && !e.Halted(); i++ {
+		d, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Inst.Op == isa.OpLdq && d.Inst.Rd == d.Inst.Ra && d.Inst.Imm == 0 {
+			// chase step: loaded value is the next node pointer
+			if d.LoadVal < base || d.LoadVal >= end {
+				t.Fatalf("chase escaped region: %#x", d.LoadVal)
+			}
+		}
+	}
+}
+
+func TestSubQuadAccessesPresent(t *testing.T) {
+	// Stream-heavy kernels must issue 4-byte accesses (false-sharing
+	// fodder for the Fig. 8 granularity study).
+	s := run(t, MustGet("bzip2"), 30_000)
+	if s.subQuad == 0 {
+		t.Error("no sub-quad accesses in a stream-heavy kernel")
+	}
+}
+
+func TestMustGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustGet("nonexistent")
+}
+
+func TestFig8Subset(t *testing.T) {
+	for _, b := range Fig8Subset() {
+		if _, ok := Get(b); !ok {
+			t.Errorf("fig8 subset names unknown benchmark %s", b)
+		}
+	}
+}
+
+func TestTestProfileRuns(t *testing.T) {
+	s := run(t, TestProfile(1), 20_000)
+	if s.insts < 20_000 {
+		t.Fatal("test kernel halted early")
+	}
+	if s.loads == 0 || s.stores == 0 || s.branches == 0 {
+		t.Error("test kernel missing instruction classes")
+	}
+}
+
+func TestBuildValidatesProfiles(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty profile")
+		}
+	}()
+	Build(Profile{Name: "bad"})
+}

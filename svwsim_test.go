@@ -1,0 +1,86 @@
+package svwsim
+
+import "testing"
+
+func TestBenchmarksList(t *testing.T) {
+	b := Benchmarks()
+	if len(b) != 16 {
+		t.Fatalf("got %d benchmarks", len(b))
+	}
+}
+
+func TestRunBaseline(t *testing.T) {
+	res, err := Run("gcc", Options{MaxInsts: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Committed == 0 || res.Loads == 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if res.RexRate != 0 {
+		t.Error("baseline must not re-execute")
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSVWReducesRexAcrossOpts(t *testing.T) {
+	for _, opt := range []Opt{OptNLQ, OptSSQ, OptRLE} {
+		opt := opt
+		t.Run(opt.String(), func(t *testing.T) {
+			t.Parallel()
+			raw, err := Run("perl.d", Options{Opt: opt, MaxInsts: 60_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			svw, err := Run("perl.d", Options{Opt: opt, SVW: true,
+				SVWUpdateOnForward: true, MaxInsts: 60_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if raw.RexRate == 0 {
+				t.Fatalf("%v produced no re-executions", opt)
+			}
+			if svw.RexRate >= raw.RexRate {
+				t.Errorf("%v: SVW did not reduce re-execution: %.3f -> %.3f",
+					opt, raw.RexRate, svw.RexRate)
+			}
+		})
+	}
+}
+
+func TestRLEEliminates(t *testing.T) {
+	res, err := Run("vortex", Options{Opt: OptRLE, SVW: true, MaxInsts: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ElimRate < 0.1 {
+		t.Errorf("vortex elimination rate = %.2f", res.ElimRate)
+	}
+}
+
+func TestSSNWidthOverride(t *testing.T) {
+	res, err := Run("gcc", Options{Opt: OptSSQ, SVW: true, SSNBits: 8,
+		MaxInsts: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WrapDrains == 0 {
+		t.Error("8-bit SSNs should drain within 60k instructions")
+	}
+}
+
+func TestSpeedupMath(t *testing.T) {
+	a := Result{IPC: 2.0}
+	b := Result{IPC: 2.2}
+	if s := Speedup(a, b); s < 9.99 || s > 10.01 {
+		t.Errorf("speedup = %f", s)
+	}
+	if Speedup(Result{}, b) != 0 {
+		t.Error("zero baseline")
+	}
+}
