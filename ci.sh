@@ -1,0 +1,10 @@
+#!/bin/sh
+# ci.sh — the repository's test gate. Mirrors what a hosted CI job runs:
+# static checks, a full build, the race-enabled test suite, and a one-shot
+# engine benchmark so sweep scaling regressions surface early.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -bench=Engine -benchtime=1x -run='^$' ./internal/sim/engine

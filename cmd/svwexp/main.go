@@ -15,16 +15,27 @@
 //	svwexp -retports         # setup ablation: 1 vs 2 store retirement ports
 //	svwexp -nlqsm            # extension: NLQsm invalidation mechanism demo
 //	svwexp -all              # everything above
+//
+// All studies run through one shared experiment engine: -j bounds the
+// worker pool (0 = GOMAXPROCS), -timeout bounds each job, and repeated
+// (config, benchmark) pairs — ladder baselines, the summary study's
+// re-sweep of Figs. 5–7 under -all — execute exactly once and are served
+// from the engine's memo thereafter. -json switches the figure reports to
+// machine-readable output; -stats reports the engine's reuse counters on
+// stderr at exit.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
 	"svwsim/internal/pipeline"
 	"svwsim/internal/sim"
+	"svwsim/internal/sim/engine"
 	"svwsim/internal/workload"
 )
 
@@ -37,7 +48,12 @@ func main() {
 	nlqsm := flag.Bool("nlqsm", false, "NLQsm invalidation mechanism demo")
 	all := flag.Bool("all", false, "run everything")
 	insts := flag.Uint64("insts", 0, "committed instructions per run (0 = config default)")
-	par := flag.Int("par", 0, "parallel runs (0 = GOMAXPROCS)")
+	workers := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
+	par := flag.Int("par", 0, "alias for -j (deprecated)")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none)")
+	jsonOut := flag.Bool("json", false, "machine-readable output")
+	progress := flag.Bool("progress", false, "stream per-job progress to stderr (in job order)")
+	stats := flag.Bool("stats", false, "report engine run/memo counters on stderr")
 	benchList := flag.String("benches", "", "comma-separated benchmark subset")
 	flag.Parse()
 
@@ -51,6 +67,24 @@ func main() {
 		}
 	}
 
+	if *workers == 0 {
+		*workers = *par
+	}
+	eng := engine.New(*workers)
+	eng.SetTimeout(*timeout)
+	if *progress {
+		eng.SetProgress(func(r engine.JobResult) {
+			src := "ran"
+			if r.Memoized {
+				src = "memo"
+			}
+			fmt.Fprintf(os.Stderr, "svwexp: [%s] %s on %-10s %-4s IPC=%.3f rex=%.1f%%\n",
+				r.Job.Study, r.Job.Config.Name, r.Job.Bench, src,
+				r.Result.IPC(), 100*r.Result.Stats.RexRate())
+		})
+	}
+	h := &harness{eng: eng, insts: *insts, json: *jsonOut}
+
 	ran := false
 	run := func(cond bool, f func()) {
 		if cond || *all {
@@ -58,19 +92,24 @@ func main() {
 			ran = true
 		}
 	}
-	run(*fig == 5, func() { runLadder(sim.Fig5Ladder(), benches, *insts, *par, 5) })
-	run(*fig == 6, func() { runLadder(sim.Fig6Ladder(), benches, *insts, *par, 6) })
-	run(*fig == 7, func() { runLadder(sim.Fig7Ladder(), benches, *insts, *par, 7) })
-	run(*fig == 8, func() { runFig8(*insts, *par) })
-	run(*ssnwidth, func() { runSSNWidth(benches, *insts, *par) })
-	run(*ssbfupd, func() { runSSBFUpd(benches, *insts, *par) })
-	run(*summary, func() { runSummary(benches, *insts, *par) })
-	run(*retports, func() { runRetPorts(benches, *insts, *par) })
-	run(*nlqsm, func() { runNLQSM(benches, *insts, *par) })
+	run(*fig == 5, func() { h.runLadder(sim.Fig5Ladder(), benches, 5) })
+	run(*fig == 6, func() { h.runLadder(sim.Fig6Ladder(), benches, 6) })
+	run(*fig == 7, func() { h.runLadder(sim.Fig7Ladder(), benches, 7) })
+	run(*fig == 8, func() { h.runFig8() })
+	run(*ssnwidth, func() { h.runSSNWidth(benches) })
+	run(*ssbfupd, func() { h.runSSBFUpd(benches) })
+	run(*summary, func() { h.runSummary(benches) })
+	run(*retports, func() { h.runRetPorts(benches) })
+	run(*nlqsm, func() { h.runNLQSM(benches) })
 
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *stats {
+		m := eng.Memo()
+		fmt.Fprintf(os.Stderr, "svwexp: engine executed %d unique jobs, served %d from memo\n",
+			m.Misses, m.Hits)
 	}
 }
 
@@ -79,56 +118,120 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func runLadder(l sim.Ladder, benches []string, insts uint64, par, fig int) {
-	res, err := sim.RunLadder(l, benches, insts, par)
+// harness carries the shared engine and output mode through the studies.
+type harness struct {
+	eng   *engine.Engine
+	insts uint64
+	json  bool
+}
+
+func (h *harness) emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func (h *harness) ladder(l sim.Ladder, benches []string) *sim.LadderResult {
+	res, err := sim.RunLadders(h.eng, []sim.Ladder{l}, benches, h.insts)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res.Print(os.Stdout)
+	return res[0]
+}
+
+func (h *harness) runLadder(l sim.Ladder, benches []string, fig int) {
+	res := h.ladder(l, benches)
+
+	// Figs. 6 and 7 shade a split of one rung's re-execution rate; Fig. 7
+	// additionally reports the optimization's elimination rates. One set of
+	// rate accessors feeds both the table and the JSON paths so the two
+	// outputs cannot drift apart.
+	bdCi := -1
+	var top, bottom string
+	var topRate, bottomRate func(*sim.Result) float64
+	var elimPct []float64
 	switch fig {
 	case 6:
-		res.PrintBreakdown(os.Stdout, 2, "fsq", "best-effort",
-			func(r *sim.Result) float64 { return r.Stats.RexRateFSQ() },
-			func(r *sim.Result) float64 { return r.Stats.RexRateBest() })
+		bdCi, top, bottom = 2, "fsq", "best-effort"
+		topRate = func(r *sim.Result) float64 { return r.Stats.RexRateFSQ() }
+		bottomRate = func(r *sim.Result) float64 { return r.Stats.RexRateBest() }
 	case 7:
-		res.PrintBreakdown(os.Stdout, 1, "reuse", "bypass",
-			func(r *sim.Result) float64 { return r.Stats.RexRateReuse() },
-			func(r *sim.Result) float64 { return r.Stats.RexRateBypass() })
+		bdCi, top, bottom = 1, "reuse", "bypass"
+		topRate = func(r *sim.Result) float64 { return r.Stats.RexRateReuse() }
+		bottomRate = func(r *sim.Result) float64 { return r.Stats.RexRateBypass() }
+		for bi := range benches {
+			elimPct = append(elimPct, math.Round(100_000*res.Runs[0][bi].Stats.ElimRate())/1000)
+		}
+	}
+
+	if h.json {
+		var breakdown *sim.BreakdownJSON
+		if bdCi >= 0 {
+			b := res.Breakdown(bdCi, top, bottom, topRate, bottomRate)
+			breakdown = &b
+		}
+		h.emitJSON(struct {
+			sim.LadderJSON
+			Breakdown *sim.BreakdownJSON `json:"breakdown,omitempty"`
+			ElimPct   []float64          `json:"elim_pct,omitempty"`
+		}{res.JSON(), breakdown, elimPct})
+		return
+	}
+	res.Print(os.Stdout)
+	if bdCi >= 0 {
+		res.PrintBreakdown(os.Stdout, bdCi, top, bottom, topRate, bottomRate)
+	}
+	if fig == 7 {
 		fmt.Printf("elimination rates (RLE):")
 		for bi, b := range benches {
-			fmt.Printf(" %s=%.0f%%", b, 100*res.Runs[0][bi].Stats.ElimRate())
+			fmt.Printf(" %s=%.0f%%", b, elimPct[bi])
 		}
 		fmt.Println()
 	}
 }
 
-func runFig8(insts uint64, par int) {
-	res, err := sim.RunFig8(workload.Fig8Subset(), insts, par)
+func (h *harness) runFig8() {
+	res, err := sim.RunFig8With(h.eng, workload.Fig8Subset(), h.insts)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if h.json {
+		h.emitJSON(res.JSON())
+		return
 	}
 	res.Print(os.Stdout)
 }
 
-func runSSNWidth(benches []string, insts uint64, par int) {
-	res, err := sim.RunSSNWidth(benches, []int{8, 10, 12, 16, 0}, insts, par)
+func (h *harness) runSSNWidth(benches []string) {
+	res, err := sim.RunSSNWidthWith(h.eng, benches, []int{8, 10, 12, 16, 0}, h.insts)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if h.json {
+		h.emitJSON(res.JSON())
+		return
 	}
 	res.Print(os.Stdout)
 }
 
-func runSSBFUpd(benches []string, insts uint64, par int) {
-	res, err := sim.RunSSBFUpdatePolicy(benches, insts, par)
+func (h *harness) runSSBFUpd(benches []string) {
+	res, err := sim.RunSSBFUpdatePolicyWith(h.eng, benches, h.insts)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if h.json {
+		h.emitJSON(res.JSON())
+		return
 	}
 	res.Print(os.Stdout)
 }
 
 // runSummary reproduces the abstract's headline: the average re-execution
-// reduction SVW delivers across the three optimizations.
-func runSummary(benches []string, insts uint64, par int) {
+// reduction SVW delivers across the three optimizations. Under -all the
+// shared engine serves every run from the figure sweeps' memo.
+func (h *harness) runSummary(benches []string) {
 	type study struct {
 		name   string
 		ladder sim.Ladder
@@ -140,13 +243,16 @@ func runSummary(benches []string, insts uint64, par int) {
 		{"SSQ", sim.Fig6Ladder(), 0, 2},
 		{"RLE", sim.Fig7Ladder(), 0, 1},
 	}
-	fmt.Println("SVW re-execution reduction (abstract claims ~85% average)")
+	type line struct {
+		Study        string  `json:"study"`
+		RawRexPct    float64 `json:"raw_rex_pct"`
+		SVWRexPct    float64 `json:"svw_rex_pct"`
+		ReductionPct float64 `json:"reduction_pct"`
+	}
+	var lines []line
 	var total float64
 	for _, s := range studies {
-		res, err := sim.RunLadder(s.ladder, benches, insts, par)
-		if err != nil {
-			fatalf("%v", err)
-		}
+		res := h.ladder(s.ladder, benches)
 		raw := res.AvgRexRate(s.rawIdx)
 		svw := res.AvgRexRate(s.svwIdx)
 		red := 0.0
@@ -154,46 +260,93 @@ func runSummary(benches []string, insts uint64, par int) {
 			red = (1 - svw/raw) * 100
 		}
 		total += red
-		fmt.Printf("  %-6s raw %5.1f%% -> svw %5.1f%%  (reduction %5.1f%%)\n",
-			s.name, 100*raw, 100*svw, red)
+		lines = append(lines, line{s.name, 100 * raw, 100 * svw, red})
 	}
-	fmt.Printf("  average reduction across optimizations: %.1f%%\n", total/float64(len(studies)))
+	avg := total / float64(len(studies))
+	if h.json {
+		h.emitJSON(struct {
+			Studies         []line  `json:"studies"`
+			AvgReductionPct float64 `json:"avg_reduction_pct"`
+		}{lines, avg})
+		return
+	}
+	fmt.Println("SVW re-execution reduction (abstract claims ~85% average)")
+	for _, l := range lines {
+		fmt.Printf("  %-6s raw %5.1f%% -> svw %5.1f%%  (reduction %5.1f%%)\n",
+			l.Study, l.RawRexPct, l.SVWRexPct, l.ReductionPct)
+	}
+	fmt.Printf("  average reduction across optimizations: %.1f%%\n", avg)
 }
 
 // runRetPorts reproduces the setup remark that dual store retirement ports
 // only help vortex (~6%) on the 8-wide machine.
-func runRetPorts(benches []string, insts uint64, par int) {
-	fmt.Println("store retirement ports: % IPC gain of 2 ports over 1 (baseline 8-wide)")
+func (h *harness) runRetPorts(benches []string) {
+	var jobs []engine.Job
 	for _, b := range benches {
-		one, err := sim.Run(sim.BaselineNLQ(), b, insts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		cfg := sim.BaselineNLQ()
-		cfg.RetirePorts = 2
-		cfg.Name = "base-2port"
-		two, err := sim.Run(cfg, b, insts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("  %-8s %+6.1f%%\n", b, sim.Speedup(&one, &two))
+		two := sim.BaselineNLQ()
+		two.RetirePorts = 2
+		two.Name = "base-2port"
+		jobs = append(jobs,
+			engine.Job{Study: "retports", Label: "1port", Config: sim.BaselineNLQ(), Bench: b, Insts: h.insts},
+			engine.Job{Study: "retports", Label: "2port", Config: two, Bench: b, Insts: h.insts},
+		)
+	}
+	rs, err := h.eng.Run(jobs, nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	type line struct {
+		Bench   string  `json:"bench"`
+		GainPct float64 `json:"gain_pct"`
+	}
+	var lines []line
+	for i := 0; i < len(rs); i += 2 {
+		lines = append(lines, line{rs[i].Job.Bench, sim.Speedup(&rs[i].Result, &rs[i+1].Result)})
+	}
+	if h.json {
+		h.emitJSON(lines)
+		return
+	}
+	fmt.Println("store retirement ports: % IPC gain of 2 ports over 1 (baseline 8-wide)")
+	for _, l := range lines {
+		fmt.Printf("  %-8s %+6.1f%%\n", l.Bench, l.GainPct)
 	}
 }
 
 // runNLQSM exercises the NLQsm banked-invalidation mechanism with the
 // synthetic injector (extension; the paper does not evaluate NLQsm either).
-func runNLQSM(benches []string, insts uint64, par int) {
-	fmt.Println("NLQsm extension: injected invalidations, marked loads, filter behaviour")
+func (h *harness) runNLQSM(benches []string) {
+	var jobs []engine.Job
 	for _, b := range benches {
 		cfg := sim.NLQ(sim.SVWUpd)
 		cfg.NLQSM = pipeline.NLQSMConfig{Enabled: true, IntervalCycles: 200}
 		cfg.Name = "nlq+svw+sm"
-		res, err := sim.Run(cfg, b, insts)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		s := &res.Stats
+		jobs = append(jobs, engine.Job{Study: "nlqsm", Label: b, Config: cfg, Bench: b, Insts: h.insts})
+	}
+	rs, err := h.eng.Run(jobs, nil)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	type line struct {
+		Bench         string  `json:"bench"`
+		Invalidations uint64  `json:"invalidations"`
+		RexPct        float64 `json:"rex_pct"`
+		SMRexPct      float64 `json:"sm_rex_pct"`
+		IPC           float64 `json:"ipc"`
+	}
+	var lines []line
+	for _, r := range rs {
+		s := &r.Result.Stats
+		lines = append(lines, line{r.Job.Bench, s.Invalidations,
+			100 * s.RexRate(), 100 * s.RexRateNLQSM(), s.IPC()})
+	}
+	if h.json {
+		h.emitJSON(lines)
+		return
+	}
+	fmt.Println("NLQsm extension: injected invalidations, marked loads, filter behaviour")
+	for _, l := range lines {
 		fmt.Printf("  %-8s invals=%d rex=%.1f%% (sm-marked rex %.1f%%) IPC=%.2f\n",
-			b, s.Invalidations, 100*s.RexRate(), 100*s.RexRateNLQSM(), s.IPC())
+			l.Bench, l.Invalidations, l.RexPct, l.SMRexPct, l.IPC)
 	}
 }

@@ -1,9 +1,13 @@
-// Command svwsim runs one benchmark kernel on one machine configuration and
-// prints the run's statistics.
+// Command svwsim runs benchmark kernels on machine configurations and
+// prints each run's statistics. -bench and -config take comma-separated
+// lists; the cross product runs on the experiment engine with -j workers,
+// identical (config, bench) pairs deduplicated, and results printed in
+// job order regardless of completion order.
 //
 // Usage:
 //
 //	svwsim -bench vortex -config ssq+svw -insts 300000
+//	svwsim -bench gcc,twolf -config ssq,ssq+svw -j 4 -json
 //
 // Configs: base-nlq, nlq, nlq+svw-upd, nlq+svw, nlq+perfect,
 // base-ssq, ssq, ssq+svw-upd, ssq+svw, ssq+perfect,
@@ -11,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +23,7 @@ import (
 
 	"svwsim/internal/pipeline"
 	"svwsim/internal/sim"
+	"svwsim/internal/sim/engine"
 	"svwsim/internal/workload"
 )
 
@@ -58,9 +64,12 @@ func configByName(name string) (pipeline.Config, bool) {
 }
 
 func main() {
-	bench := flag.String("bench", "gcc", "benchmark kernel (see -list)")
-	config := flag.String("config", "base-nlq", "machine configuration")
+	bench := flag.String("bench", "gcc", "benchmark kernel(s), comma-separated (see -list)")
+	config := flag.String("config", "base-nlq", "machine configuration(s), comma-separated")
 	insts := flag.Uint64("insts", 300_000, "committed instructions to simulate")
+	workers := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock limit (0 = none)")
+	jsonOut := flag.Bool("json", false, "machine-readable output")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -70,21 +79,50 @@ func main() {
 		}
 		return
 	}
-	cfg, ok := configByName(*config)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "svwsim: unknown config %q\n", *config)
-		os.Exit(2)
-	}
-	if _, ok := workload.Get(*bench); !ok {
-		fmt.Fprintf(os.Stderr, "svwsim: unknown benchmark %q (try -list)\n", *bench)
-		os.Exit(2)
+	var jobs []engine.Job
+	for _, cname := range strings.Split(*config, ",") {
+		cfg, ok := configByName(cname)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "svwsim: unknown config %q\n", cname)
+			os.Exit(2)
+		}
+		for _, b := range strings.Split(*bench, ",") {
+			if _, ok := workload.Get(b); !ok {
+				fmt.Fprintf(os.Stderr, "svwsim: unknown benchmark %q (try -list)\n", b)
+				os.Exit(2)
+			}
+			jobs = append(jobs, engine.Job{Study: "svwsim", Label: cfg.Name,
+				Config: cfg, Bench: b, Insts: *insts})
+		}
 	}
 
-	res, err := sim.Run(cfg, *bench, *insts)
+	eng := engine.New(*workers)
+	eng.SetTimeout(*timeout)
+	rs, err := eng.Run(jobs, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svwsim: %v\n", err)
 		os.Exit(1)
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		for _, r := range rs {
+			if err := enc.Encode(r.Result); err != nil {
+				fmt.Fprintf(os.Stderr, "svwsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	for i := range rs {
+		if i > 0 {
+			fmt.Println()
+		}
+		printResult(&rs[i].Result)
+	}
+}
+
+func printResult(res *sim.Result) {
 	s := &res.Stats
 	fmt.Printf("bench            %s\n", res.Bench)
 	fmt.Printf("config           %s\n", res.Config)

@@ -1,0 +1,3 @@
+module svwsim
+
+go 1.24

@@ -1,0 +1,42 @@
+package engine_test
+
+// BenchmarkEngine measures the sharded engine on the paper's multi-ladder
+// sweep: Figs. 5–7 on two benchmarks, 30 distinct (config, bench) jobs.
+// Compare sub-benchmarks to see worker scaling:
+//
+//	go test -bench=Engine -benchtime=1x ./internal/sim/engine
+//
+// On a 4+ core machine j=4 completes the sweep near 4x faster than j=1;
+// each iteration uses a fresh engine so memoization never hides work.
+
+import (
+	"fmt"
+	"testing"
+
+	"svwsim/internal/sim"
+	"svwsim/internal/sim/engine"
+)
+
+const benchInsts = 20_000
+
+var benchLadders = func() []sim.Ladder {
+	return []sim.Ladder{sim.Fig5Ladder(), sim.Fig6Ladder(), sim.Fig7Ladder()}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	benches := []string{"gcc", "twolf"}
+	for _, j := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(j)
+				res, err := sim.RunLadders(eng, benchLadders(), benches, benchInsts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res[0].AvgSpeedup(2), "fig5-svw-spd-%")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,365 @@
+// Package engine executes experiment sweeps: flat lists of (machine
+// configuration, benchmark, instruction budget) jobs run on a sharded,
+// work-stealing worker pool.
+//
+// The engine exists because the paper's evaluation (Figs. 5–8 and the §3.6
+// sensitivity studies) is a configuration matrix, and large parts of that
+// matrix repeat: every ladder re-runs its baseline on every benchmark, the
+// summary study re-runs three whole ladders, and -all sweeps overlap. The
+// engine therefore:
+//
+//   - shards the job list round-robin across workers, each of which drains
+//     its own deque and steals from the busiest victim when idle, so a few
+//     slow configurations (e.g. 4-cycle-load baselines) cannot strand work
+//     behind them;
+//   - memoizes (configuration, benchmark, instruction budget) → result, so
+//     any job that is semantically identical to an earlier one — the Name
+//     label is ignored — executes exactly once per Engine, however many
+//     sweeps ask for it;
+//   - delivers results and progress deterministically: Run's result slice
+//     is indexed by job position, and the optional progress callback fires
+//     in job-index order regardless of completion order, so -j 1 and -j N
+//     produce byte-identical output.
+//
+// An Engine is safe for concurrent use and retains its memo table across
+// Run calls; share one Engine across studies to get cross-study reuse.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one experiment: a machine configuration on a benchmark kernel.
+type Job struct {
+	// Study labels the sweep the job belongs to (e.g. "fig5-nlq"); it is
+	// carried through to results for provenance and ignored by memoization.
+	Study string
+	// Label names the job's row within the study (e.g. "+SVW+UPD").
+	Label  string
+	Config Config
+	Bench  string
+	// Insts bounds committed instructions (0 keeps the config's default).
+	Insts uint64
+}
+
+// JobResult pairs a job with its outcome. Results are always returned in
+// job order: result i is job i.
+type JobResult struct {
+	Index    int
+	Job      Job
+	Result   Result
+	Err      error
+	Memoized bool          // served from the memo table, not executed
+	Elapsed  time.Duration // zero for memoized jobs
+}
+
+// MemoStats reports the engine's reuse counters.
+type MemoStats struct {
+	// Hits counts jobs answered from the memo table (including jobs that
+	// waited for an identical in-flight execution).
+	Hits uint64
+	// Misses counts unique executions.
+	Misses uint64
+}
+
+// Engine runs jobs on a bounded worker pool with memoization.
+type Engine struct {
+	workers  int
+	timeout  time.Duration
+	progress func(JobResult)
+
+	mu     sync.Mutex
+	memo   map[string]*memoEntry
+	hits   uint64
+	misses uint64
+}
+
+type memoEntry struct {
+	complete bool
+	res      Result
+	err      error
+	// waiters are jobs identical to the in-flight execution. They do not
+	// block a worker: the duplicate registers a delivery closure and the
+	// worker moves on to other queued work; the executing worker runs the
+	// closures when it finishes.
+	waiters []func(res Result, err error)
+}
+
+// New returns an engine with the given worker count (<= 0 = GOMAXPROCS).
+func New(workers int) *Engine {
+	return &Engine{workers: workers, memo: make(map[string]*memoEntry)}
+}
+
+// Workers returns the effective worker count for a sweep of n jobs.
+func (e *Engine) Workers(n int) int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SetTimeout bounds each job's wall-clock execution (0 = none). A timed-out
+// job reports an error; its abandoned simulation goroutine still terminates
+// on its own MaxCycles bound.
+func (e *Engine) SetTimeout(d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.timeout = d
+}
+
+// SetProgress installs a default progress callback used by Run calls that
+// pass nil. Like Run's own parameter, it fires once per job in job-index
+// order.
+func (e *Engine) SetProgress(fn func(JobResult)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.progress = fn
+}
+
+// Memo returns the engine's lifetime reuse counters.
+func (e *Engine) Memo() MemoStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return MemoStats{Hits: e.hits, Misses: e.misses}
+}
+
+// Run executes jobs and returns one result per job, in job order. The
+// optional progress callback is invoked once per job in job-index order
+// (not completion order) from worker goroutines; it must not call back
+// into the engine. Run executes the whole list even when jobs fail and
+// returns the lowest-index error, so error reporting is deterministic too.
+func (e *Engine) Run(jobs []Job, progress func(JobResult)) ([]JobResult, error) {
+	n := len(jobs)
+	out := make([]JobResult, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := e.Workers(n)
+	if progress == nil {
+		e.mu.Lock()
+		progress = e.progress
+		e.mu.Unlock()
+	}
+
+	// Shard the indices round-robin: worker w owns jobs w, w+workers, ...
+	// Owners pop from the front; thieves steal from the back.
+	shards := make([]*shard, workers)
+	for w := range shards {
+		shards[w] = &shard{}
+	}
+	for i := 0; i < n; i++ {
+		s := shards[i%workers]
+		s.jobs = append(s.jobs, i)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		deliver sync.WaitGroup // memo-waiter deliveries, possibly cross-Run
+		emitMu  sync.Mutex
+		ready   = make([]bool, n)
+		next    int
+	)
+	emit := func(idx int) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		ready[idx] = true
+		for next < n && ready[next] {
+			if progress != nil {
+				progress(out[next])
+			}
+			next++
+		}
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				idx, ok := shards[self].pop()
+				if !ok {
+					idx, ok = steal(shards, self)
+				}
+				if !ok {
+					return
+				}
+				e.execute(idx, jobs[idx], out, emit, &deliver)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Jobs parked on an execution in flight in a concurrent Run on the same
+	// engine are delivered by that run's worker; wait for them too.
+	deliver.Wait()
+
+	for i := range out {
+		if out[i].Err != nil {
+			return out, fmt.Errorf("engine: job %d (%s/%s on %s): %w",
+				i, out[i].Job.Study, out[i].Job.Config.Name, out[i].Job.Bench, out[i].Err)
+		}
+	}
+	return out, nil
+}
+
+// execute runs one job through the memo table, storing its result in
+// out[idx] and emitting it. A job identical to an execution already in
+// flight is parked as a waiter — the worker returns immediately to take
+// other queued work, and the executing worker delivers the parked result.
+func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
+	deliver *sync.WaitGroup) {
+	if j.Config.TraceCommit != nil {
+		// Traced runs exist for their side effects; a memo hit would
+		// silently skip the per-instruction callbacks. Always execute.
+		start := time.Now()
+		res, err := e.runWithTimeout(j)
+		out[idx] = JobResult{Index: idx, Job: j, Result: res, Err: err,
+			Elapsed: time.Since(start)}
+		emit(idx)
+		return
+	}
+	memoResult := func(res Result, err error) JobResult {
+		res.Config = j.Config.Name // keep the job's own label on shared results
+		return JobResult{Index: idx, Job: j, Result: res, Err: err, Memoized: true}
+	}
+
+	key := Fingerprint(j.Config, j.Bench, j.Insts)
+	e.mu.Lock()
+	ent, ok := e.memo[key]
+	if ok {
+		e.hits++
+		if ent.complete {
+			res, err := ent.res, ent.err
+			e.mu.Unlock()
+			out[idx] = memoResult(res, err)
+			emit(idx)
+			return
+		}
+		deliver.Add(1)
+		ent.waiters = append(ent.waiters, func(res Result, err error) {
+			out[idx] = memoResult(res, err)
+			emit(idx)
+			deliver.Done()
+		})
+		e.mu.Unlock()
+		return
+	}
+	ent = &memoEntry{}
+	e.memo[key] = ent
+	e.misses++
+	e.mu.Unlock()
+
+	start := time.Now()
+	res, err := e.runWithTimeout(j)
+	e.mu.Lock()
+	ent.res, ent.err, ent.complete = res, err, true
+	waiters := ent.waiters
+	ent.waiters = nil
+	if err != nil {
+		// Failures (including timeouts) are not cached: a later identical
+		// job must get a fresh attempt, not the stale error. Waiters parked
+		// on this execution still observe its error.
+		delete(e.memo, key)
+	}
+	e.mu.Unlock()
+	out[idx] = JobResult{Index: idx, Job: j, Result: res, Err: err,
+		Elapsed: time.Since(start)}
+	emit(idx)
+	for _, w := range waiters {
+		w(res, err)
+	}
+}
+
+func (e *Engine) runWithTimeout(j Job) (Result, error) {
+	e.mu.Lock()
+	timeout := e.timeout
+	e.mu.Unlock()
+	if timeout <= 0 {
+		return Run(j.Config, j.Bench, j.Insts)
+	}
+	type outcome struct {
+		res Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := Run(j.Config, j.Bench, j.Insts)
+		ch <- outcome{r, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-t.C:
+		return Result{}, fmt.Errorf("%s on %s: timed out after %v",
+			j.Bench, j.Config.Name, timeout)
+	}
+}
+
+// shard is one worker's deque of job indices.
+type shard struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+// pop takes from the front (the owner's end).
+func (s *shard) pop() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) == 0 {
+		return 0, false
+	}
+	idx := s.jobs[0]
+	s.jobs = s.jobs[1:]
+	return idx, true
+}
+
+// popBack takes from the back (the thieves' end).
+func (s *shard) popBack() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) == 0 {
+		return 0, false
+	}
+	idx := s.jobs[len(s.jobs)-1]
+	s.jobs = s.jobs[:len(s.jobs)-1]
+	return idx, true
+}
+
+func (s *shard) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// steal takes a job from the back of the fullest other shard.
+func steal(shards []*shard, self int) (int, bool) {
+	for {
+		victim, best := -1, 0
+		for i, s := range shards {
+			if i == self {
+				continue
+			}
+			if n := s.size(); n > best {
+				victim, best = i, n
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		if idx, ok := shards[victim].popBack(); ok {
+			return idx, true
+		}
+		// Lost the race to the victim's owner; rescan.
+	}
+}

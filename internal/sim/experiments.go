@@ -2,11 +2,10 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"svwsim/internal/core"
 	"svwsim/internal/pipeline"
+	"svwsim/internal/sim/engine"
 	"svwsim/internal/workload"
 )
 
@@ -64,68 +63,77 @@ type LadderResult struct {
 	Runs    [][]Result
 }
 
-// RunLadder executes a ladder over the benchmarks with par workers
-// (0 = GOMAXPROCS). insts 0 keeps each config's default budget.
-func RunLadder(l Ladder, benches []string, insts uint64, par int) (*LadderResult, error) {
+// LadderJobs flattens a ladder over benchmarks into engine jobs: for each
+// benchmark, the baseline followed by every rung, in declaration order. The
+// returned order is the scatter order Gather expects.
+func LadderJobs(l Ladder, benches []string, insts uint64) []engine.Job {
+	var jobs []engine.Job
+	for _, bench := range benches {
+		jobs = append(jobs, engine.Job{
+			Study: l.Name, Label: "baseline", Config: l.Baseline,
+			Bench: bench, Insts: insts,
+		})
+		for ci, cfg := range l.Configs {
+			jobs = append(jobs, engine.Job{
+				Study: l.Name, Label: l.Labels[ci], Config: cfg,
+				Bench: bench, Insts: insts,
+			})
+		}
+	}
+	return jobs
+}
+
+// gather scatters a ladder's slice of engine results (in LadderJobs order)
+// back into a LadderResult.
+func gather(l Ladder, benches []string, rs []engine.JobResult) *LadderResult {
 	res := &LadderResult{Ladder: l, Benches: benches}
 	res.Base = make([]Result, len(benches))
 	res.Runs = make([][]Result, len(l.Configs))
 	for i := range res.Runs {
 		res.Runs[i] = make([]Result, len(benches))
 	}
-
-	type job struct {
-		cfg   pipeline.Config
-		bench string
-		out   *Result
-	}
-	var jobs []job
-	for bi, bench := range benches {
-		jobs = append(jobs, job{l.Baseline, bench, &res.Base[bi]})
-		for ci, cfg := range l.Configs {
-			jobs = append(jobs, job{cfg, bench, &res.Runs[ci][bi]})
+	k := 0
+	for bi := range benches {
+		res.Base[bi] = rs[k].Result
+		k++
+		for ci := range l.Configs {
+			res.Runs[ci][bi] = rs[k].Result
+			k++
 		}
 	}
-	if err := runJobs(jobs, insts, par, func(j job) (Result, error) {
-		return Run(j.cfg, j.bench, insts)
-	}, func(j job, r Result) { *j.out = r }); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return res
 }
 
-// runJobs fans work out over a bounded worker pool, failing fast on error.
-func runJobs[T any](jobs []T, insts uint64, par int,
-	run func(T) (Result, error), store func(T, Result)) error {
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
+// RunLadders executes several ladders as one flat job list on eng, so
+// configurations shared between ladders (and with any earlier sweep on the
+// same engine) run exactly once. Results are returned per ladder, in order.
+func RunLadders(eng *engine.Engine, ladders []Ladder, benches []string, insts uint64) ([]*LadderResult, error) {
+	var jobs []engine.Job
+	for _, l := range ladders {
+		jobs = append(jobs, LadderJobs(l, benches, insts)...)
 	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		err1 error
-	)
-	sem := make(chan struct{}, par)
-	for _, j := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(j T) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			r, err := run(j)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if err1 == nil {
-					err1 = err
-				}
-				return
-			}
-			store(j, r)
-		}(j)
+	rs, err := eng.Run(jobs, nil)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	return err1
+	out := make([]*LadderResult, len(ladders))
+	k := 0
+	for i, l := range ladders {
+		n := len(benches) * (1 + len(l.Configs))
+		out[i] = gather(l, benches, rs[k:k+n])
+		k += n
+	}
+	return out, nil
+}
+
+// RunLadder executes a ladder over the benchmarks with par workers
+// (0 = GOMAXPROCS). insts 0 keeps each config's default budget.
+func RunLadder(l Ladder, benches []string, insts uint64, par int) (*LadderResult, error) {
+	res, err := RunLadders(engine.New(par), []Ladder{l}, benches, insts)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
 }
 
 // Speedup returns config ci's percent IPC improvement over baseline on
@@ -189,30 +197,39 @@ type Fig8Result struct {
 // RunFig8 sweeps SSBF organizations on the SSQ machine (the optimization
 // with the highest re-execution rates).
 func RunFig8(benches []string, insts uint64, par int) (*Fig8Result, error) {
+	return RunFig8With(engine.New(par), benches, insts)
+}
+
+// RunFig8With is RunFig8 on a caller-supplied (possibly shared) engine.
+func RunFig8With(eng *engine.Engine, benches []string, insts uint64) (*Fig8Result, error) {
 	vars := Fig8Variants()
 	out := &Fig8Result{Benches: benches, Variants: vars}
 	out.Rex = make([][]float64, len(vars))
 	out.IPC = make([][]float64, len(vars))
-	for i := range out.Rex {
-		out.Rex[i] = make([]float64, len(benches))
-		out.IPC[i] = make([]float64, len(benches))
-	}
-	type job struct{ vi, bi int }
-	var jobs []job
+	var jobs []engine.Job
 	for vi := range vars {
+		out.Rex[vi] = make([]float64, len(benches))
+		out.IPC[vi] = make([]float64, len(benches))
 		for bi := range benches {
-			jobs = append(jobs, job{vi, bi})
+			cfg := SSQ(SVWUpd)
+			cfg.SVW.SSBF = vars[vi].Cfg
+			cfg.Name = "ssq+svw/" + vars[vi].Label
+			jobs = append(jobs, engine.Job{
+				Study: "fig8-ssbf", Label: vars[vi].Label, Config: cfg,
+				Bench: benches[bi], Insts: insts,
+			})
 		}
 	}
-	return out, runJobs(jobs, insts, par, func(j job) (Result, error) {
-		cfg := SSQ(SVWUpd)
-		cfg.SVW.SSBF = vars[j.vi].Cfg
-		cfg.Name = "ssq+svw/" + vars[j.vi].Label
-		return Run(cfg, benches[j.bi], insts)
-	}, func(j job, r Result) {
-		out.Rex[j.vi][j.bi] = r.Stats.RexRate()
-		out.IPC[j.vi][j.bi] = r.Stats.IPC()
-	})
+	rs, err := eng.Run(jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, r := range rs {
+		vi, bi := k/len(benches), k%len(benches)
+		out.Rex[vi][bi] = r.Result.Stats.RexRate()
+		out.IPC[vi][bi] = r.Result.Stats.IPC()
+	}
+	return out, nil
 }
 
 // --- §3.6 sensitivity studies --------------------------------------------
@@ -228,29 +245,38 @@ type SSNWidthResult struct {
 
 // RunSSNWidth sweeps hardware SSN widths on the SSQ machine.
 func RunSSNWidth(benches []string, bits []int, insts uint64, par int) (*SSNWidthResult, error) {
+	return RunSSNWidthWith(engine.New(par), benches, bits, insts)
+}
+
+// RunSSNWidthWith is RunSSNWidth on a caller-supplied engine.
+func RunSSNWidthWith(eng *engine.Engine, benches []string, bits []int, insts uint64) (*SSNWidthResult, error) {
 	out := &SSNWidthResult{Benches: benches, Bits: bits}
 	out.IPC = make([][]float64, len(bits))
 	out.Drains = make([][]uint64, len(bits))
-	for i := range bits {
-		out.IPC[i] = make([]float64, len(benches))
-		out.Drains[i] = make([]uint64, len(benches))
-	}
-	type job struct{ wi, bi int }
-	var jobs []job
+	var jobs []engine.Job
 	for wi := range bits {
+		out.IPC[wi] = make([]float64, len(benches))
+		out.Drains[wi] = make([]uint64, len(benches))
 		for bi := range benches {
-			jobs = append(jobs, job{wi, bi})
+			cfg := SSQ(SVWUpd)
+			cfg.SVW.SSNBits = bits[wi]
+			cfg.Name = fmt.Sprintf("ssq+svw/ssn%d", bits[wi])
+			jobs = append(jobs, engine.Job{
+				Study: "ssn-width", Label: cfg.Name, Config: cfg,
+				Bench: benches[bi], Insts: insts,
+			})
 		}
 	}
-	return out, runJobs(jobs, insts, par, func(j job) (Result, error) {
-		cfg := SSQ(SVWUpd)
-		cfg.SVW.SSNBits = bits[j.wi]
-		cfg.Name = fmt.Sprintf("ssq+svw/ssn%d", bits[j.wi])
-		return Run(cfg, benches[j.bi], insts)
-	}, func(j job, r Result) {
-		out.IPC[j.wi][j.bi] = r.Stats.IPC()
-		out.Drains[j.wi][j.bi] = r.Stats.WrapDrains
-	})
+	rs, err := eng.Run(jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, r := range rs {
+		wi, bi := k/len(benches), k%len(benches)
+		out.IPC[wi][bi] = r.Result.Stats.IPC()
+		out.Drains[wi][bi] = r.Result.Stats.WrapDrains
+	}
+	return out, nil
 }
 
 // SSBFUpdateResult compares speculative vs atomic SSBF update policies.
@@ -263,6 +289,11 @@ type SSBFUpdateResult struct {
 // RunSSBFUpdatePolicy measures §3.6's speculative-update trade-off on the
 // SSQ machine.
 func RunSSBFUpdatePolicy(benches []string, insts uint64, par int) (*SSBFUpdateResult, error) {
+	return RunSSBFUpdatePolicyWith(engine.New(par), benches, insts)
+}
+
+// RunSSBFUpdatePolicyWith is RunSSBFUpdatePolicy on a caller-supplied engine.
+func RunSSBFUpdatePolicyWith(eng *engine.Engine, benches []string, insts uint64) (*SSBFUpdateResult, error) {
 	out := &SSBFUpdateResult{
 		Benches:   benches,
 		RexSpec:   make([]float64, len(benches)),
@@ -270,30 +301,37 @@ func RunSSBFUpdatePolicy(benches []string, insts uint64, par int) (*SSBFUpdateRe
 		IPCSpec:   make([]float64, len(benches)),
 		IPCAtomic: make([]float64, len(benches)),
 	}
-	type job struct {
-		bi   int
-		spec bool
-	}
-	var jobs []job
+	var jobs []engine.Job
 	for bi := range benches {
-		jobs = append(jobs, job{bi, true}, job{bi, false})
+		for _, spec := range []bool{true, false} {
+			cfg := SSQ(SVWUpd)
+			cfg.SVW.SpeculativeSSBF = spec
+			label := "spec"
+			if !spec {
+				cfg.Name = "ssq+svw/atomic"
+				label = "atomic"
+			}
+			jobs = append(jobs, engine.Job{
+				Study: "ssbf-update", Label: label, Config: cfg,
+				Bench: benches[bi], Insts: insts,
+			})
+		}
 	}
-	return out, runJobs(jobs, insts, par, func(j job) (Result, error) {
-		cfg := SSQ(SVWUpd)
-		cfg.SVW.SpeculativeSSBF = j.spec
-		if !j.spec {
-			cfg.Name = "ssq+svw/atomic"
-		}
-		return Run(cfg, benches[j.bi], insts)
-	}, func(j job, r Result) {
-		if j.spec {
-			out.RexSpec[j.bi] = r.Stats.RexRate()
-			out.IPCSpec[j.bi] = r.Stats.IPC()
+	rs, err := eng.Run(jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for k, r := range rs {
+		bi, spec := k/2, k%2 == 0
+		if spec {
+			out.RexSpec[bi] = r.Result.Stats.RexRate()
+			out.IPCSpec[bi] = r.Result.Stats.IPC()
 		} else {
-			out.RexAtomic[j.bi] = r.Stats.RexRate()
-			out.IPCAtomic[j.bi] = r.Stats.IPC()
+			out.RexAtomic[bi] = r.Result.Stats.RexRate()
+			out.IPCAtomic[bi] = r.Result.Stats.IPC()
 		}
-	})
+	}
+	return out, nil
 }
 
 // AllBenches returns every benchmark name.

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -54,6 +56,141 @@ func (r *LadderResult) Print(w io.Writer) {
 		fmt.Fprintf(w, " %s=%.2f", abbrev(r.Benches[bi]), r.Base[bi].IPC())
 	}
 	fmt.Fprintln(w)
+}
+
+// LadderJSON is the machine-readable form of a LadderResult: the two panels
+// the figure plots (per-benchmark re-execution rates and baseline-relative
+// speedups, both in percent), indexed [config][bench].
+type LadderJSON struct {
+	Name        string      `json:"name"`
+	Baseline    string      `json:"baseline"`
+	Benches     []string    `json:"benches"`
+	Labels      []string    `json:"labels"`
+	BaselineIPC []float64   `json:"baseline_ipc"`
+	RexPct      [][]float64 `json:"rex_pct"`
+	SpeedupPct  [][]float64 `json:"speedup_pct"`
+}
+
+// JSON returns the ladder's machine-readable summary.
+func (r *LadderResult) JSON() LadderJSON {
+	j := LadderJSON{
+		Name:     r.Ladder.Name,
+		Baseline: r.Ladder.Baseline.Name,
+		Benches:  r.Benches,
+		Labels:   r.Ladder.Labels,
+	}
+	for bi := range r.Benches {
+		j.BaselineIPC = append(j.BaselineIPC, round3(r.Base[bi].IPC()))
+	}
+	for ci := range r.Ladder.Labels {
+		var rex, spd []float64
+		for bi := range r.Benches {
+			rex = append(rex, round3(100*r.RexRate(ci, bi)))
+			spd = append(spd, round3(r.Speedup(ci, bi)))
+		}
+		j.RexPct = append(j.RexPct, rex)
+		j.SpeedupPct = append(j.SpeedupPct, spd)
+	}
+	return j
+}
+
+// round3 keeps JSON output stable and readable (3 decimal places carries
+// every figure's precision; the tables print 1).
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+// WriteJSON writes the ladder's indented JSON summary followed by a newline.
+func (r *LadderResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.JSON())
+}
+
+// BreakdownJSON is the machine-readable form of PrintBreakdown: the shaded
+// split of one configuration's re-execution rate, per benchmark.
+type BreakdownJSON struct {
+	Config    string    `json:"config"`
+	Top       string    `json:"top"`
+	Bottom    string    `json:"bottom"`
+	TopPct    []float64 `json:"top_pct"`
+	BottomPct []float64 `json:"bottom_pct"`
+}
+
+// Breakdown builds the JSON form of the stacked-bar split PrintBreakdown
+// renders for config ci.
+func (r *LadderResult) Breakdown(ci int, top, bottom string,
+	topRate, bottomRate func(*Result) float64) BreakdownJSON {
+	b := BreakdownJSON{Config: r.Ladder.Labels[ci], Top: top, Bottom: bottom}
+	for bi := range r.Benches {
+		b.TopPct = append(b.TopPct, round3(100*topRate(&r.Runs[ci][bi])))
+		b.BottomPct = append(b.BottomPct, round3(100*bottomRate(&r.Runs[ci][bi])))
+	}
+	return b
+}
+
+// Fig8JSON is the machine-readable form of a Fig8Result.
+type Fig8JSON struct {
+	Benches  []string    `json:"benches"`
+	Variants []string    `json:"variants"`
+	RexPct   [][]float64 `json:"rex_pct"`
+	IPC      [][]float64 `json:"ipc"`
+}
+
+// JSON returns the Fig. 8 sweep's machine-readable summary.
+func (r *Fig8Result) JSON() Fig8JSON {
+	j := Fig8JSON{Benches: r.Benches}
+	for vi, v := range r.Variants {
+		j.Variants = append(j.Variants, v.Label)
+		var rex, ipc []float64
+		for bi := range r.Benches {
+			rex = append(rex, round3(100*r.Rex[vi][bi]))
+			ipc = append(ipc, round3(r.IPC[vi][bi]))
+		}
+		j.RexPct = append(j.RexPct, rex)
+		j.IPC = append(j.IPC, ipc)
+	}
+	return j
+}
+
+// SSNWidthJSON is the machine-readable form of an SSNWidthResult.
+type SSNWidthJSON struct {
+	Benches []string    `json:"benches"`
+	Bits    []int       `json:"bits"`
+	IPC     [][]float64 `json:"ipc"`
+	Drains  [][]uint64  `json:"wrap_drains"`
+}
+
+// JSON returns the SSN width study's machine-readable summary.
+func (r *SSNWidthResult) JSON() SSNWidthJSON {
+	j := SSNWidthJSON{Benches: r.Benches, Bits: r.Bits, Drains: r.Drains}
+	for wi := range r.Bits {
+		var ipc []float64
+		for bi := range r.Benches {
+			ipc = append(ipc, round3(r.IPC[wi][bi]))
+		}
+		j.IPC = append(j.IPC, ipc)
+	}
+	return j
+}
+
+// SSBFUpdateJSON is the machine-readable form of an SSBFUpdateResult.
+type SSBFUpdateJSON struct {
+	Benches      []string  `json:"benches"`
+	RexSpecPct   []float64 `json:"rex_spec_pct"`
+	RexAtomicPct []float64 `json:"rex_atomic_pct"`
+	IPCSpec      []float64 `json:"ipc_spec"`
+	IPCAtomic    []float64 `json:"ipc_atomic"`
+}
+
+// JSON returns the update-policy study's machine-readable summary.
+func (r *SSBFUpdateResult) JSON() SSBFUpdateJSON {
+	j := SSBFUpdateJSON{Benches: r.Benches}
+	for bi := range r.Benches {
+		j.RexSpecPct = append(j.RexSpecPct, round3(100*r.RexSpec[bi]))
+		j.RexAtomicPct = append(j.RexAtomicPct, round3(100*r.RexAtomic[bi]))
+		j.IPCSpec = append(j.IPCSpec, round3(r.IPCSpec[bi]))
+		j.IPCAtomic = append(j.IPCAtomic, round3(r.IPCAtomic[bi]))
+	}
+	return j
 }
 
 // PrintBreakdown renders the stacked-bar split the figure shades: for Fig. 6

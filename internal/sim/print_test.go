@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"svwsim/internal/pipeline"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenLadderResult builds a fully synthetic two-bench, two-rung ladder
+// result. No simulation runs, so the rendered output is a pure function of
+// these numbers — any formatting drift in print.go shows up as a diff.
+func goldenLadderResult() *LadderResult {
+	mk := func(cfg string, committed, cycles, loads, rex uint64) Result {
+		var s pipeline.Stats
+		s.Committed = committed
+		s.Cycles = cycles
+		s.CommittedLoads = loads
+		s.RexLoads = rex
+		return Result{Config: cfg, Stats: s}
+	}
+	l := Ladder{
+		Name:     "golden",
+		Baseline: pipeline.Config{Name: "base-golden"},
+		Configs:  []pipeline.Config{{Name: "opt"}, {Name: "opt+svw"}},
+		Labels:   []string{"OPT", "+SVW"},
+	}
+	return &LadderResult{
+		Ladder:  l,
+		Benches: []string{"gcc", "longbenchname"},
+		Base: []Result{
+			mk("base-golden", 100_000, 50_000, 25_000, 0),
+			mk("base-golden", 100_000, 80_000, 30_000, 0),
+		},
+		Runs: [][]Result{
+			{
+				mk("opt", 100_000, 48_000, 25_000, 24_000),
+				mk("opt", 100_000, 76_000, 30_000, 27_500),
+			},
+			{
+				mk("opt+svw", 100_000, 44_000, 25_000, 1_250),
+				mk("opt+svw", 100_000, 70_000, 30_000, 2_100),
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run 'go test ./internal/sim -run Golden -update' to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenLadderTable pins the human-readable report format.
+func TestGoldenLadderTable(t *testing.T) {
+	var b strings.Builder
+	goldenLadderResult().Print(&b)
+	checkGolden(t, "ladder_table.golden", b.String())
+}
+
+// TestGoldenLadderJSON pins the machine-readable report format.
+func TestGoldenLadderJSON(t *testing.T) {
+	var b strings.Builder
+	if err := goldenLadderResult().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ladder_json.golden", b.String())
+}

@@ -6,11 +6,9 @@
 package sim
 
 import (
-	"fmt"
-
 	"svwsim/internal/core"
 	"svwsim/internal/pipeline"
-	"svwsim/internal/workload"
+	"svwsim/internal/sim/engine"
 )
 
 // SVWMode selects the filter variant of a figure's config family.
@@ -163,31 +161,14 @@ func RLE(m RLEMode) pipeline.Config {
 	return c
 }
 
-// Result is one (benchmark, config) run.
-type Result struct {
-	Bench  string
-	Config string
-	Stats  pipeline.Stats
-}
-
-// IPC is shorthand for the run's instructions per cycle.
-func (r *Result) IPC() float64 { return r.Stats.IPC() }
+// Result is one (benchmark, config) run; it is the engine's result type.
+type Result = engine.Result
 
 // Run executes the named benchmark on cfg for maxInsts committed
-// instructions (0 keeps the config's own limit).
+// instructions (0 keeps the config's own limit). It runs the job directly,
+// without memoization; sweeps should go through an engine (RunLadders).
 func Run(cfg pipeline.Config, bench string, maxInsts uint64) (Result, error) {
-	p := workload.BuildByName(bench)
-	if maxInsts > 0 {
-		cfg.MaxInsts = maxInsts
-		if cfg.WarmupInsts >= maxInsts/2 {
-			cfg.WarmupInsts = maxInsts / 5
-		}
-	}
-	c := pipeline.New(cfg, p)
-	if err := c.Run(); err != nil {
-		return Result{}, fmt.Errorf("%s on %s: %w", bench, cfg.Name, err)
-	}
-	return Result{Bench: bench, Config: cfg.Name, Stats: *c.Stats()}, nil
+	return engine.Run(cfg, bench, maxInsts)
 }
 
 // Speedup returns the percent IPC improvement of opt over base.

@@ -18,6 +18,25 @@
 //	fmt.Printf("IPC %.2f, re-executed %.1f%% of loads\n",
 //		res.IPC, 100*res.RexRate)
 //
+// # The experiment engine
+//
+// Sweeps — ladders of configurations over benchmark sets — run on the
+// sharded, work-stealing engine in internal/sim/engine. Its contract, which
+// both CLIs expose through the -j, -timeout and -json flags:
+//
+//   - Parallelism: the job list is sharded round-robin over -j workers
+//     (0 = GOMAXPROCS); idle workers steal from the fullest shard, so slow
+//     configurations cannot strand queued work.
+//   - Memoization: jobs are keyed by (configuration, benchmark, instruction
+//     budget) with display names ignored; semantically identical jobs —
+//     ladder baselines repeated across studies, the summary study's
+//     re-sweep of Figs. 5–7 under svwexp -all — execute exactly once per
+//     engine and are served from its memo thereafter.
+//   - Determinism: results are delivered in job order and progress fires in
+//     job-index order, never completion order, so -j 1 and -j N produce
+//     byte-identical tables and JSON. The determinism and race tests in
+//     internal/sim enforce this.
+//
 // The cmd/svwexp tool regenerates every figure of the paper's evaluation;
 // see EXPERIMENTS.md for the measured results.
 package svwsim
