@@ -1,10 +1,54 @@
 #!/bin/sh
 # ci.sh — the repository's test gate. Mirrors what a hosted CI job runs:
-# static checks, a full build, the race-enabled test suite, and a one-shot
-# engine benchmark so sweep scaling regressions surface early.
+# static checks, a full build, the race-enabled test suite, a one-shot
+# engine benchmark so sweep scaling regressions surface early, and an svwd
+# smoke stage that boots the daemon and byte-compares its responses against
+# the svwsim CLI.
 set -eux
+
+# Formatting gate: gofmt must have nothing to rewrite.
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needs to run on:" "$fmt" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
 go test -race ./...
 go test -bench=Engine -benchtime=1x -run='^$' ./internal/sim/engine
+
+# svwd smoke: boot the daemon on a random port, drive one /v1/run and one
+# /v1/sweep through svwload -smoke, and require the responses to be
+# byte-identical to the equivalent svwsim -json invocations.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp" ./cmd/svwd ./cmd/svwload ./cmd/svwsim
+
+"$tmp/svwd" -addr 127.0.0.1:0 -j 4 -grace 0 >"$tmp/svwd.out" 2>"$tmp/svwd.err" &
+svwd_pid=$!
+trap 'kill "$svwd_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+i=0
+while ! grep -q 'listening on' "$tmp/svwd.out"; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "svwd did not come up" >&2
+        cat "$tmp/svwd.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(sed -n 's/^svwd: listening on //p' "$tmp/svwd.out")
+
+smoke_insts=20000
+"$tmp/svwload" -smoke -url "http://$addr" \
+    -configs ssq+svw -benches gcc,twolf -insts "$smoke_insts" >"$tmp/got.json"
+"$tmp/svwsim" -json -config ssq+svw -bench gcc -insts "$smoke_insts" >"$tmp/want.json"
+"$tmp/svwsim" -json -config ssq+svw -bench gcc,twolf -insts "$smoke_insts" >>"$tmp/want.json"
+cmp "$tmp/got.json" "$tmp/want.json"
+
+# Graceful drain: SIGTERM must stop the daemon cleanly.
+kill -TERM "$svwd_pid"
+wait "$svwd_pid"
+trap 'rm -rf "$tmp"' EXIT

@@ -1,0 +1,102 @@
+// Command svwd serves the experiment engine over JSON/HTTP: the daemon
+// behind which svwload, dashboards and remote assessment tooling queue
+// simulation work instead of shelling out to one-shot CLIs. See
+// internal/server for the API surface and production semantics (shared
+// engine, bounded LRU result cache, 429 admission control, SSE sweep
+// streaming, per-request cancellation).
+//
+// Usage:
+//
+//	svwd -addr 127.0.0.1:7411 -j 4
+//	svwd -addr 127.0.0.1:0            # pick a free port; printed on stdout
+//
+// The daemon prints "svwd: listening on HOST:PORT" to stdout once the
+// socket is open (scripts parse this to find a randomly chosen port) and
+// drains gracefully on SIGTERM/SIGINT: the health endpoint flips to 503,
+// in-flight requests get up to -drain to finish, then connections are
+// closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"svwsim/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "listen address (port 0 = pick a free port)")
+	workers := flag.Int("j", 0, "engine workers (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("max-jobs", server.DefaultMaxConcurrentJobs,
+		"max concurrently admitted engine jobs before 429 (-1 = unlimited)")
+	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "LRU result cache entries")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
+	maxSweep := flag.Int("max-sweep", server.DefaultMaxSweepJobs, "max jobs in one sweep matrix")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none)")
+	memoCap := flag.Int("memo-cap", 65536, "engine memo table entries (0 = unbounded)")
+	grace := flag.Duration("grace", time.Second,
+		"delay between advertising 503 on healthz and closing the listener")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+	flag.Parse()
+
+	s := server.New(server.Options{
+		Workers:           *workers,
+		MaxConcurrentJobs: *maxJobs,
+		CacheEntries:      *cacheEntries,
+		MaxBodyBytes:      *maxBody,
+		MaxSweepJobs:      *maxSweep,
+		JobTimeout:        *timeout,
+		EngineMemoCap:     *memoCap,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svwd: %v\n", err)
+		os.Exit(1)
+	}
+	// Stdout, unbuffered: scripts (ci.sh's smoke stage) parse the bound
+	// address to reach a daemon started on port 0.
+	fmt.Printf("svwd: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "svwd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: advertise 503 on healthz and keep the listener open
+	// for the grace period so load balancers actually observe it, then stop
+	// accepting and give in-flight requests the drain window.
+	fmt.Fprintln(os.Stderr, "svwd: draining")
+	s.SetDraining(true)
+	time.Sleep(*grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "svwd: shutdown: %v\n", err)
+		}
+		srv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "svwd: stopped")
+}

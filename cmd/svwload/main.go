@@ -1,0 +1,258 @@
+// Command svwload drives a running svwd daemon: the repository's first
+// service-level benchmark. It fires N concurrent clients at /v1/sweep with
+// a repeated config × bench matrix and reports throughput, latency
+// percentiles, admission rejections, and the daemon's cache hit rate over
+// the run (from /v1/stats deltas) — the workload the ISCA evaluation
+// matrix generates when it is served remotely instead of run locally.
+//
+// Usage:
+//
+//	svwload -url http://127.0.0.1:7411 -c 8 -n 20 \
+//	        -configs ssq,ssq+svw -benches gcc,twolf -insts 30000
+//
+// With -smoke it instead performs one healthz probe, one /v1/run (first
+// config × first bench) and one /v1/sweep (the full matrix), printing the
+// two response bodies verbatim to stdout; ci.sh byte-compares that output
+// against the equivalent `svwsim -json` invocations.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:7411", "svwd base URL")
+	clients := flag.Int("c", 8, "concurrent clients")
+	iters := flag.Int("n", 20, "sweep requests per client")
+	configs := flag.String("configs", "ssq,ssq+svw", "sweep configs, comma-separated")
+	benches := flag.String("benches", "gcc,twolf", "sweep benches, comma-separated")
+	insts := flag.Uint64("insts", 30_000, "committed instructions per job")
+	smoke := flag.Bool("smoke", false, "one /v1/run + one /v1/sweep, bodies to stdout")
+	flag.Parse()
+
+	l := &loader{
+		base:    strings.TrimRight(*url, "/"),
+		client:  &http.Client{Timeout: 5 * time.Minute},
+		configs: strings.Split(*configs, ","),
+		benches: strings.Split(*benches, ","),
+		insts:   *insts,
+	}
+	if *smoke {
+		if err := l.runSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "svwload: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := l.runLoad(*clients, *iters); err != nil {
+		fmt.Fprintf(os.Stderr, "svwload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type loader struct {
+	base    string
+	client  *http.Client
+	configs []string
+	benches []string
+	insts   uint64
+}
+
+// post sends a JSON body and returns the response body, reporting non-2xx
+// statuses as errors (except 429, which the caller handles).
+func (l *loader) post(path string, req any) (status int, body []byte, err error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := l.client.Post(l.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+func (l *loader) get(path string, v any) error {
+	resp, err := l.client.Get(l.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+type sweepReq struct {
+	Configs []string `json:"configs"`
+	Benches []string `json:"benches"`
+	Insts   uint64   `json:"insts"`
+}
+
+type runReq struct {
+	Config string `json:"config"`
+	Bench  string `json:"bench"`
+	Insts  uint64 `json:"insts"`
+}
+
+// --- smoke ---------------------------------------------------------------
+
+// runSmoke performs the CI handshake: healthz, one run, one sweep; the two
+// POST bodies go to stdout verbatim for byte comparison with `svwsim -json`.
+func (l *loader) runSmoke() error {
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := l.get("/v1/healthz", &health); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if health.Status != "ok" {
+		return fmt.Errorf("healthz: status %q", health.Status)
+	}
+	status, body, err := l.post("/v1/run",
+		runReq{Config: l.configs[0], Bench: l.benches[0], Insts: l.insts})
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("run: HTTP %d: %s", status, body)
+	}
+	os.Stdout.Write(body)
+
+	status, body, err = l.post("/v1/sweep",
+		sweepReq{Configs: l.configs, Benches: l.benches, Insts: l.insts})
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("sweep: HTTP %d: %s", status, body)
+	}
+	os.Stdout.Write(body)
+	return nil
+}
+
+// --- load ----------------------------------------------------------------
+
+type statsSnapshot struct {
+	Cache struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+	} `json:"cache"`
+	Engine struct {
+		MemoHits   uint64 `json:"memo_hits"`
+		MemoMisses uint64 `json:"memo_misses"`
+	} `json:"engine"`
+	Admission struct {
+		Rejected uint64 `json:"rejected"`
+	} `json:"admission"`
+}
+
+// runLoad fires clients × iters sweep requests and prints the service-level
+// report.
+func (l *loader) runLoad(clients, iters int) error {
+	var before statsSnapshot
+	if err := l.get("/v1/stats", &before); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+
+	req := sweepReq{Configs: l.configs, Benches: l.benches, Insts: l.insts}
+	jobsPerSweep := len(l.configs) * len(l.benches)
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rejected  int
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for {
+					t0 := time.Now()
+					status, body, err := l.post("/v1/sweep", req)
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+					if status == http.StatusTooManyRequests {
+						mu.Lock()
+						rejected++
+						mu.Unlock()
+						time.Sleep(5 * time.Millisecond)
+						continue // retry; the iteration isn't counted yet
+					}
+					if status != http.StatusOK {
+						errOnce.Do(func() {
+							firstErr = fmt.Errorf("sweep: HTTP %d: %s", status, body)
+						})
+						return
+					}
+					mu.Lock()
+					latencies = append(latencies, time.Since(t0))
+					mu.Unlock()
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	var after statsSnapshot
+	if err := l.get("/v1/stats", &after); err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	n := len(latencies)
+	hits := after.Cache.Hits - before.Cache.Hits
+	misses := after.Cache.Misses - before.Cache.Misses
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses) * 100
+	}
+
+	fmt.Printf("svwload: %d clients x %d sweeps (%d jobs each), insts=%d\n",
+		clients, iters, jobsPerSweep, l.insts)
+	fmt.Printf("  requests      %d ok, %d rejected (429) in %v\n", n, rejected, elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput    %.1f sweeps/s, %.1f jobs/s\n",
+		float64(n)/elapsed.Seconds(), float64(n*jobsPerSweep)/elapsed.Seconds())
+	fmt.Printf("  latency       p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	fmt.Printf("  server cache  %d hits / %d misses (%.1f%% hit rate)\n", hits, misses, hitRate)
+	fmt.Printf("  engine memo   +%d hits / +%d misses over the run\n",
+		after.Engine.MemoHits-before.Engine.MemoHits,
+		after.Engine.MemoMisses-before.Engine.MemoMisses)
+	return nil
+}

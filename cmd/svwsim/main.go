@@ -9,9 +9,8 @@
 //	svwsim -bench vortex -config ssq+svw -insts 300000
 //	svwsim -bench gcc,twolf -config ssq,ssq+svw -j 4 -json
 //
-// Configs: base-nlq, nlq, nlq+svw-upd, nlq+svw, nlq+perfect,
-// base-ssq, ssq, ssq+svw-upd, ssq+svw, ssq+perfect,
-// base-rle, rle, rle+svw, rle+svw-squ, rle+perfect.
+// Configuration names come from the shared registry (sim.ConfigNames);
+// -list prints both the benchmarks and the configurations.
 package main
 
 import (
@@ -21,47 +20,10 @@ import (
 	"os"
 	"strings"
 
-	"svwsim/internal/pipeline"
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/workload"
 )
-
-func configByName(name string) (pipeline.Config, bool) {
-	switch strings.ToLower(name) {
-	case "base-nlq", "base":
-		return sim.BaselineNLQ(), true
-	case "nlq":
-		return sim.NLQ(sim.SVWOff), true
-	case "nlq+svw-upd":
-		return sim.NLQ(sim.SVWNoUpd), true
-	case "nlq+svw":
-		return sim.NLQ(sim.SVWUpd), true
-	case "nlq+perfect":
-		return sim.NLQ(sim.Perfect), true
-	case "base-ssq":
-		return sim.BaselineSSQ(), true
-	case "ssq":
-		return sim.SSQ(sim.SVWOff), true
-	case "ssq+svw-upd":
-		return sim.SSQ(sim.SVWNoUpd), true
-	case "ssq+svw":
-		return sim.SSQ(sim.SVWUpd), true
-	case "ssq+perfect":
-		return sim.SSQ(sim.Perfect), true
-	case "base-rle":
-		return sim.BaselineRLE(), true
-	case "rle":
-		return sim.RLE(sim.RLERaw), true
-	case "rle+svw":
-		return sim.RLE(sim.RLESVW), true
-	case "rle+svw-squ":
-		return sim.RLE(sim.RLESVWNoSQ), true
-	case "rle+perfect":
-		return sim.RLE(sim.RLEPerfect), true
-	}
-	return pipeline.Config{}, false
-}
 
 func main() {
 	bench := flag.String("bench", "gcc", "benchmark kernel(s), comma-separated (see -list)")
@@ -70,18 +32,23 @@ func main() {
 	workers := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock limit (0 = none)")
 	jsonOut := flag.Bool("json", false, "machine-readable output")
-	list := flag.Bool("list", false, "list benchmarks and exit")
+	list := flag.Bool("list", false, "list benchmarks and configurations, then exit")
 	flag.Parse()
 
 	if *list {
+		fmt.Println("benchmarks:")
 		for _, n := range workload.Names() {
-			fmt.Println(n)
+			fmt.Println("  " + n)
+		}
+		fmt.Println("configs:")
+		for _, n := range sim.ConfigNames() {
+			fmt.Println("  " + n)
 		}
 		return
 	}
 	var jobs []engine.Job
 	for _, cname := range strings.Split(*config, ",") {
-		cfg, ok := configByName(cname)
+		cfg, ok := sim.ConfigByName(cname)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "svwsim: unknown config %q\n", cname)
 			os.Exit(2)

@@ -20,30 +20,6 @@ import (
 	"svwsim/internal/workload"
 )
 
-func configByName(name string) (pipeline.Config, bool) {
-	switch strings.ToLower(name) {
-	case "base-nlq", "base":
-		return sim.BaselineNLQ(), true
-	case "nlq":
-		return sim.NLQ(sim.SVWOff), true
-	case "nlq+svw":
-		return sim.NLQ(sim.SVWUpd), true
-	case "base-ssq":
-		return sim.BaselineSSQ(), true
-	case "ssq":
-		return sim.SSQ(sim.SVWOff), true
-	case "ssq+svw":
-		return sim.SSQ(sim.SVWUpd), true
-	case "base-rle":
-		return sim.BaselineRLE(), true
-	case "rle":
-		return sim.RLE(sim.RLERaw), true
-	case "rle+svw":
-		return sim.RLE(sim.RLESVW), true
-	}
-	return pipeline.Config{}, false
-}
-
 func main() {
 	bench := flag.String("bench", "gcc", "benchmark kernel")
 	config := flag.String("config", "ssq+svw", "machine configuration")
@@ -51,7 +27,7 @@ func main() {
 	n := flag.Uint64("n", 40, "instructions to trace")
 	flag.Parse()
 
-	cfg, ok := configByName(*config)
+	cfg, ok := sim.ConfigByName(*config)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "svwtrace: unknown config %q\n", *config)
 		os.Exit(2)

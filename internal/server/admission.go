@@ -1,0 +1,65 @@
+package server
+
+import "sync"
+
+// gate is the daemon's admission controller: a counting semaphore over
+// engine jobs. Every request that needs engine work tries to acquire one
+// unit per uncached job; when the gate is full the request is refused with
+// HTTP 429 instead of queueing unboundedly behind the worker pool.
+// Cache-served requests never touch the gate, so a saturated daemon still
+// answers repeated (cached) traffic.
+type gate struct {
+	mu       sync.Mutex
+	cap      int // <= 0: unlimited
+	inUse    int
+	rejected uint64
+}
+
+// GateStats is the /v1/stats view of the admission gate.
+type GateStats struct {
+	// Capacity is the configured max concurrent jobs (0 = unlimited).
+	Capacity int    `json:"capacity"`
+	InUse    int    `json:"in_use"`
+	Rejected uint64 `json:"rejected"`
+}
+
+func newGate(capacity int) *gate { return &gate{cap: capacity} }
+
+// tryAcquire reserves n units and returns a release closure, or reports
+// saturation. A request wider than the whole gate (a huge sweep) is not
+// unadmittable: it is admitted alone, on an idle gate only, and its full
+// weight is recorded — in_use then honestly exceeds capacity until it
+// releases, and nothing else is admitted alongside it.
+func (g *gate) tryAcquire(n int) (release func(), ok bool) {
+	if n < 1 {
+		n = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cap > 0 {
+		saturated := g.inUse+n > g.cap
+		if n > g.cap {
+			saturated = g.inUse > 0
+		}
+		if saturated {
+			g.rejected++
+			return nil, false
+		}
+	}
+	g.inUse += n
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.inUse -= n
+			g.mu.Unlock()
+		})
+	}, true
+}
+
+// stats snapshots the counters.
+func (g *gate) stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GateStats{Capacity: g.cap, InUse: g.inUse, Rejected: g.rejected}
+}

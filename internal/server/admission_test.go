@@ -1,0 +1,83 @@
+package server
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGateSaturationAndRelease(t *testing.T) {
+	g := newGate(3)
+	rel1, ok := g.tryAcquire(2)
+	if !ok {
+		t.Fatal("acquire 2/3 refused")
+	}
+	if _, ok := g.tryAcquire(2); ok {
+		t.Fatal("acquire 2 more on a 3-gate with 2 in use succeeded")
+	}
+	if st := g.stats(); st.Rejected != 1 || st.InUse != 2 {
+		t.Fatalf("stats %+v, want 1 rejection / 2 in use", st)
+	}
+	rel1()
+	rel1() // double release is a no-op
+	if st := g.stats(); st.InUse != 0 {
+		t.Fatalf("in use %d after release, want 0", st.InUse)
+	}
+	if _, ok := g.tryAcquire(3); !ok {
+		t.Fatal("full-width acquire refused on an idle gate")
+	}
+}
+
+// A request wider than the whole gate is admitted alone, on an idle gate
+// only, with its full weight recorded.
+func TestGateOversizedRequest(t *testing.T) {
+	g := newGate(2)
+	rel, ok := g.tryAcquire(100)
+	if !ok {
+		t.Fatal("oversized acquire refused on an idle gate")
+	}
+	if st := g.stats(); st.InUse != 100 {
+		t.Fatalf("in use %d, want the full weight 100", st.InUse)
+	}
+	if _, ok := g.tryAcquire(1); ok {
+		t.Fatal("acquire succeeded alongside an oversized request")
+	}
+	rel()
+	if st := g.stats(); st.InUse != 0 {
+		t.Fatalf("in use %d after release, want 0", st.InUse)
+	}
+	// Not idle: even the oversized request is refused.
+	relSmall, _ := g.tryAcquire(1)
+	if _, ok := g.tryAcquire(100); ok {
+		t.Fatal("oversized acquire admitted onto a busy gate")
+	}
+	relSmall()
+}
+
+func TestGateUnlimited(t *testing.T) {
+	g := newGate(0)
+	for i := 0; i < 100; i++ {
+		if _, ok := g.tryAcquire(1000); !ok {
+			t.Fatal("unlimited gate refused")
+		}
+	}
+}
+
+func TestGateConcurrent(t *testing.T) {
+	g := newGate(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if rel, ok := g.tryAcquire(1); ok {
+					rel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := g.stats(); st.InUse != 0 {
+		t.Fatalf("in use %d after all releases, want 0", st.InUse)
+	}
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a bounded, thread-safe LRU cache from string keys to serialized
+// response bytes. /v1/run and /v1/sweep key it by the engine's memo key
+// (engine.Fingerprint), study endpoints by their canonicalized parameters;
+// either way a hit is served without touching the engine or the admission
+// gate, which is what lets a saturated daemon keep answering repeated
+// requests. Hit/miss/eviction counters feed /v1/stats.
+type lru struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// CacheStats is the /v1/stats view of the result cache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// newLRU returns a cache bounded to capacity entries (minimum 1).
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached bytes for key and whether they were present,
+// refreshing recency on hit. It does not touch the hit/miss counters:
+// handlers record served work explicitly via account, so probes on
+// requests that end up rejected (429) cannot skew the rates. Callers must
+// not mutate the returned slice.
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// account records served cache work: hits responses (or sweep jobs) served
+// from the cache, misses ones that had to be computed.
+func (c *lru) account(hits, misses uint64) {
+	c.mu.Lock()
+	c.hits += hits
+	c.misses += misses
+	c.mu.Unlock()
+}
+
+// put stores val under key, refreshing an existing entry and evicting the
+// least recently used entry when over capacity.
+func (c *lru) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *lru) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+	}
+}

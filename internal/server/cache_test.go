@@ -1,0 +1,86 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUHitMissCounters(t *testing.T) {
+	c := newLRU(4)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", []byte("A"))
+	v, ok := c.get("a")
+	if !ok || !bytes.Equal(v, []byte("A")) {
+		t.Fatalf("get a = %q, %v", v, ok)
+	}
+	// get alone never counts: handlers account served work explicitly, so
+	// probes on rejected requests don't skew the rates.
+	if st := c.stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stats %+v, want counters untouched by get", st)
+	}
+	c.account(1, 2)
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 2 misses / 1 entry", st)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	c.get("a")              // refresh a: b is now the LRU entry
+	c.put("c", []byte("C")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived, want it evicted as LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction / 2 entries", st)
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []byte("A1"))
+	c.put("a", []byte("A2"))
+	v, _ := c.get("a")
+	if !bytes.Equal(v, []byte("A2")) {
+		t.Fatalf("got %q, want refreshed value", v)
+	}
+	if st := c.stats(); st.Entries != 1 {
+		t.Fatalf("duplicate put grew the cache: %+v", st)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				c.put(key, []byte(key))
+				if v, ok := c.get(key); ok && !bytes.Equal(v, []byte(key)) {
+					t.Errorf("key %s returned %q", key, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.stats(); st.Entries > 16 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+}

@@ -1,0 +1,502 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"svwsim/internal/sim"
+	"svwsim/internal/sim/engine"
+	"svwsim/internal/workload"
+)
+
+// --- shared helpers ------------------------------------------------------
+
+// writeJSON writes v as indented JSON with a trailing newline (the same
+// encoding `svwsim -json` and `svwexp -json` use).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, status, append(b, '\n'))
+}
+
+// writeBody writes pre-serialized JSON bytes.
+func writeBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError writes an ErrorResponse with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses the request body into v under the server's size limit.
+// It writes the error response itself and reports whether decoding
+// succeeded.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// marshalResult encodes an engine result exactly as `svwsim -json` does:
+// indented JSON plus a trailing newline. Cached bytes are stored in this
+// form so cache hits and fresh runs are byte-identical.
+func marshalResult(res engine.Result) ([]byte, error) {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// clientGone reports whether err is the request context ending — the client
+// disconnected, so there is no one to write an error to.
+func clientGone(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// rejectSaturated writes the 429 admission response.
+func rejectSaturated(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests,
+		"admission gate saturated: too many concurrent jobs, retry later")
+}
+
+// --- registry / health / stats ------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{
+		Status:  status,
+		UptimeS: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ConfigsResponse{Configs: sim.ConfigNames()})
+}
+
+func (s *Server) handleBenches(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, BenchesResponse{Benches: workload.Names()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	m := s.eng.Memo()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeS: time.Since(s.start).Seconds(),
+		Cache:   s.cache.stats(),
+		Engine: EngineStats{
+			MemoHits:    m.Hits,
+			MemoMisses:  m.Misses,
+			MemoEntries: s.eng.MemoSize(),
+		},
+		Admission: s.gate.stats(),
+	})
+}
+
+// --- /v1/run -------------------------------------------------------------
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	cfg, ok := sim.ConfigByName(req.Config)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown config %q", req.Config)
+		return
+	}
+	if _, ok := workload.Get(req.Bench); !ok {
+		writeError(w, http.StatusBadRequest, "unknown benchmark %q", req.Bench)
+		return
+	}
+
+	key := engine.Fingerprint(cfg, req.Bench, req.Insts)
+	if body, ok := s.cache.get(key); ok {
+		s.cache.account(1, 0)
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	release, ok := s.gate.tryAcquire(1)
+	if !ok {
+		rejectSaturated(w)
+		return
+	}
+	defer release()
+	// A miss is counted once admitted, not at probe time: a rejected
+	// request neither serves nor computes anything.
+	s.cache.account(0, 1)
+
+	rs, err := s.eng.RunContext(r.Context(), []engine.Job{{
+		Study: "svwd-run", Label: cfg.Name, Config: cfg,
+		Bench: req.Bench, Insts: req.Insts,
+	}}, nil)
+	if err != nil {
+		if clientGone(err) {
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "run failed: %v", err)
+		return
+	}
+	body, err := marshalResult(rs[0].Result)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
+		return
+	}
+	s.cache.put(key, body)
+	writeBody(w, http.StatusOK, body)
+}
+
+// --- /v1/sweep -----------------------------------------------------------
+
+// sweepPlan is a flattened sweep matrix with per-job cache state.
+type sweepPlan struct {
+	jobs   []engine.Job
+	keys   []string
+	cached [][]byte     // cached[i] != nil: job i was served by the LRU
+	sub    []engine.Job // the uncached jobs, in job-index order
+}
+
+// planSweep validates the request, flattens the matrix config-major (the
+// `svwsim -config a,b -bench x,y` order) and probes the cache for every
+// job. It writes the error response itself on failure.
+func (s *Server) planSweep(w http.ResponseWriter, req *SweepRequest) (*sweepPlan, bool) {
+	if len(req.Configs) == 0 || len(req.Benches) == 0 {
+		writeError(w, http.StatusBadRequest, "sweep matrix is empty: need configs and benches")
+		return nil, false
+	}
+	if n := len(req.Configs) * len(req.Benches); n > s.maxSweepJobs {
+		writeError(w, http.StatusBadRequest,
+			"sweep matrix has %d jobs, limit is %d", n, s.maxSweepJobs)
+		return nil, false
+	}
+	p := &sweepPlan{}
+	for _, cname := range req.Configs {
+		cfg, ok := sim.ConfigByName(cname)
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown config %q", cname)
+			return nil, false
+		}
+		for _, bench := range req.Benches {
+			if _, ok := workload.Get(bench); !ok {
+				writeError(w, http.StatusBadRequest, "unknown benchmark %q", bench)
+				return nil, false
+			}
+			p.jobs = append(p.jobs, engine.Job{
+				Study: "svwd-sweep", Label: cfg.Name, Config: cfg,
+				Bench: bench, Insts: req.Insts,
+			})
+			p.keys = append(p.keys, engine.Fingerprint(cfg, bench, req.Insts))
+		}
+	}
+	p.cached = make([][]byte, len(p.jobs))
+	for i, key := range p.keys {
+		if body, ok := s.cache.get(key); ok {
+			p.cached[i] = body
+		} else {
+			p.sub = append(p.sub, p.jobs[i])
+		}
+	}
+	return p, true
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	p, ok := s.planSweep(w, &req)
+	if !ok {
+		return
+	}
+	if len(p.sub) > 0 {
+		release, ok := s.gate.tryAcquire(len(p.sub))
+		if !ok {
+			rejectSaturated(w)
+			return
+		}
+		defer release()
+	}
+	// Admitted (or fully cached): now the sweep's cache outcome counts.
+	s.cache.account(uint64(len(p.jobs)-len(p.sub)), uint64(len(p.sub)))
+	if wantsSSE(r) {
+		s.streamSweep(w, r, p)
+		return
+	}
+	s.bufferSweep(w, r, p)
+}
+
+// bufferSweep runs the uncached jobs, then writes the whole sweep as a
+// sequence of indented result objects in job-index order — byte-identical
+// to the equivalent multi-job `svwsim -json` invocation.
+func (s *Server) bufferSweep(w http.ResponseWriter, r *http.Request, p *sweepPlan) {
+	rs, err := s.eng.RunContext(r.Context(), p.sub, nil)
+	if err != nil {
+		if clientGone(err) {
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "sweep failed: %v", err)
+		return
+	}
+	var body []byte
+	sub := 0
+	for i := range p.jobs {
+		if p.cached[i] != nil {
+			body = append(body, p.cached[i]...)
+			continue
+		}
+		b, err := marshalResult(rs[sub].Result)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
+			return
+		}
+		s.cache.put(p.keys[i], b)
+		body = append(body, b...)
+		sub++
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+// streamSweep emits one SSE "result" event per job in job-index order while
+// the engine is still working, then a "done" summary. Cached jobs are
+// emitted from the LRU; uncached jobs are emitted as the engine's
+// progress callback delivers them (already in sub-index order, which is
+// monotone in job-index order, so the merge needs no reordering).
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPlan) {
+	stream, err := newSSE(w)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	// The progress callback fires under the engine's ordered-emit lock, so
+	// channel sends preserve sub-index order. The buffer holds every result:
+	// sends never block, even if the client is slow or gone.
+	results := make(chan engine.JobResult, len(p.sub))
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.eng.RunContext(r.Context(), p.sub, func(jr engine.JobResult) {
+			results <- jr
+		})
+		done <- err
+	}()
+
+	summary := SweepDone{Jobs: len(p.jobs)}
+	for i := range p.jobs {
+		ev := SweepEvent{
+			Index:  i,
+			Config: p.jobs[i].Config.Name,
+			Bench:  p.jobs[i].Bench,
+		}
+		if p.cached[i] != nil {
+			ev.Cached = true
+			ev.Result = json.RawMessage(p.cached[i])
+			summary.CacheHits++
+		} else {
+			jr := <-results
+			summary.CacheMisses++
+			ev.Memoized = jr.Memoized
+			if jr.Err != nil {
+				ev.Error = jr.Err.Error()
+				summary.Errors++
+			} else if body, err := marshalResult(jr.Result); err == nil {
+				s.cache.put(p.keys[i], body)
+				ev.Result = json.RawMessage(body)
+			} else {
+				ev.Error = err.Error()
+				summary.Errors++
+			}
+		}
+		stream.event("result", i, ev)
+	}
+	<-done // engine finished; all sends drained above
+	stream.event("done", len(p.jobs), summary)
+}
+
+// --- /v1/studies/{study} -------------------------------------------------
+
+// studyParams are the query parameters shared by the study endpoints.
+type studyParams struct {
+	fig     int
+	benches []string
+	bits    []int
+	insts   uint64
+}
+
+// parseStudyParams reads and validates ?fig=&benches=&bits=&insts=. It
+// writes the error response itself on failure.
+func parseStudyParams(w http.ResponseWriter, r *http.Request, defaultBenches []string) (*studyParams, bool) {
+	q := r.URL.Query()
+	p := &studyParams{benches: defaultBenches, bits: []int{8, 10, 12, 16, 0}}
+	if v := q.Get("fig"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid fig %q", v)
+			return nil, false
+		}
+		p.fig = n
+	}
+	if v := q.Get("benches"); v != "" {
+		p.benches = strings.Split(v, ",")
+		for _, b := range p.benches {
+			if _, ok := workload.Get(b); !ok {
+				writeError(w, http.StatusBadRequest, "unknown benchmark %q", b)
+				return nil, false
+			}
+		}
+	}
+	if v := q.Get("bits"); v != "" {
+		p.bits = nil
+		for _, f := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(f)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "invalid bits value %q", f)
+				return nil, false
+			}
+			p.bits = append(p.bits, n)
+		}
+	}
+	if v := q.Get("insts"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid insts %q", v)
+			return nil, false
+		}
+		p.insts = n
+	}
+	return p, true
+}
+
+// key canonicalizes the parameters into a cache key for the given study.
+func (p *studyParams) key(study string) string {
+	return fmt.Sprintf("study|%s|fig=%d|bits=%v|benches=%s|insts=%d",
+		study, p.fig, p.bits, strings.Join(p.benches, ","), p.insts)
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	study := r.PathValue("study")
+	defaults := sim.AllBenches()
+	if study == "fig8" {
+		defaults = workload.Fig8Subset()
+	}
+	p, ok := parseStudyParams(w, r, defaults)
+	if !ok {
+		return
+	}
+
+	// Resolve the study up front so weight (engine jobs) and the result
+	// builder are known before touching cache or gate.
+	var weight int
+	var run func(ctx context.Context) (any, error)
+	switch study {
+	case "ladder":
+		var ladder sim.Ladder
+		switch p.fig {
+		case 5:
+			ladder = sim.Fig5Ladder()
+		case 6:
+			ladder = sim.Fig6Ladder()
+		case 7:
+			ladder = sim.Fig7Ladder()
+		default:
+			writeError(w, http.StatusBadRequest,
+				"ladder study needs ?fig=5|6|7 (got %d)", p.fig)
+			return
+		}
+		weight = len(p.benches) * (1 + len(ladder.Configs))
+		run = func(ctx context.Context) (any, error) {
+			res, err := sim.RunLaddersContext(ctx, s.eng, []sim.Ladder{ladder}, p.benches, p.insts)
+			if err != nil {
+				return nil, err
+			}
+			return res[0].JSON(), nil
+		}
+	case "fig8":
+		weight = len(sim.Fig8Variants()) * len(p.benches)
+		run = func(ctx context.Context) (any, error) {
+			res, err := sim.RunFig8Context(ctx, s.eng, p.benches, p.insts)
+			if err != nil {
+				return nil, err
+			}
+			return res.JSON(), nil
+		}
+	case "ssn":
+		weight = len(p.bits) * len(p.benches)
+		run = func(ctx context.Context) (any, error) {
+			res, err := sim.RunSSNWidthContext(ctx, s.eng, p.benches, p.bits, p.insts)
+			if err != nil {
+				return nil, err
+			}
+			return res.JSON(), nil
+		}
+	case "ssbf":
+		weight = 2 * len(p.benches)
+		run = func(ctx context.Context) (any, error) {
+			res, err := sim.RunSSBFUpdatePolicyContext(ctx, s.eng, p.benches, p.insts)
+			if err != nil {
+				return nil, err
+			}
+			return res.JSON(), nil
+		}
+	default:
+		writeError(w, http.StatusNotFound,
+			"unknown study %q (want ladder, fig8, ssn or ssbf)", study)
+		return
+	}
+
+	key := p.key(study)
+	if body, ok := s.cache.get(key); ok {
+		s.cache.account(1, 0)
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	release, ok := s.gate.tryAcquire(weight)
+	if !ok {
+		rejectSaturated(w)
+		return
+	}
+	defer release()
+	s.cache.account(0, 1)
+
+	v, err := run(r.Context())
+	if err != nil {
+		if clientGone(err) {
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "study failed: %v", err)
+		return
+	}
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding study: %v", err)
+		return
+	}
+	body = append(body, '\n')
+	s.cache.put(key, body)
+	writeBody(w, http.StatusOK, body)
+}

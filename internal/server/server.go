@@ -1,0 +1,140 @@
+// Package server exposes the experiment engine as a JSON-over-HTTP
+// simulation service (the svwd daemon):
+//
+//	GET  /v1/healthz             liveness (503 while draining)
+//	GET  /v1/configs             configuration registry listing
+//	GET  /v1/benches             benchmark kernel listing
+//	GET  /v1/stats               cache / engine / admission counters
+//	POST /v1/run                 one (config, bench, insts) job
+//	POST /v1/sweep               a config × bench matrix; SSE streaming
+//	GET  /v1/studies/{study}     ladder | fig8 | ssn | ssbf
+//
+// One Server owns one engine.Engine, so memoized reuse spans every request
+// the process has served. On top of the engine sit the service layers:
+//
+//   - a bounded LRU result cache keyed by the engine's memo key
+//     (engine.Fingerprint), serving repeated requests without touching the
+//     engine at all — hit/miss counters are on /v1/stats;
+//   - an admission gate bounding concurrently admitted engine jobs,
+//     refusing excess work with HTTP 429 (cache hits bypass the gate);
+//   - per-request context cancellation threaded into the engine, so a
+//     disconnected client's queued-but-unstarted jobs are skipped;
+//   - request body size limits (HTTP 413 past the cap).
+//
+// /v1/run and /v1/sweep responses use exactly the `svwsim -json` encoding,
+// so service output can be byte-compared against the CLI; study endpoints
+// return the figure JSON shapes from internal/sim/print.go. Sweep requests
+// with Accept: text/event-stream stream one SSE "result" event per job in
+// job-index order — the engine's determinism guarantee carried over the
+// wire — followed by a "done" summary event.
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"svwsim/internal/sim/engine"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultMaxConcurrentJobs = 256
+	DefaultCacheEntries      = 4096
+	DefaultMaxBodyBytes      = 1 << 20 // 1 MiB
+	DefaultMaxSweepJobs      = 4096
+)
+
+// Options configures a Server. The zero value is production-usable: engine
+// workers track GOMAXPROCS and the limits fall back to the Default*
+// constants.
+type Options struct {
+	// Workers is the engine worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// MaxConcurrentJobs caps engine jobs admitted concurrently across all
+	// requests; excess requests get HTTP 429 (0 = DefaultMaxConcurrentJobs,
+	// < 0 = unlimited).
+	MaxConcurrentJobs int
+	// CacheEntries bounds the LRU result cache (0 = DefaultCacheEntries).
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxSweepJobs bounds one sweep's flattened matrix
+	// (0 = DefaultMaxSweepJobs).
+	MaxSweepJobs int
+	// JobTimeout bounds each engine job's wall-clock time (0 = none).
+	JobTimeout time.Duration
+	// EngineMemoCap bounds the engine's memo table (0 = unbounded). The LRU
+	// cache above it is always bounded; this additionally bounds the
+	// engine-level table a long-lived daemon accumulates.
+	EngineMemoCap int
+}
+
+// Server is the svwd HTTP service: one shared engine plus the cache and
+// admission layers. Create with New; it is safe for concurrent use.
+type Server struct {
+	eng          *engine.Engine
+	cache        *lru
+	gate         *gate
+	maxBody      int64
+	maxSweepJobs int
+	start        time.Time
+	draining     atomic.Bool
+}
+
+// New builds a Server from opts (see Options for zero-value defaults).
+func New(opts Options) *Server {
+	maxJobs := opts.MaxConcurrentJobs
+	if maxJobs == 0 {
+		maxJobs = DefaultMaxConcurrentJobs
+	}
+	if maxJobs < 0 {
+		maxJobs = 0 // gate treats 0 as unlimited
+	}
+	cacheEntries := opts.CacheEntries
+	if cacheEntries <= 0 {
+		cacheEntries = DefaultCacheEntries
+	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	maxSweep := opts.MaxSweepJobs
+	if maxSweep <= 0 {
+		maxSweep = DefaultMaxSweepJobs
+	}
+	eng := engine.New(opts.Workers)
+	eng.SetTimeout(opts.JobTimeout)
+	eng.SetMemoCap(opts.EngineMemoCap)
+	return &Server{
+		eng:          eng,
+		cache:        newLRU(cacheEntries),
+		gate:         newGate(maxJobs),
+		maxBody:      maxBody,
+		maxSweepJobs: maxSweep,
+		start:        time.Now(),
+	}
+}
+
+// Engine returns the server's shared engine (for embedding svwd-style
+// serving next to direct sweeps in the same process).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// SetDraining marks the server as draining: /v1/healthz flips to 503 so
+// load balancers stop routing to the process while in-flight requests
+// finish. It does not reject other traffic — http.Server.Shutdown handles
+// connection teardown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Handler returns the service's routing handler, suitable for http.Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
+	mux.HandleFunc("GET /v1/benches", s.handleBenches)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/studies/{study}", s.handleStudy)
+	return mux
+}

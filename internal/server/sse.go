@@ -1,0 +1,63 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Server-sent events for POST /v1/sweep: one "result" event per job, in
+// job-index order (the engine's determinism guarantee carried over the
+// wire), then one "done" event. Each event carries its job index as the SSE
+// id, so clients can assert ordering and resume bookkeeping trivially.
+
+// wantsSSE reports whether the client asked for an event stream.
+func wantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// sseStream writes SSE frames, flushing after each one so events are
+// delivered as they happen rather than at the end of the response.
+type sseStream struct {
+	w http.ResponseWriter
+	f http.Flusher
+	// err latches the first write failure (client gone); later writes are
+	// skipped so the sweep loop can keep draining engine results.
+	err error
+}
+
+// newSSE starts an event stream on w. It returns an error if w cannot
+// flush, in which case nothing has been written.
+func newSSE(w http.ResponseWriter) (*sseStream, error) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, fmt.Errorf("response writer does not support streaming")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseStream{w: w, f: f}, nil
+}
+
+// event emits one frame with the given event name, id and JSON-encoded
+// data payload. Write errors latch: the first failure suppresses all
+// subsequent frames.
+func (s *sseStream) event(name string, id int, v any) {
+	if s.err != nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\nid: %d\ndata: %s\n\n", name, id, data); err != nil {
+		s.err = err
+		return
+	}
+	s.f.Flush()
+}

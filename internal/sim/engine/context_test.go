@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"svwsim/internal/pipeline"
+)
+
+func ctxConfig() Config {
+	cfg := pipeline.Wide8Config()
+	cfg.Name = "ctx-base"
+	return cfg
+}
+
+func ctxJobs(n int, insts uint64) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		cfg := ctxConfig()
+		jobs[i] = Job{Study: "ctx", Label: cfg.Name, Config: cfg,
+			Bench: "gcc", Insts: insts + uint64(i)} // distinct budgets: no memo reuse
+	}
+	return jobs
+}
+
+// A context that is already done cancels every job before it starts:
+// nothing executes, every slot reports the context error, and results stay
+// in job order.
+func TestRunContextPreCancelled(t *testing.T) {
+	eng := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := ctxJobs(6, 5000)
+	rs, err := eng.RunContext(ctx, jobs, nil)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(rs) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(rs), len(jobs))
+	}
+	for i, r := range rs {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("job %d: want context.Canceled, got %v", i, r.Err)
+		}
+	}
+	if m := eng.Memo(); m.Misses != 0 || m.Hits != 0 {
+		t.Errorf("cancelled run touched the memo: %+v", m)
+	}
+}
+
+// Cancelling mid-sweep skips the queued-but-unstarted jobs: with one worker
+// and a cancel fired from the first job's progress callback, every later
+// job reports context.Canceled without executing.
+func TestRunContextCancelMidSweep(t *testing.T) {
+	eng := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := ctxJobs(4, 5000)
+	rs, err := eng.RunContext(ctx, jobs, func(r JobResult) {
+		if r.Index == 0 {
+			cancel()
+		}
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rs[0].Err != nil {
+		t.Fatalf("job 0 ran before the cancel, want success, got %v", rs[0].Err)
+	}
+	for i := 1; i < len(rs); i++ {
+		if !errors.Is(rs[i].Err, context.Canceled) {
+			t.Errorf("job %d: want context.Canceled, got %v", i, rs[i].Err)
+		}
+	}
+	if m := eng.Memo(); m.Misses != 1 {
+		t.Errorf("want exactly 1 execution, memo says %+v", m)
+	}
+}
+
+// The leaf RunContext refuses an already-done context and honours
+// mid-simulation cancellation.
+func TestLeafRunContext(t *testing.T) {
+	cfg := ctxConfig()
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(done, cfg, "gcc", 5000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// Background context takes the direct (no goroutine) path.
+	res, err := RunContext(context.Background(), cfg, "gcc", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Committed == 0 {
+		t.Fatal("run committed nothing")
+	}
+}
+
+// SetMemoCap bounds the table: old completed entries are evicted and
+// re-running an evicted job is a fresh miss.
+func TestMemoCapEviction(t *testing.T) {
+	eng := New(1)
+	eng.SetMemoCap(2)
+	jobs := ctxJobs(4, 5000)
+	if _, err := eng.Run(jobs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := eng.MemoSize(); n != 2 {
+		t.Fatalf("memo size %d after cap-2 sweep, want 2", n)
+	}
+	m0 := eng.Memo()
+	if m0.Misses != 4 {
+		t.Fatalf("want 4 unique executions, got %+v", m0)
+	}
+	// Cycling 4 distinct jobs through a 2-entry table is the eviction worst
+	// case: each re-insert evicts a survivor before it is reached, so every
+	// job re-executes — but the table stays bounded throughout.
+	if _, err := eng.Run(jobs, nil); err != nil {
+		t.Fatal(err)
+	}
+	m1 := eng.Memo()
+	if misses := m1.Misses - m0.Misses; misses != 4 {
+		t.Errorf("want 4 re-executions on the cyclic re-sweep, got %d", misses)
+	}
+	if n := eng.MemoSize(); n != 2 {
+		t.Errorf("memo size %d after re-sweep, want 2", n)
+	}
+	// A repeated job inside one sweep still memo-hits under the cap.
+	pair := []Job{jobs[0], jobs[0]}
+	if _, err := eng.Run(pair, nil); err != nil {
+		t.Fatal(err)
+	}
+	m2 := eng.Memo()
+	if hits := m2.Hits - m1.Hits; hits != 1 {
+		t.Errorf("want 1 memo hit for the duplicated job, got %d", hits)
+	}
+}

@@ -26,6 +26,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -71,10 +73,12 @@ type Engine struct {
 	timeout  time.Duration
 	progress func(JobResult)
 
-	mu     sync.Mutex
-	memo   map[string]*memoEntry
-	hits   uint64
-	misses uint64
+	mu      sync.Mutex
+	memo    map[string]*memoEntry
+	memoCap int      // max completed memo entries (0 = unbounded)
+	order   []string // memo keys in insertion order, for eviction
+	hits    uint64
+	misses  uint64
 }
 
 type memoEntry struct {
@@ -133,12 +137,82 @@ func (e *Engine) Memo() MemoStats {
 	return MemoStats{Hits: e.hits, Misses: e.misses}
 }
 
+// MemoSize returns the number of entries currently in the memo table
+// (including in-flight executions).
+func (e *Engine) MemoSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.memo)
+}
+
+// SetMemoCap bounds the memo table to n entries (0 = unbounded, the
+// default). When an insertion exceeds the cap, the oldest completed entries
+// are evicted; in-flight executions are never evicted, so waiter delivery is
+// unaffected. Long-lived engines — a daemon sharing one engine across
+// requests — use this to keep memory bounded; evicted jobs simply
+// re-execute on their next request.
+func (e *Engine) SetMemoCap(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.memoCap = n
+	e.evictLocked()
+}
+
+// dropOrderLocked removes key's newest occurrence from the insertion-order
+// list (failed executions delete their memo entry, so the key must leave
+// the order list with it). Scans from the back: the key was appended on
+// this execution's insert, so it is near the end.
+func (e *Engine) dropOrderLocked(key string) {
+	for i := len(e.order) - 1; i >= 0; i-- {
+		if e.order[i] == key {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked drops the oldest completed memo entries until the table fits
+// the cap. Keys whose entries were already removed (failed executions) are
+// discarded as they are encountered; in-flight entries are kept by cycling
+// them to the back of the order list.
+func (e *Engine) evictLocked() {
+	if e.memoCap <= 0 {
+		return
+	}
+	for scan := len(e.order); len(e.memo) > e.memoCap && scan > 0; scan-- {
+		key := e.order[0]
+		e.order = e.order[1:]
+		ent, ok := e.memo[key]
+		if !ok {
+			continue // stale: entry failed and was removed
+		}
+		if !ent.complete {
+			e.order = append(e.order, key)
+			continue
+		}
+		delete(e.memo, key)
+	}
+}
+
 // Run executes jobs and returns one result per job, in job order. The
 // optional progress callback is invoked once per job in job-index order
 // (not completion order) from worker goroutines; it must not call back
 // into the engine. Run executes the whole list even when jobs fail and
 // returns the lowest-index error, so error reporting is deterministic too.
 func (e *Engine) Run(jobs []Job, progress func(JobResult)) ([]JobResult, error) {
+	return e.RunContext(context.Background(), jobs, progress)
+}
+
+// RunContext is Run with cancellation: once ctx is done, queued-but-unstarted
+// jobs are not executed and report ctx's error instead. Jobs already
+// executing run to completion (populating the memo for later identical
+// requests), so cancellation never poisons waiters parked on an in-flight
+// execution. Results, progress ordering and the lowest-index-error contract
+// are unchanged — cancelled jobs still occupy their slots and fire progress.
+func (e *Engine) RunContext(ctx context.Context, jobs []Job, progress func(JobResult)) ([]JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(jobs)
 	out := make([]JobResult, n)
 	if n == 0 {
@@ -192,6 +266,14 @@ func (e *Engine) Run(jobs []Job, progress func(JobResult)) ([]JobResult, error) 
 				}
 				if !ok {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Cancelled before this job started: report without
+					// executing. The loop keeps draining so every slot is
+					// filled and emitted in order.
+					out[idx] = JobResult{Index: idx, Job: jobs[idx], Err: err}
+					emit(idx)
+					continue
 				}
 				e.execute(idx, jobs[idx], out, emit, &deliver)
 			}
@@ -255,7 +337,9 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 	}
 	ent = &memoEntry{}
 	e.memo[key] = ent
+	e.order = append(e.order, key)
 	e.misses++
+	e.evictLocked()
 	e.mu.Unlock()
 
 	start := time.Now()
@@ -267,8 +351,10 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 	if err != nil {
 		// Failures (including timeouts) are not cached: a later identical
 		// job must get a fresh attempt, not the stale error. Waiters parked
-		// on this execution still observe its error.
+		// on this execution still observe its error. The order entry goes
+		// too, or repeated failures would grow it without bound.
 		delete(e.memo, key)
+		e.dropOrderLocked(key)
 	}
 	e.mu.Unlock()
 	out[idx] = JobResult{Index: idx, Job: j, Result: res, Err: err,
@@ -286,24 +372,14 @@ func (e *Engine) runWithTimeout(j Job) (Result, error) {
 	if timeout <= 0 {
 		return Run(j.Config, j.Bench, j.Insts)
 	}
-	type outcome struct {
-		res Result
-		err error
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		r, err := Run(j.Config, j.Bench, j.Insts)
-		ch <- outcome{r, err}
-	}()
-	t := time.NewTimer(timeout)
-	defer t.Stop()
-	select {
-	case o := <-ch:
-		return o.res, o.err
-	case <-t.C:
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	res, err := RunContext(ctx, j.Config, j.Bench, j.Insts)
+	if errors.Is(err, context.DeadlineExceeded) {
 		return Result{}, fmt.Errorf("%s on %s: timed out after %v",
 			j.Bench, j.Config.Name, timeout)
 	}
+	return res, err
 }
 
 // shard is one worker's deque of job indices.

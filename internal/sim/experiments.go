@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"svwsim/internal/core"
@@ -108,11 +109,17 @@ func gather(l Ladder, benches []string, rs []engine.JobResult) *LadderResult {
 // configurations shared between ladders (and with any earlier sweep on the
 // same engine) run exactly once. Results are returned per ladder, in order.
 func RunLadders(eng *engine.Engine, ladders []Ladder, benches []string, insts uint64) ([]*LadderResult, error) {
+	return RunLaddersContext(context.Background(), eng, ladders, benches, insts)
+}
+
+// RunLaddersContext is RunLadders with cancellation: queued-but-unstarted
+// jobs are skipped once ctx is done (see engine.RunContext).
+func RunLaddersContext(ctx context.Context, eng *engine.Engine, ladders []Ladder, benches []string, insts uint64) ([]*LadderResult, error) {
 	var jobs []engine.Job
 	for _, l := range ladders {
 		jobs = append(jobs, LadderJobs(l, benches, insts)...)
 	}
-	rs, err := eng.Run(jobs, nil)
+	rs, err := eng.RunContext(ctx, jobs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +209,11 @@ func RunFig8(benches []string, insts uint64, par int) (*Fig8Result, error) {
 
 // RunFig8With is RunFig8 on a caller-supplied (possibly shared) engine.
 func RunFig8With(eng *engine.Engine, benches []string, insts uint64) (*Fig8Result, error) {
+	return RunFig8Context(context.Background(), eng, benches, insts)
+}
+
+// RunFig8Context is RunFig8With with cancellation.
+func RunFig8Context(ctx context.Context, eng *engine.Engine, benches []string, insts uint64) (*Fig8Result, error) {
 	vars := Fig8Variants()
 	out := &Fig8Result{Benches: benches, Variants: vars}
 	out.Rex = make([][]float64, len(vars))
@@ -220,7 +232,7 @@ func RunFig8With(eng *engine.Engine, benches []string, insts uint64) (*Fig8Resul
 			})
 		}
 	}
-	rs, err := eng.Run(jobs, nil)
+	rs, err := eng.RunContext(ctx, jobs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +262,11 @@ func RunSSNWidth(benches []string, bits []int, insts uint64, par int) (*SSNWidth
 
 // RunSSNWidthWith is RunSSNWidth on a caller-supplied engine.
 func RunSSNWidthWith(eng *engine.Engine, benches []string, bits []int, insts uint64) (*SSNWidthResult, error) {
+	return RunSSNWidthContext(context.Background(), eng, benches, bits, insts)
+}
+
+// RunSSNWidthContext is RunSSNWidthWith with cancellation.
+func RunSSNWidthContext(ctx context.Context, eng *engine.Engine, benches []string, bits []int, insts uint64) (*SSNWidthResult, error) {
 	out := &SSNWidthResult{Benches: benches, Bits: bits}
 	out.IPC = make([][]float64, len(bits))
 	out.Drains = make([][]uint64, len(bits))
@@ -267,7 +284,7 @@ func RunSSNWidthWith(eng *engine.Engine, benches []string, bits []int, insts uin
 			})
 		}
 	}
-	rs, err := eng.Run(jobs, nil)
+	rs, err := eng.RunContext(ctx, jobs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -294,6 +311,11 @@ func RunSSBFUpdatePolicy(benches []string, insts uint64, par int) (*SSBFUpdateRe
 
 // RunSSBFUpdatePolicyWith is RunSSBFUpdatePolicy on a caller-supplied engine.
 func RunSSBFUpdatePolicyWith(eng *engine.Engine, benches []string, insts uint64) (*SSBFUpdateResult, error) {
+	return RunSSBFUpdatePolicyContext(context.Background(), eng, benches, insts)
+}
+
+// RunSSBFUpdatePolicyContext is RunSSBFUpdatePolicyWith with cancellation.
+func RunSSBFUpdatePolicyContext(ctx context.Context, eng *engine.Engine, benches []string, insts uint64) (*SSBFUpdateResult, error) {
 	out := &SSBFUpdateResult{
 		Benches:   benches,
 		RexSpec:   make([]float64, len(benches)),
@@ -317,7 +339,7 @@ func RunSSBFUpdatePolicyWith(eng *engine.Engine, benches []string, insts uint64)
 			})
 		}
 	}
-	rs, err := eng.Run(jobs, nil)
+	rs, err := eng.RunContext(ctx, jobs, nil)
 	if err != nil {
 		return nil, err
 	}

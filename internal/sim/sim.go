@@ -6,6 +6,8 @@
 package sim
 
 import (
+	"context"
+
 	"svwsim/internal/core"
 	"svwsim/internal/pipeline"
 	"svwsim/internal/sim/engine"
@@ -169,6 +171,15 @@ type Result = engine.Result
 // without memoization; sweeps should go through an engine (RunLadders).
 func Run(cfg pipeline.Config, bench string, maxInsts uint64) (Result, error) {
 	return engine.Run(cfg, bench, maxInsts)
+}
+
+// RunContext is Run with cancellation: it returns ctx's error without
+// starting when ctx is already done and abandons the run when ctx is
+// cancelled mid-simulation (the abandoned goroutine still terminates on
+// the config's MaxCycles bound). Sweeps should use an engine instead —
+// internal/server cancels through Engine.RunContext.
+func RunContext(ctx context.Context, cfg pipeline.Config, bench string, maxInsts uint64) (Result, error) {
+	return engine.RunContext(ctx, cfg, bench, maxInsts)
 }
 
 // Speedup returns the percent IPC improvement of opt over base.
