@@ -1,10 +1,22 @@
 #!/bin/sh
 # ci.sh — the repository's test gate. Mirrors what a hosted CI job runs:
-# static checks, a full build, the race-enabled test suite, a one-shot
-# engine benchmark so sweep scaling regressions surface early, and an svwd
-# smoke stage that boots the daemon and byte-compares its responses against
-# the svwsim CLI.
+# static checks, a full build, the race-enabled test suite (covering the
+# ring-buffer timing core), a fuzz smoke over the differential and builder
+# fuzzers, a one-shot engine benchmark so sweep scaling regressions surface
+# early, the measured-performance gate against BENCH_pipeline.json, and an
+# svwd smoke stage that boots the daemon and byte-compares its responses
+# against the svwsim CLI.
+#
+#   ./ci.sh            run the full gate
+#   ./ci.sh benchjson  re-capture the 'current' block of BENCH_pipeline.json
+#                      (cmd/benchgate -capture) and exit
 set -eux
+
+# benchjson mode: refresh the recorded performance trajectory.
+if [ "${1:-}" = "benchjson" ]; then
+    go run ./cmd/benchgate -capture
+    exit 0
+fi
 
 # Formatting gate: gofmt must have nothing to rewrite.
 fmt=$(gofmt -l .)
@@ -17,6 +29,14 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -bench=Engine -benchtime=1x -run='^$' ./internal/sim/engine
+
+# Fuzz smoke: each fuzzer gets a short budget; any crasher fails the gate.
+go test -fuzz='^FuzzProgBuilder$' -fuzztime=10s -run='^$' ./internal/prog
+go test -fuzz='^FuzzWorkloadProfile$' -fuzztime=10s -run='^$' ./internal/workload
+
+# Measured-performance gate: BenchmarkEngine/j=1 must hold its speedup over
+# the pre-rewrite baseline recorded in BENCH_pipeline.json.
+go run ./cmd/benchgate -compare
 
 # svwd smoke: boot the daemon on a random port, drive one /v1/run and one
 # /v1/sweep through svwload -smoke, and require the responses to be

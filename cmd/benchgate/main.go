@@ -1,0 +1,240 @@
+// Command benchgate is the measured-performance harness behind
+// BENCH_pipeline.json: it runs the repository's headline benchmarks through
+// `go test -bench`, parses their output, and either captures the numbers
+// into the JSON trajectory file (-capture, the `ci.sh benchjson` mode) or
+// gates the working tree against the committed pre-rewrite baseline
+// (-compare): BenchmarkEngine/j=1 must run at least min_speedup times
+// faster — in wall clock for identical simulated work, i.e. instructions
+// per second — than the baseline recorded before the zero-allocation
+// overhaul.
+//
+// Usage:
+//
+//	go run ./cmd/benchgate -capture           # refresh the "current" block
+//	go run ./cmd/benchgate -compare           # CI regression gate
+//	go run ./cmd/benchgate -compare -benchtime 1x
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchTargets names the benchmarks the gate tracks and where they live.
+var benchTargets = []struct {
+	pattern string // -bench regexp
+	pkg     string
+	name    string // canonical name in the JSON file
+}{
+	{"^BenchmarkEngine$/^j=1$", "./internal/sim/engine", "BenchmarkEngine/j=1"},
+	{"^BenchmarkPipelineThroughput$", ".", "BenchmarkPipelineThroughput"},
+}
+
+// gatedBench is the benchmark the -compare gate enforces; the others are
+// informational.
+const gatedBench = "BenchmarkEngine/j=1"
+
+type benchEntry struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchSection struct {
+	CPU        string                `json:"cpu,omitempty"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchFile struct {
+	Schema     int           `json:"schema"`
+	Note       string        `json:"note"`
+	MinSpeedup float64       `json:"min_speedup"`
+	Baseline   benchSection  `json:"baseline"`
+	Current    *benchSection `json:"current"`
+}
+
+func main() {
+	var (
+		file      = flag.String("file", "BENCH_pipeline.json", "trajectory file")
+		capture   = flag.Bool("capture", false, "run benchmarks and record them as 'current'")
+		compare   = flag.Bool("compare", false, "run benchmarks and gate against 'baseline'")
+		benchtime = flag.String("benchtime", "2x", "go test -benchtime per benchmark")
+	)
+	flag.Parse()
+	if *capture == *compare {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -capture / -compare required")
+		os.Exit(2)
+	}
+	bf, err := loadFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	section, err := runBenchmarks(*benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	if *capture {
+		bf.Current = section
+		if err := saveFile(*file, bf); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: captured %d benchmarks into %s\n", len(section.Benchmarks), *file)
+		report(bf.Baseline, *section)
+		return
+	}
+	if !gate(bf, *section) {
+		os.Exit(1)
+	}
+}
+
+func loadFile(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+func saveFile(path string, bf *benchFile) error {
+	out, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// runBenchmarks executes every target and parses its result line.
+func runBenchmarks(benchtime string) (*benchSection, error) {
+	sec := &benchSection{Benchmarks: make(map[string]benchEntry)}
+	for _, t := range benchTargets {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", t.pattern,
+			"-benchtime", benchtime, "-benchmem", t.pkg)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v\n%s", t.name, err, out)
+		}
+		entries, cpu := parseBenchOutput(string(out))
+		e, ok := entries[t.name]
+		if !ok {
+			return nil, fmt.Errorf("%s: no benchmark line in output:\n%s", t.name, out)
+		}
+		sec.Benchmarks[t.name] = e
+		if sec.CPU == "" {
+			sec.CPU = cpu
+		}
+	}
+	return sec, nil
+}
+
+var benchSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts benchmark entries from `go test -bench` output.
+// A result line reads: name iterations value unit [value unit]...; the
+// GOMAXPROCS suffix on the name is stripped.
+func parseBenchOutput(out string) (map[string]benchEntry, string) {
+	entries := make(map[string]benchEntry)
+	cpu := ""
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := benchSuffix.ReplaceAllString(f[0], "")
+		e := benchEntry{Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			default:
+				e.Metrics[f[i+1]] = v
+			}
+		}
+		entries[name] = e
+	}
+	return entries, cpu
+}
+
+func report(base benchSection, cur benchSection) {
+	for name, c := range cur.Benchmarks {
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsPerOp == 0 || c.NsPerOp == 0 {
+			continue
+		}
+		fmt.Printf("  %-32s %12.0f ns/op  (baseline %12.0f, speedup %.2fx, allocs %.0f -> %.0f)\n",
+			name, c.NsPerOp, b.NsPerOp, b.NsPerOp/c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp)
+	}
+}
+
+// gate enforces the regression bound against the committed baseline. The
+// baseline's ns/op is only meaningful on hardware comparable to the machine
+// that recorded it, so a CPU-model mismatch demotes a failing ratio to a
+// loud warning instead of breaking CI on slower hardware (and is flagged on
+// passing runs too, since a faster CPU can mask a real regression).
+func gate(bf *benchFile, cur benchSection) bool {
+	min := bf.MinSpeedup
+	if min == 0 {
+		min = 1.5
+	}
+	base, ok := bf.Baseline.Benchmarks[gatedBench]
+	if !ok || base.NsPerOp == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: baseline has no %s entry\n", gatedBench)
+		return false
+	}
+	c, ok := cur.Benchmarks[gatedBench]
+	if !ok || c.NsPerOp == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: current run produced no %s result\n", gatedBench)
+		return false
+	}
+	report(bf.Baseline, cur)
+	cpuMatch := bf.Baseline.CPU == "" || cur.CPU == bf.Baseline.CPU
+	if !cpuMatch {
+		fmt.Fprintf(os.Stderr,
+			"benchgate: WARNING cpu %q differs from baseline cpu %q; wall-clock ratios are not comparable\n",
+			cur.CPU, bf.Baseline.CPU)
+	}
+	speedup := base.NsPerOp / c.NsPerOp
+	if speedup < min {
+		if !cpuMatch {
+			fmt.Fprintf(os.Stderr,
+				"benchgate: SKIP %s speedup %.2fx is below the %.2fx bound, but the hardware differs from the baseline's; re-baseline with ./ci.sh benchjson on this machine to re-arm the gate\n",
+				gatedBench, speedup, min)
+			return true
+		}
+		fmt.Fprintf(os.Stderr,
+			"benchgate: FAIL %s speedup %.2fx vs pre-rewrite baseline, need >= %.2fx\n",
+			gatedBench, speedup, min)
+		return false
+	}
+	fmt.Printf("benchgate: PASS %s speedup %.2fx vs pre-rewrite baseline (need >= %.2fx)\n",
+		gatedBench, speedup, min)
+	return true
+}

@@ -1,0 +1,77 @@
+package main
+
+import "testing"
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: svwsim/internal/sim/engine
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkEngine/j=1-8         	       2	 942885809 ns/op	        -0.1615 fig5-svw-spd-%	43105826 B/op	  539228 allocs/op
+BenchmarkPipelineThroughput 	       5	  56387436 ns/op	    886729 sim-insts/s	 2726428 B/op	   33786 allocs/op
+PASS
+ok  	svwsim/internal/sim/engine	5.0s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	entries, cpu := parseBenchOutput(sampleOutput)
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.70GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	e, ok := entries["BenchmarkEngine/j=1"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", entries)
+	}
+	if e.NsPerOp != 942885809 || e.AllocsPerOp != 539228 || e.BytesPerOp != 43105826 {
+		t.Errorf("engine entry = %+v", e)
+	}
+	p := entries["BenchmarkPipelineThroughput"]
+	if p.Metrics["sim-insts/s"] != 886729 {
+		t.Errorf("custom metric lost: %+v", p)
+	}
+}
+
+func TestGateEnforcesMinSpeedup(t *testing.T) {
+	bf := &benchFile{
+		MinSpeedup: 1.5,
+		Baseline: benchSection{Benchmarks: map[string]benchEntry{
+			gatedBench: {NsPerOp: 3_000_000},
+		}},
+	}
+	fast := benchSection{Benchmarks: map[string]benchEntry{gatedBench: {NsPerOp: 1_000_000}}}
+	if !gate(bf, fast) {
+		t.Error("3x speedup rejected at a 1.5x bound")
+	}
+	slow := benchSection{Benchmarks: map[string]benchEntry{gatedBench: {NsPerOp: 2_500_000}}}
+	if gate(bf, slow) {
+		t.Error("1.2x speedup accepted at a 1.5x bound")
+	}
+	missing := benchSection{Benchmarks: map[string]benchEntry{}}
+	if gate(bf, missing) {
+		t.Error("missing current result accepted")
+	}
+}
+
+// TestGateSkipsOnForeignHardware: a below-bound ratio measured on a CPU
+// other than the baseline's must warn and pass (wall-clock ratios across
+// machines are meaningless), while the same ratio on matching hardware
+// fails.
+func TestGateSkipsOnForeignHardware(t *testing.T) {
+	bf := &benchFile{
+		MinSpeedup: 1.5,
+		Baseline: benchSection{
+			CPU:        "Intel(R) Xeon(R) Processor @ 2.70GHz",
+			Benchmarks: map[string]benchEntry{gatedBench: {NsPerOp: 3_000_000}},
+		},
+	}
+	slow := benchSection{
+		CPU:        "Apple M2",
+		Benchmarks: map[string]benchEntry{gatedBench: {NsPerOp: 2_500_000}},
+	}
+	if !gate(bf, slow) {
+		t.Error("below-bound ratio on foreign hardware must demote to a warning")
+	}
+	slow.CPU = bf.Baseline.CPU
+	if gate(bf, slow) {
+		t.Error("below-bound ratio on matching hardware must fail")
+	}
+}

@@ -6,6 +6,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"svwsim/internal/pipeline"
 	"svwsim/internal/sim"
@@ -15,22 +17,27 @@ func main() {
 	bench := flag.String("bench", "perl.d", "benchmark")
 	insts := flag.Uint64("insts", 60_000, "instructions")
 	flag.Parse()
+	probe(os.Stdout, *bench, *insts)
+}
 
+// probe runs the RLE study's baseline plus three single-knob deltas and
+// prints each machine's bottleneck breakdown.
+func probe(w io.Writer, bench string, insts uint64) {
 	run := func(label string, cfg pipeline.Config) {
-		res, err := sim.Run(cfg, *bench, *insts)
+		res, err := sim.Run(cfg, bench, insts)
 		if err != nil {
-			fmt.Println(label, "ERR", err)
+			fmt.Fprintln(w, label, "ERR", err)
 			return
 		}
 		s := &res.Stats
-		fmt.Printf("%-28s IPC=%.3f viol=%d rexflush=%d marked=%.1f%% rex=%.1f%% fwd=%d wD=%d wC=%d wSS=%d\n",
+		fmt.Fprintf(w, "%-28s IPC=%.3f viol=%d rexflush=%d marked=%.1f%% rex=%.1f%% fwd=%d wD=%d wC=%d wSS=%d\n",
 			label, s.IPC(), s.OrderingViolations, s.RexFlushes,
 			100*s.MarkedRate(), 100*s.RexRate(), s.SQForwards,
 			s.LoadWaitData, s.LoadWaitCommit, s.LoadWaitSS)
-		fmt.Printf("%-28s stalls: empty=%d incomplete=%d commitlat=%d rexwait=%d port=%d cycles=%d\n",
+		fmt.Fprintf(w, "%-28s stalls: empty=%d incomplete=%d commitlat=%d rexwait=%d port=%d cycles=%d\n",
 			"", s.StallHeadEmpty, s.StallIncomplete, s.StallCommitLat,
 			s.StallRexWait, s.StallStorePort, s.Cycles)
-		fmt.Printf("%-28s head: load=%d store=%d alu=%d br=%d unissued=%d\n",
+		fmt.Fprintf(w, "%-28s head: load=%d store=%d alu=%d br=%d unissued=%d\n",
 			"", s.StallHeadLoad, s.StallHeadStore, s.StallHeadALU,
 			s.StallHeadBranch, s.StallHeadUnissued)
 	}

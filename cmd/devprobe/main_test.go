@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProbeSmoke drives the probe end to end at a reduced budget: all four
+// machine variants must run, none may report an error, and the bottleneck
+// breakdown must carry real numbers (a nonzero cycle count per variant).
+func TestProbeSmoke(t *testing.T) {
+	var b strings.Builder
+	probe(&b, "gcc", 5_000)
+	out := b.String()
+	if strings.Contains(out, "ERR") {
+		t.Fatalf("probe reported an error:\n%s", out)
+	}
+	for _, label := range []string{"base-rle ", "rle+perfect", "base-rle 2ld", "base-rle lat4"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("output missing variant %q", label)
+		}
+	}
+	if strings.Count(out, "IPC=") != 4 {
+		t.Errorf("expected 4 IPC lines, got %d:\n%s", strings.Count(out, "IPC="), out)
+	}
+	if strings.Contains(out, "cycles=0") {
+		t.Errorf("a variant reported zero cycles:\n%s", out)
+	}
+}

@@ -32,6 +32,10 @@ type DynInst struct {
 	LoadVal  uint64 // loads: architecturally correct (extended) value
 
 	Result uint64 // value written to Dest, if any
+
+	// gen is the owning Stream's arena generation stamp (see Stream.Gen);
+	// zero for records not issued by a stream.
+	gen uint64
 }
 
 // String renders a compact trace line, useful in test failures.
@@ -51,12 +55,39 @@ type Emulator struct {
 
 	seq    uint64
 	halted bool
+
+	// Decoded-instruction cache: a contiguous table covering
+	// [decBase, decBase+4*len(decTable)). PCs inside the window skip the
+	// per-step memory read and decode entirely; PCs outside fall back to
+	// the decode-from-memory path. The table is precomputed from the
+	// program's code words (prog.Program.Decoded), so it is byte-for-byte
+	// the decode the fallback path would produce. Installing a table
+	// asserts the code region is immutable: a program that stored to its
+	// own code would diverge from table contents (no kernel does; the ISA
+	// has no icache-flush primitive to make self-modification meaningful).
+	decBase  uint64
+	decTable []isa.Inst
 }
 
 // New returns an emulator executing from entry over mem. The caller retains
 // ownership of mem; the emulator mutates it as stores execute.
 func New(mem *memimage.Image, entry uint64) *Emulator {
 	return &Emulator{Mem: mem, PC: entry}
+}
+
+// SetDecodeTable installs a decoded-instruction cache for the code window
+// starting at base. insts[i] must be the decode of the word at base+4i.
+func (e *Emulator) SetDecodeTable(base uint64, insts []isa.Inst) {
+	e.decBase, e.decTable = base, insts
+}
+
+// decode returns the instruction at pc, via the decode table when pc falls
+// inside the installed window.
+func (e *Emulator) decode(pc uint64) isa.Inst {
+	if idx := (pc - e.decBase) >> 2; idx < uint64(len(e.decTable)) && pc&3 == 0 {
+		return e.decTable[idx]
+	}
+	return isa.Decode(e.Mem.Read32(pc))
 }
 
 // Halted reports whether a halt instruction has executed.
@@ -92,8 +123,7 @@ func (e *Emulator) setReg(r isa.Reg, v uint64) {
 // Step executes one instruction and returns its record. After halt it keeps
 // returning the halt record without advancing, so callers can over-fetch.
 func (e *Emulator) Step() (DynInst, error) {
-	word := e.Mem.Read32(e.PC)
-	inst := isa.Decode(word)
+	inst := e.decode(e.PC)
 	d := DynInst{Seq: e.seq, PC: e.PC, Inst: inst, NextPC: e.PC + 4}
 
 	switch inst.Op {
@@ -183,7 +213,7 @@ func (e *Emulator) Step() (DynInst, error) {
 		d.NextPC = e.reg(inst.Ra)
 
 	default:
-		return d, &ErrBadOpcode{PC: e.PC, Word: word}
+		return d, &ErrBadOpcode{PC: e.PC, Word: e.Mem.Read32(e.PC)}
 	}
 
 	if inst.IsCondBranch() || inst.IsUncondDirect() {

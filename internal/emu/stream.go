@@ -10,9 +10,15 @@ import "fmt"
 // every record from the oldest uncommitted instruction onward; Release frees
 // records once the timing core commits them.
 //
-// Records are heap-allocated individually and returned as stable pointers:
-// consumers hold them for an instruction's whole in-flight lifetime, across
-// buffer compaction.
+// Records live in a generation-stamped arena owned by the stream: they are
+// heap objects handed out as stable pointers — consumers hold them for an
+// instruction's whole in-flight lifetime, across buffer compaction — but
+// once Released they return to a free list and are recycled by later Next
+// calls instead of being reallocated. In steady state (the window of
+// in-flight instructions has reached its high-water mark) Next performs no
+// allocation at all. Each recycle bumps the record's generation stamp, so a
+// consumer that (incorrectly) holds a record past Release can detect the
+// reuse by comparing stamps taken before and after.
 type Stream struct {
 	emu *Emulator
 
@@ -20,6 +26,11 @@ type Stream struct {
 	base uint64     // Seq of buf[0]
 	pos  uint64     // Seq of the next record Next returns
 	err  error      // sticky emulator error
+
+	// The record arena: released records awaiting reuse, and the running
+	// generation counter stamped into each record as it is (re)issued.
+	free    []*DynInst
+	nextGen uint64
 }
 
 // NewStream wraps e.
@@ -27,8 +38,39 @@ func NewStream(e *Emulator) *Stream {
 	return &Stream{emu: e}
 }
 
+// Reset rebinds the stream to a fresh emulator, recycling the whole record
+// arena (buffered and free records alike) for the next run. Callers must no
+// longer hold pointers into the previous run's records.
+func (s *Stream) Reset(e *Emulator) {
+	s.free = append(s.free, s.buf...)
+	for i := range s.buf {
+		s.buf[i] = nil
+	}
+	s.buf = s.buf[:0]
+	s.emu = e
+	s.base, s.pos = 0, 0
+	s.err = nil
+}
+
 // Err returns the sticky emulator error, if any.
 func (s *Stream) Err() error { return s.err }
+
+// Gen returns the generation stamp of a record issued by this stream. The
+// stamp is bumped each time the underlying arena slot is recycled; holding a
+// record across Release and observing a changed stamp proves reuse.
+func (s *Stream) Gen(d *DynInst) uint64 { return d.gen }
+
+// alloc returns a record from the arena, recycling a released one if
+// available.
+func (s *Stream) alloc() *DynInst {
+	if n := len(s.free); n > 0 {
+		rec := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return rec
+	}
+	return new(DynInst)
+}
 
 // Next returns the next dynamic instruction record, generating it from the
 // emulator if it has not been produced before (or re-delivering it after a
@@ -52,7 +94,9 @@ func (s *Stream) Next() *DynInst {
 		s.err = err
 		return nil
 	}
-	rec := new(DynInst)
+	rec := s.alloc()
+	s.nextGen++
+	d.gen = s.nextGen
 	*rec = d
 	s.buf = append(s.buf, rec)
 	s.pos++
@@ -70,9 +114,9 @@ func (s *Stream) Rewind(seq uint64) {
 }
 
 // Release drops buffered records with Seq < seq; they can no longer be
-// rewound to. Call with the Seq of the oldest uncommitted instruction.
-// Compaction is amortized: the shift happens only once at least half the
-// buffer is dead.
+// rewound to and their arena slots become reusable by later Next calls.
+// Call with the Seq of the oldest uncommitted instruction. Compaction is
+// amortized: the shift happens only once at least half the buffer is dead.
 func (s *Stream) Release(seq uint64) {
 	if seq <= s.base {
 		return
@@ -82,10 +126,13 @@ func (s *Stream) Release(seq uint64) {
 	}
 	n := seq - s.base
 	if n >= uint64(len(s.buf))/2 {
+		// Recycle the dead prefix into the arena free list, then shift the
+		// live suffix down. Both reuse existing backing arrays.
+		s.free = append(s.free, s.buf[:n]...)
 		keep := s.buf[n:]
 		next := s.buf[:0]
 		next = append(next, keep...)
-		// Nil out the tail so released records can be collected.
+		// Nil out the tail so the slice holds no duplicate live pointers.
 		for i := len(next); i < len(s.buf); i++ {
 			s.buf[i] = nil
 		}
@@ -96,3 +143,6 @@ func (s *Stream) Release(seq uint64) {
 
 // Buffered reports how many records are currently retained (diagnostics).
 func (s *Stream) Buffered() int { return len(s.buf) }
+
+// Recycled reports how many records sit on the arena free list (diagnostics).
+func (s *Stream) Recycled() int { return len(s.free) }

@@ -20,38 +20,50 @@ type LoadRec struct {
 
 // LoadQueue is the age-ordered queue of in-flight loads. In the conventional
 // design executing stores search it associatively for premature younger
-// loads; the NLQ deletes that search.
+// loads; the NLQ deletes that search. Like StoreQueue, it is a
+// fixed-capacity power-of-two ring: no queue operation allocates.
 type LoadQueue struct {
-	entries []LoadRec
-	cap     int
+	buf  []LoadRec
+	head int
+	n    int
+	cap  int
+	mask int
 }
 
 // NewLoadQueue returns a queue holding at most capacity loads.
 func NewLoadQueue(capacity int) *LoadQueue {
-	return &LoadQueue{cap: capacity}
+	sz := RingSize(capacity)
+	return &LoadQueue{buf: make([]LoadRec, sz), cap: capacity, mask: sz - 1}
 }
 
+// Reset empties the queue, retaining the ring allocation.
+func (q *LoadQueue) Reset() { q.head, q.n = 0, 0 }
+
+// at returns the i-th oldest entry (0 = head). Callers bound i by Len.
+func (q *LoadQueue) at(i int) *LoadRec { return &q.buf[(q.head+i)&q.mask] }
+
 // Len returns occupancy; Cap capacity; Full whether allocation would overflow.
-func (q *LoadQueue) Len() int   { return len(q.entries) }
+func (q *LoadQueue) Len() int   { return q.n }
 func (q *LoadQueue) Cap() int   { return q.cap }
-func (q *LoadQueue) Full() bool { return len(q.entries) >= q.cap }
+func (q *LoadQueue) Full() bool { return q.n >= q.cap }
 
 // Push allocates at the tail (dispatch order).
 func (q *LoadQueue) Push(rec LoadRec) {
 	if q.Full() {
 		panic("lsq: load queue overflow")
 	}
-	if n := len(q.entries); n > 0 && q.entries[n-1].Seq >= rec.Seq {
+	if q.n > 0 && q.at(q.n-1).Seq >= rec.Seq {
 		panic("lsq: load queue push out of order")
 	}
-	q.entries = append(q.entries, rec)
+	q.n++
+	*q.at(q.n - 1) = rec
 }
 
 // Find returns the entry with the given seq, or nil.
 func (q *LoadQueue) Find(seq uint64) *LoadRec {
-	for i := range q.entries {
-		if q.entries[i].Seq == seq {
-			return &q.entries[i]
+	for i := 0; i < q.n; i++ {
+		if e := q.at(i); e.Seq == seq {
+			return e
 		}
 	}
 	return nil
@@ -59,30 +71,31 @@ func (q *LoadQueue) Find(seq uint64) *LoadRec {
 
 // PopHead removes the oldest entry (load commit).
 func (q *LoadQueue) PopHead() LoadRec {
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		panic("lsq: pop from empty load queue")
 	}
-	rec := q.entries[0]
-	q.entries = q.entries[1:]
+	rec := *q.at(0)
+	q.head = (q.head + 1) & q.mask
+	q.n--
 	return rec
 }
 
 // Head returns the oldest entry, or nil.
 func (q *LoadQueue) Head() *LoadRec {
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	return &q.entries[0]
+	return q.at(0)
 }
 
 // SquashYoungerOrEqual removes entries with Seq >= seq and returns the count.
 func (q *LoadQueue) SquashYoungerOrEqual(seq uint64) int {
-	n := len(q.entries)
-	for n > 0 && q.entries[n-1].Seq >= seq {
+	n := q.n
+	for n > 0 && q.at(n-1).Seq >= seq {
 		n--
 	}
-	removed := len(q.entries) - n
-	q.entries = q.entries[:n]
+	removed := q.n - n
+	q.n = n
 	return removed
 }
 
@@ -93,8 +106,8 @@ func (q *LoadQueue) SquashYoungerOrEqual(seq uint64) int {
 // though the store precedes it. The oldest premature load is returned
 // (flush point).
 func (q *LoadQueue) SearchPremature(storeSeq, addr uint64, size int) (LoadRec, bool) {
-	for i := range q.entries {
-		ld := &q.entries[i]
+	for i := 0; i < q.n; i++ {
+		ld := q.at(i)
 		if ld.Seq <= storeSeq || !ld.Issued || ld.Eliminated {
 			continue
 		}

@@ -100,24 +100,50 @@ type SearchResult struct {
 // StoreQueue is an age-ordered queue of in-flight stores. It serves as the
 // conventional SQ, the SSQ's FSQ (small, selectively allocated), and — with
 // search never called — the SSQ's RSQ.
+//
+// The backing store is a fixed-capacity power-of-two ring buffer allocated
+// once at construction: Push/PopHead/SquashYoungerThan move indices, never
+// memory, so steady-state operation performs no allocation. The age order
+// queues rely on is positional — slot head+i holds the i-th oldest store.
 type StoreQueue struct {
-	entries []StoreRec
-	cap     int
+	buf  []StoreRec // power-of-two ring
+	head int        // ring index of the oldest entry
+	n    int        // occupancy
+	cap  int        // logical capacity (may be below len(buf))
+	mask int
+}
+
+// RingSize returns the power-of-two ring allocation for a logical capacity.
+// It is the one sizing rule every ring in the simulator uses (the LSQ
+// queues here, the pipeline's ROB and fetch ring).
+func RingSize(capacity int) int {
+	sz := 1
+	for sz < capacity {
+		sz <<= 1
+	}
+	return sz
 }
 
 // NewStoreQueue returns a queue holding at most capacity stores.
 func NewStoreQueue(capacity int) *StoreQueue {
-	return &StoreQueue{cap: capacity}
+	sz := RingSize(capacity)
+	return &StoreQueue{buf: make([]StoreRec, sz), cap: capacity, mask: sz - 1}
 }
 
+// Reset empties the queue, retaining the ring allocation.
+func (q *StoreQueue) Reset() { q.head, q.n = 0, 0 }
+
+// at returns the i-th oldest entry (0 = head). Callers bound i by Len.
+func (q *StoreQueue) at(i int) *StoreRec { return &q.buf[(q.head+i)&q.mask] }
+
 // Len returns the current occupancy; Cap the capacity.
-func (q *StoreQueue) Len() int { return len(q.entries) }
+func (q *StoreQueue) Len() int { return q.n }
 
 // Cap returns the queue capacity.
 func (q *StoreQueue) Cap() int { return q.cap }
 
 // Full reports whether an allocation would overflow.
-func (q *StoreQueue) Full() bool { return len(q.entries) >= q.cap }
+func (q *StoreQueue) Full() bool { return q.n >= q.cap }
 
 // Push allocates a store at the tail (dispatch order), with address and
 // data visibility initialized to "never". It panics if full; callers gate
@@ -132,17 +158,18 @@ func (q *StoreQueue) Push(rec StoreRec) {
 	if rec.DataKnownAt == 0 {
 		rec.DataKnownAt = ^uint64(0)
 	}
-	if n := len(q.entries); n > 0 && q.entries[n-1].Seq >= rec.Seq {
+	if q.n > 0 && q.at(q.n-1).Seq >= rec.Seq {
 		panic("lsq: store queue push out of order")
 	}
-	q.entries = append(q.entries, rec)
+	q.n++
+	*q.at(q.n - 1) = rec
 }
 
 // Find returns the entry with the given seq, or nil.
 func (q *StoreQueue) Find(seq uint64) *StoreRec {
-	for i := range q.entries {
-		if q.entries[i].Seq == seq {
-			return &q.entries[i]
+	for i := 0; i < q.n; i++ {
+		if e := q.at(i); e.Seq == seq {
+			return e
 		}
 	}
 	return nil
@@ -150,31 +177,37 @@ func (q *StoreQueue) Find(seq uint64) *StoreRec {
 
 // Head returns the oldest entry, or nil if empty.
 func (q *StoreQueue) Head() *StoreRec {
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		return nil
 	}
-	return &q.entries[0]
+	return q.at(0)
 }
 
 // PopHead removes the oldest entry (store commit).
 func (q *StoreQueue) PopHead() StoreRec {
-	if len(q.entries) == 0 {
+	if q.n == 0 {
 		panic("lsq: pop from empty store queue")
 	}
-	rec := q.entries[0]
-	q.entries = q.entries[1:]
+	rec := *q.at(0)
+	q.head = (q.head + 1) & q.mask
+	q.n--
 	return rec
 }
 
 // Remove deletes the entry with the given seq wherever it sits (used by the
 // FSQ, whose members commit out of FSQ order relative to non-FSQ stores).
-// It reports whether an entry was removed.
+// Younger entries shift down one slot to close the gap, preserving age
+// order. It reports whether an entry was removed.
 func (q *StoreQueue) Remove(seq uint64) bool {
-	for i := range q.entries {
-		if q.entries[i].Seq == seq {
-			q.entries = append(q.entries[:i], q.entries[i+1:]...)
-			return true
+	for i := 0; i < q.n; i++ {
+		if q.at(i).Seq != seq {
+			continue
 		}
+		for j := i; j < q.n-1; j++ {
+			*q.at(j) = *q.at(j + 1)
+		}
+		q.n--
+		return true
 	}
 	return false
 }
@@ -182,12 +215,12 @@ func (q *StoreQueue) Remove(seq uint64) bool {
 // SquashYoungerThan removes entries with Seq > seq (flush recovery) and
 // returns how many were removed.
 func (q *StoreQueue) SquashYoungerThan(seq uint64) int {
-	n := len(q.entries)
-	for n > 0 && q.entries[n-1].Seq > seq {
+	n := q.n
+	for n > 0 && q.at(n-1).Seq > seq {
 		n--
 	}
-	removed := len(q.entries) - n
-	q.entries = q.entries[:n]
+	removed := q.n - n
+	q.n = n
 	return removed
 }
 
@@ -199,8 +232,8 @@ func (q *StoreQueue) SquashYoungerThan(seq uint64) int {
 // past them).
 func (q *StoreQueue) Search(loadSeq, addr uint64, size int, asOf uint64) SearchResult {
 	var res SearchResult
-	for i := len(q.entries) - 1; i >= 0; i-- {
-		st := &q.entries[i]
+	for i := q.n - 1; i >= 0; i-- {
+		st := q.at(i)
 		if st.Seq >= loadSeq {
 			continue
 		}
@@ -232,11 +265,12 @@ func (q *StoreQueue) Search(loadSeq, addr uint64, size int, asOf uint64) SearchR
 // address not yet visible at asOf (used for marking when no search is
 // performed).
 func (q *StoreQueue) OldestUnknownAddr(loadSeq uint64, asOf uint64) bool {
-	for i := range q.entries {
-		if q.entries[i].Seq >= loadSeq {
+	for i := 0; i < q.n; i++ {
+		e := q.at(i)
+		if e.Seq >= loadSeq {
 			break
 		}
-		if !q.entries[i].AddrKnown(asOf) {
+		if !e.AddrKnown(asOf) {
 			return true
 		}
 	}

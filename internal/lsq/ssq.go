@@ -34,6 +34,20 @@ func NewFwdBuffer(capacity int) *FwdBuffer {
 	return &FwdBuffer{entries: make([]fbEntry, capacity), size: capacity}
 }
 
+// Reset empties the buffer and zeroes its statistics, reusing the entry
+// array when the capacity is unchanged.
+func (b *FwdBuffer) Reset(capacity int) {
+	if capacity != b.size {
+		*b = *NewFwdBuffer(capacity)
+		return
+	}
+	for i := range b.entries {
+		b.entries[i] = fbEntry{}
+	}
+	b.next, b.clock = 0, 0
+	b.Inserts, b.Hits, b.Probes = 0, 0, 0
+}
+
 // Insert records a store's (addr, data); FIFO replacement.
 func (b *FwdBuffer) Insert(addr uint64, size int, data uint64, seq uint64) {
 	b.Inserts++

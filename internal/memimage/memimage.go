@@ -87,6 +87,17 @@ func (m *Image) Write(addr uint64, size int, v uint64) {
 	}
 }
 
+// WriteBytes copies b to [addr, addr+len(b)), page by page — the bulk path
+// program loading uses instead of per-byte writes.
+func (m *Image) WriteBytes(addr uint64, b []byte) {
+	for len(b) > 0 {
+		p := m.page(addr, true)
+		n := copy(p[addr&pageMask:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+}
+
 // Read32 reads a 32-bit word (used by instruction fetch).
 func (m *Image) Read32(addr uint64) uint32 { return uint32(m.Read(addr, 4)) }
 

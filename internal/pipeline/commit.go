@@ -113,13 +113,21 @@ func (c *Core) commitOne(u *uop) {
 		return // leave the halt at the ROB head
 	}
 	if c.cfg.TraceCommit != nil {
-		c.cfg.TraceCommit(TraceRecord{
+		rec := TraceRecord{
 			Seq: u.seq, PC: u.dyn.PC, Text: u.dyn.Inst.String(),
 			FetchC: u.fetchC, RenameC: u.renameC, IssueC: u.issueC,
 			CompleteC: u.completeC, RexDoneC: u.rexDoneAt, CommitC: c.cycle,
 			Marked: u.marked, Filtered: u.rexFiltered,
 			Eliminated: u.eliminated, Forwarded: u.fwdOK,
-		})
+		}
+		if u.isLoad() {
+			rec.LoadExec = u.execValue
+			if u.eliminated {
+				rec.LoadExec = c.integratedValue(u)
+			}
+			rec.LoadOracle = u.dyn.LoadVal
+		}
+		c.cfg.TraceCommit(rec)
 	}
 	if u.destPhys != noPhys && u.oldDestPhys != noPhys {
 		// The previous mapping of the destination register dies here.
@@ -209,7 +217,7 @@ func (c *Core) handleRexFailure(u *uop) {
 		// store PC through the SPCT and train store-sets (§2.2).
 		c.ss.Train(d.PC, c.spct.Lookup(d.EffAddr))
 	}
-	c.flushWant = &flushReq{keepSeq: u.seq - 1}
+	c.requestFlush(u.seq - 1)
 }
 
 // removeRexStoreBuf drops a committed store from the internal rex buffer.

@@ -90,6 +90,12 @@ type SVWConfig struct {
 	// all previous loads have retired (§3.6, the default). False models the
 	// atomic policy, which elongates the serialization.
 	SpeculativeSSBF bool
+	// ForceFilter is a testing aid that sabotages the filter: every marked
+	// load is treated as excused regardless of the SSBF test, so true
+	// violations slip past re-execution and commit stale values. The
+	// soundness property suite uses it as its teeth check — a detector
+	// that stays quiet under ForceFilter is not detecting anything.
+	ForceFilter bool
 }
 
 // RLEConfig controls redundant load elimination.
@@ -195,6 +201,14 @@ type TraceRecord struct {
 	Filtered   bool
 	Eliminated bool
 	Forwarded  bool
+	// Loads only: the value the load delivered at execute (the integrated
+	// register for eliminated loads, read at commit) and the
+	// architecturally correct value from the oracle. A committed load with
+	// LoadExec != LoadOracle delivered a stale value — permissible only if
+	// re-execution caught it, so Filtered && LoadExec != LoadOracle is a
+	// filter-soundness violation.
+	LoadExec   uint64
+	LoadOracle uint64
 }
 
 // Wide8Config returns the paper's 8-way NLQ/SSQ machine: 512-entry ROB,

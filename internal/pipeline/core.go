@@ -15,6 +15,14 @@ import (
 )
 
 // Core is one simulated machine bound to one program run.
+//
+// The steady-state cycle loop is allocation-free: uops recycle through the
+// ROB ring, oracle records through the stream's arena, completion events
+// through the event wheel's buckets, and the load/store queues are
+// fixed-capacity rings. The only allocations after warm-up are amortized
+// growth events (wheel expansion under extreme bus contention, new stall-PC
+// map keys bounded by static code size) and functional-memory page faults on
+// first touch.
 type Core struct {
 	cfg Config
 
@@ -44,13 +52,16 @@ type Core struct {
 	// Scheduler.
 	iq []uint64 // seqs of dispatched, un-issued instructions, age-ordered
 
-	// Completion events: cycle -> (seq, uid) pairs.
-	events map[uint64][]eventRec
+	// Completion events, bucketed by cycle on a reusable wheel.
+	events eventWheel
 	// Stores whose address resolved but whose data register is in flight.
 	pendingSTD []eventRec
 
-	// Fetch.
+	// Fetch: a fixed ring of FetchWidth*(FrontDepth+1) slots.
 	fetchQ        []fetchRec
+	fetchHead     int
+	fetchLen      int
+	fetchMask     int
 	pendingRec    *emu.DynInst
 	fetchStallTil uint64
 	waitBranchSeq uint64 // seq of unresolved mispredicted branch, or ^0
@@ -87,12 +98,18 @@ type Core struct {
 	uidGen         uint64
 	done           bool
 	stats          Stats
-	flushWant      *flushReq
+	flushPend      bool
+	flushKeep      uint64 // squash everything with seq > flushKeep
 	lastStoreLine  uint64
 	committedTotal uint64 // includes warm-up commits
 	warmDone       bool
 	warmCycle      uint64 // cycle at which measurement began
 	stallPC        map[uint64]uint64
+
+	// Reusable scratch (never escapes a call).
+	bankBusy  []bool      // per-cycle D$ bank occupancy (issue)
+	refWork   []int       // releaseRef work list
+	itScratch []rle.Entry // InvalidateByBase result buffer
 }
 
 // TopStallPCs returns up to n (pc, cycles) pairs of head-blocking PCs,
@@ -125,22 +142,120 @@ type fetchRec struct {
 	fetchC uint64
 }
 
-type flushReq struct {
-	keepSeq uint64 // squash everything with seq > keepSeq
+// --- Event wheel ---------------------------------------------------------
+
+// eventWheel buckets completion events by cycle on a power-of-two ring.
+// Invariant: a non-empty slot holds events for exactly one cycle (recorded
+// in the slot), so two cycles whose indices collide — they differ by a
+// multiple of the wheel size — force a growth instead of mixing. Buckets are
+// reused via [:0] truncation; after the wheel reaches the machine's event
+// horizon (memory latency plus worst-case bus queueing), scheduling and
+// draining never allocate.
+type eventWheel struct {
+	slots []eventSlot
+	mask  uint64
 }
+
+type eventSlot struct {
+	cycle uint64
+	evs   []eventRec
+}
+
+const initialWheelSize = 1024
+
+func (w *eventWheel) init() {
+	if w.slots == nil {
+		w.slots = make([]eventSlot, initialWheelSize)
+		w.mask = initialWheelSize - 1
+	}
+}
+
+// reset empties every bucket, retaining their backing arrays.
+func (w *eventWheel) reset() {
+	for i := range w.slots {
+		w.slots[i].evs = w.slots[i].evs[:0]
+	}
+}
+
+// schedule adds an event for the given cycle, growing the wheel when the
+// target bucket is occupied by a different still-pending cycle. A bucket
+// whose cycle is already behind now was skipped by a flush (the flush
+// squashed every uop those events referenced, so draining them would be a
+// no-op); it is discarded. A bucket for a different future cycle — the
+// event horizon exceeds the wheel — forces a growth instead of mixing.
+func (w *eventWheel) schedule(now, cycle uint64, ev eventRec) {
+	s := &w.slots[cycle&w.mask]
+	for len(s.evs) > 0 && s.cycle != cycle {
+		if s.cycle < now {
+			s.evs = s.evs[:0]
+			break
+		}
+		w.grow()
+		s = &w.slots[cycle&w.mask]
+	}
+	s.cycle = cycle
+	s.evs = append(s.evs, ev)
+}
+
+// take returns (and logically empties) the bucket for cycle. The returned
+// slice stays valid through the caller's drain because no event is ever
+// scheduled for the cycle being drained.
+func (w *eventWheel) take(cycle uint64) []eventRec {
+	s := &w.slots[cycle&w.mask]
+	if len(s.evs) == 0 || s.cycle != cycle {
+		return nil
+	}
+	evs := s.evs
+	s.evs = s.evs[:0]
+	return evs
+}
+
+// grow doubles the wheel, redistributing occupied buckets.
+func (w *eventWheel) grow() {
+	old := w.slots
+	w.slots = make([]eventSlot, 2*len(old))
+	w.mask = uint64(len(w.slots)) - 1
+	for i := range old {
+		if len(old[i].evs) == 0 {
+			continue
+		}
+		s := &w.slots[old[i].cycle&w.mask]
+		s.cycle = old[i].cycle
+		s.evs = append(s.evs, old[i].evs...)
+	}
+}
+
+// --- Construction --------------------------------------------------------
 
 // New builds a core over a fresh instance of the program.
 func New(cfg Config, p *prog.Program) *Core {
+	c := new(Core)
+	c.Reset(cfg, p)
+	return c
+}
+
+// Reset rebinds the core to a configuration and a fresh instance of the
+// program, reusing every capacity-compatible allocation from the previous
+// run: the ROB ring, the load/store queue rings, the register files, the
+// event wheel, the oracle stream's record arena, and all scratch buffers.
+// A Reset core is observationally identical to a New one — same cycles,
+// same stats, byte-identical study output — which the determinism suite
+// asserts; the experiment engine relies on it to run one simulator per
+// worker instead of constructing one per job.
+//
+// Substrate predictors and caches (branch predictor, store-sets, SSBF,
+// SPCT, IT, cache hierarchy) are rebuilt from scratch: they carry trained
+// state whose full clearing is exactly equivalent to reconstruction, and
+// they are small compared to the core's rings.
+func (c *Core) Reset(cfg Config, p *prog.Program) {
 	img := p.NewImage()
 	em := emu.New(img, p.Entry)
-	c := &Core{
+	em.SetDecodeTable(p.Base, p.Decoded())
+
+	old := *c
+	*c = Core{
 		cfg:           cfg,
-		stream:        emu.NewStream(em),
 		commitMem:     p.NewImage(),
-		rob:           newROB(cfg.ROBSize),
-		sq:            lsq.NewStoreQueue(cfg.SQSize),
-		lq:            lsq.NewLoadQueue(cfg.LQSize),
-		events:        make(map[uint64][]eventRec),
 		hier:          cache.NewHierarchy(cfg.Mem),
 		bp:            bpred.New(cfg.BP),
 		ss:            storesets.New(cfg.SS),
@@ -148,12 +263,39 @@ func New(cfg Config, p *prog.Program) *Core {
 		wrap:          core.WrapControl{Bits: cfg.SVW.SSNBits},
 		waitBranchSeq: ^uint64(0),
 	}
+
+	// Oracle stream: recycle the record arena.
+	if old.stream != nil {
+		c.stream = old.stream
+		c.stream.Reset(em)
+	} else {
+		c.stream = emu.NewStream(em)
+	}
+
+	// ROB ring.
+	if old.rob != nil && old.rob.capN == cfg.ROBSize {
+		c.rob = old.rob
+		c.rob.reset()
+	} else {
+		c.rob = newROB(cfg.ROBSize)
+	}
+
+	// Load/store queue rings.
+	c.sq = resetStoreQueue(old.sq, cfg.SQSize)
+	c.lq = resetLoadQueue(old.lq, cfg.LQSize)
 	if cfg.LSU == LSUSSQ {
-		c.fsq = lsq.NewStoreQueue(cfg.FSQSize)
+		c.fsq = resetStoreQueue(old.fsq, cfg.FSQSize)
 		c.steer = lsq.NewSteering()
-		c.fbs = make([]*lsq.FwdBuffer, cfg.DBanks)
-		for i := range c.fbs {
-			c.fbs[i] = lsq.NewFwdBuffer(cfg.FBSize)
+		if len(old.fbs) == cfg.DBanks {
+			c.fbs = old.fbs
+			for _, fb := range c.fbs {
+				fb.Reset(cfg.FBSize)
+			}
+		} else {
+			c.fbs = make([]*lsq.FwdBuffer, cfg.DBanks)
+			for i := range c.fbs {
+				c.fbs[i] = lsq.NewFwdBuffer(cfg.FBSize)
+			}
 		}
 	}
 	if cfg.SVW.Enabled {
@@ -163,22 +305,93 @@ func New(cfg Config, p *prog.Program) *Core {
 		c.it = rle.New(cfg.RLE.IT)
 	}
 
-	// Physical register 0 is pinned: it backs architectural zero and the
-	// initial (all-zero) mappings of every architectural register.
-	c.refCnt = make([]int, cfg.PhysRegs)
-	c.physVal = make([]uint64, cfg.PhysRegs)
-	c.readyAt = make([]uint64, cfg.PhysRegs)
+	// Event wheel and scratch buffers.
+	c.events = old.events
+	c.events.init()
+	c.events.reset()
+	c.pendingSTD = old.pendingSTD[:0]
+	c.rexStoreBuf = old.rexStoreBuf[:0]
+	c.iq = resizeCap(old.iq, cfg.IQSize)
+	c.refWork = old.refWork[:0]
+	c.itScratch = old.itScratch[:0]
+	if len(old.bankBusy) == cfg.DBanks {
+		c.bankBusy = old.bankBusy
+	} else {
+		c.bankBusy = make([]bool, cfg.DBanks)
+	}
+
+	// Fetch ring.
+	fcap := cfg.FetchWidth * (cfg.FrontDepth + 1)
+	if fsz := lsq.RingSize(fcap); len(old.fetchQ) == fsz {
+		c.fetchQ = old.fetchQ
+	} else {
+		c.fetchQ = make([]fetchRec, fsz)
+	}
+	c.fetchMask = len(c.fetchQ) - 1
+	for i := range c.fetchQ {
+		c.fetchQ[i] = fetchRec{}
+	}
+
+	// Physical register file. Register 0 is pinned: it backs architectural
+	// zero and the initial (all-zero) mappings of every architectural
+	// register.
+	c.refCnt = resizeInts(old.refCnt, cfg.PhysRegs)
+	c.physVal = resizeU64s(old.physVal, cfg.PhysRegs)
+	c.readyAt = resizeU64s(old.readyAt, cfg.PhysRegs)
 	c.refCnt[0] = 1 << 30 // pinned
 	for i := range c.rmap {
 		c.rmap[i] = 0
 	}
+	c.freeList = old.freeList[:0]
 	for p := cfg.PhysRegs - 1; p >= 1; p-- {
 		c.freeList = append(c.freeList, p)
 	}
 	if cfg.WarmupInsts == 0 {
 		c.warmDone = true
 	}
-	return c
+}
+
+func resetStoreQueue(q *lsq.StoreQueue, capacity int) *lsq.StoreQueue {
+	if q != nil && q.Cap() == capacity {
+		q.Reset()
+		return q
+	}
+	return lsq.NewStoreQueue(capacity)
+}
+
+func resetLoadQueue(q *lsq.LoadQueue, capacity int) *lsq.LoadQueue {
+	if q != nil && q.Cap() == capacity {
+		q.Reset()
+		return q
+	}
+	return lsq.NewLoadQueue(capacity)
+}
+
+func resizeCap(s []uint64, capacity int) []uint64 {
+	if cap(s) >= capacity {
+		return s[:0]
+	}
+	return make([]uint64, 0, capacity)
+}
+
+func resizeInts(s []int, n int) []int {
+	if len(s) != n {
+		return make([]int, n)
+	}
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeU64s(s []uint64, n int) []uint64 {
+	if len(s) != n {
+		return make([]uint64, n)
+	}
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // Stats returns the run statistics (valid after Run).
@@ -219,7 +432,7 @@ func (c *Core) Run() error {
 func (c *Core) step() {
 	c.portsUsed = 0
 	c.commit()
-	if c.flushWant != nil {
+	if c.flushPend {
 		c.doFlush()
 		c.cycle++
 		return
@@ -229,7 +442,7 @@ func (c *Core) step() {
 	}
 	c.rex()
 	c.writeback()
-	if c.flushWant != nil { // ordering violation found at store resolve
+	if c.flushPend { // ordering violation found at store resolve
 		c.doFlush()
 		c.cycle++
 		return
@@ -259,15 +472,24 @@ func (c *Core) finalizeStats() {
 	c.stats.WrapDrains = c.wrap.Drains
 }
 
+// requestFlush records a squash of everything with seq > keepSeq; when a
+// flush is already pending, the older keep point wins.
+func (c *Core) requestFlush(keepSeq uint64) {
+	if !c.flushPend || keepSeq < c.flushKeep {
+		c.flushKeep = keepSeq
+	}
+	c.flushPend = true
+}
+
 // uopAt returns the in-flight uop with seq, or nil.
 func (c *Core) uopAt(seq uint64) *uop { return c.rob.at(seq) }
 
 // scheduleEvent registers a completion event.
 func (c *Core) scheduleEvent(cycle uint64, u *uop) {
-	c.events[cycle] = append(c.events[cycle], eventRec{seq: u.seq, uid: u.uid})
+	c.events.schedule(c.cycle, cycle, eventRec{seq: u.seq, uid: u.uid})
 }
 
-// --- Physical register management ---------------------------------------
+// --- Physical register management ----------------------------------------
 
 func (c *Core) allocPhys() (int, bool) {
 	n := len(c.freeList)
@@ -290,9 +512,10 @@ func (c *Core) addRef(p int) {
 
 // releaseRef drops a reference; registers free when the count reaches zero,
 // which also invalidates IT entries whose signature depends on them
-// (cascading, since those entries hold references of their own).
+// (cascading, since those entries hold references of their own). The work
+// list and IT result buffer are core-owned scratch, reused across calls.
 func (c *Core) releaseRef(p int) {
-	work := []int{p}
+	work := append(c.refWork[:0], p)
 	for len(work) > 0 {
 		q := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -308,11 +531,13 @@ func (c *Core) releaseRef(p int) {
 		}
 		c.freeList = append(c.freeList, q)
 		if c.it != nil {
-			for _, e := range c.it.InvalidateByBase(q) {
+			c.itScratch = c.it.InvalidateByBase(q, c.itScratch[:0])
+			for _, e := range c.itScratch {
 				work = append(work, e.DestPhys)
 			}
 		}
 	}
+	c.refWork = work[:0]
 }
 
 // setPhysValue records the value produced into p (used by squash reuse and

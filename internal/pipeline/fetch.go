@@ -9,6 +9,34 @@ import (
 // instruction cache, the one-taken-branch-per-cycle limit, BTB bubbles, and
 // mispredict stalls (fetch freezes until the branch resolves; the front-end
 // refill is modeled by FrontDepth on the replacement instructions).
+//
+// The fetch queue is a fixed ring of FetchWidth*(FrontDepth+1) slots — the
+// front-end pipe's full occupancy — so accepting and renaming instructions
+// moves indices, never memory.
+
+// fetchQPush appends at the ring tail.
+func (c *Core) fetchQPush(r fetchRec) {
+	c.fetchQ[(c.fetchHead+c.fetchLen)&c.fetchMask] = r
+	c.fetchLen++
+}
+
+// fetchQFront returns the oldest queued record; only valid when fetchLen > 0.
+func (c *Core) fetchQFront() *fetchRec { return &c.fetchQ[c.fetchHead] }
+
+// fetchQPop removes the oldest queued record, clearing the slot so the ring
+// holds no stale oracle-record pointers.
+func (c *Core) fetchQPop() {
+	c.fetchQ[c.fetchHead] = fetchRec{}
+	c.fetchHead = (c.fetchHead + 1) & c.fetchMask
+	c.fetchLen--
+}
+
+// fetchQClear empties the ring (flush recovery).
+func (c *Core) fetchQClear() {
+	for c.fetchLen > 0 {
+		c.fetchQPop()
+	}
+}
 
 func (c *Core) fetch() {
 	if c.haltSeen || c.cycle < c.fetchStallTil || c.waitBranchSeq != ^uint64(0) {
@@ -17,7 +45,7 @@ func (c *Core) fetch() {
 	capacity := c.cfg.FetchWidth * (c.cfg.FrontDepth + 1)
 	takenSeen := 0
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.fetchQ) >= capacity {
+		if c.fetchLen >= capacity {
 			return
 		}
 		rec := c.pendingRec
@@ -74,7 +102,7 @@ func (c *Core) fetch() {
 
 // accept moves the pending record into the fetch queue.
 func (c *Core) accept(rec *emu.DynInst) {
-	c.fetchQ = append(c.fetchQ, fetchRec{dyn: rec, fetchC: c.cycle})
+	c.fetchQPush(fetchRec{dyn: rec, fetchC: c.cycle})
 	c.pendingRec = nil
 	c.stats.FetchedInsts++
 }

@@ -9,9 +9,8 @@ import "svwsim/internal/core"
 // stream rewinds so the same records refetch.
 
 func (c *Core) doFlush() {
-	req := c.flushWant
-	c.flushWant = nil
-	keep := req.keepSeq
+	keep := c.flushKeep
+	c.flushPend = false
 
 	for !c.rob.empty() && c.rob.tailSeq() > keep {
 		u := c.uopAt(c.rob.tailSeq())
@@ -45,7 +44,7 @@ func (c *Core) doFlush() {
 	}
 
 	// Front end: drop fetched-but-unrenamed instructions and redirect.
-	c.fetchQ = c.fetchQ[:0]
+	c.fetchQClear()
 	c.pendingRec = nil
 	c.stream.Rewind(keep + 1)
 	c.fetchStallTil = c.cycle + 2 // redirect bubble; refill via FrontDepth

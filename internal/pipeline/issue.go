@@ -17,12 +17,15 @@ type issuePorts struct {
 	loads  int
 	stores int
 	brs    int
-	banks  []bool // D$ bank busy
+	banks  []bool // D$ bank busy (core-owned scratch, cleared per cycle)
 	fsq    bool   // FSQ search port busy (1/cycle)
 }
 
 func (c *Core) issue() {
-	ports := issuePorts{banks: make([]bool, c.cfg.DBanks)}
+	for i := range c.bankBusy {
+		c.bankBusy[i] = false
+	}
+	ports := issuePorts{banks: c.bankBusy}
 	compact := false
 	for i, seq := range c.iq {
 		if ports.total >= c.cfg.TotalIssue {
@@ -43,7 +46,7 @@ func (c *Core) issue() {
 			continue
 		}
 		ok := false
-		switch u.dyn.Inst.Class() {
+		switch u.class {
 		case isa.ClassIntALU:
 			ok = c.tryIssueALU(u, &ports, 1)
 		case isa.ClassIntMul:

@@ -15,10 +15,10 @@ import (
 
 func (c *Core) rename() {
 	for n := 0; n < c.cfg.RenameWidth; n++ {
-		if len(c.fetchQ) == 0 {
+		if c.fetchLen == 0 {
 			return
 		}
-		fr := c.fetchQ[0]
+		fr := *c.fetchQFront()
 		if fr.fetchC+uint64(c.cfg.FrontDepth) > c.cycle {
 			return // still in the front-end pipe
 		}
@@ -111,6 +111,7 @@ func (c *Core) rename() {
 		c.uidGen++
 		u.uid = c.uidGen
 		u.dyn = d
+		u.class = inst.Class()
 		u.fetchC = fr.fetchC
 		u.renameC = c.cycle
 		u.srcPhys = srcPhys
@@ -118,7 +119,7 @@ func (c *Core) rename() {
 		u.destArch = destArch
 		u.destPhys = destPhys
 		u.oldDestPhys = oldDestPhys
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchQPop()
 
 		switch {
 		case inst.IsStore():

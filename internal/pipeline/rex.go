@@ -57,8 +57,9 @@ func (c *Core) rex() {
 
 		case u.isLoad() && u.marked:
 			// SVW stage: filter test. Disabled for squash reuse (§4.3).
+			// ForceFilter (testing aid) excuses everything, soundly or not.
 			if c.ssbf != nil && !u.elimSquash {
-				if !c.ssbf.NeedsRexec(u.dyn.EffAddr, u.dyn.MemBytes, u.svw) {
+				if c.cfg.SVW.ForceFilter || !c.ssbf.NeedsRexec(u.dyn.EffAddr, u.dyn.MemBytes, u.svw) {
 					u.rexDoneAt = c.cycle
 					u.rexFiltered = true
 					c.rexHead++

@@ -1,0 +1,121 @@
+package pipeline
+
+import (
+	"testing"
+
+	"svwsim/internal/prog"
+	"svwsim/internal/workload"
+)
+
+// The SVW filter soundness property (§3): a marked load the filter excuses
+// from re-execution never delivered a stale value — every filtered load's
+// execute-time value equals the oracle's. Aliasing may cause spurious
+// re-executions (false positives), never false negatives. This suite checks
+// the property over randomized kernels on all three optimized machines, and
+// then — mirroring the §3.6 SSN-wrap property test pattern — proves the
+// detector has teeth by sabotaging the filter (SVW.ForceFilter) and
+// requiring the same detector to fire.
+
+// svwSoundnessConfigs returns the three SVW-filtered machines at a reduced
+// budget, with the violation-heavy knobs of the property suite.
+func svwSoundnessConfigs() []Config {
+	nlq := testConfig()
+	nlq.Name = "nlq+svw"
+	nlq.MaxInsts, nlq.WarmupInsts = 10_000, 0
+	nlq.LSU = LSUNLQ
+	nlq.LQSearch = false
+	nlq.StoreIssue = 2
+	nlq.Rex = RexReal
+	nlq.SVW.Enabled = true
+	nlq.SVW.UpdateOnForward = true
+
+	ssq := testConfig()
+	ssq.Name = "ssq+svw"
+	ssq.MaxInsts, ssq.WarmupInsts = 10_000, 0
+	ssq.LSU = LSUSSQ
+	ssq.Rex = RexReal
+	ssq.SVW.Enabled = true
+	ssq.SVW.UpdateOnForward = true
+
+	rle := Narrow4Config()
+	rle.Name = "rle+svw"
+	rle.MaxInsts, rle.WarmupInsts = 10_000, 0
+	rle.RLE.Enabled = true
+	rle.Rex = RexReal
+	rle.RexStages = 4
+	rle.SVW.Enabled = true
+	return []Config{nlq, ssq, rle}
+}
+
+// countFilterViolations runs cfg on p and returns (filtered loads, filtered
+// loads whose execute value differed from the oracle). The second number
+// must be zero for a sound filter.
+func countFilterViolations(t *testing.T, cfg Config, p *workloadProgram) (filtered, stale int) {
+	t.Helper()
+	cfg.TraceCommit = func(r TraceRecord) {
+		if !r.Filtered {
+			return
+		}
+		filtered++
+		if r.LoadExec != r.LoadOracle {
+			stale++
+		}
+	}
+	c := New(cfg, p.prog)
+	if err := c.Run(); err != nil {
+		t.Fatalf("%s on %s: %v", cfg.Name, p.name, err)
+	}
+	return filtered, stale
+}
+
+type workloadProgram struct {
+	name string
+	prog *prog.Program
+}
+
+// TestSVWFilterNeverExcusesStaleLoad asserts the soundness property under
+// random seeds: an SVW-filtered load that skips re-execution never differs
+// from the oracle's loaded value, i.e. the filter admits no true violation.
+func TestSVWFilterNeverExcusesStaleLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	totalFiltered := 0
+	for seed := int64(500); seed < 508; seed++ {
+		p := &workloadProgram{name: "prop", prog: workload.Build(randomProfile(seed))}
+		for _, cfg := range svwSoundnessConfigs() {
+			filtered, stale := countFilterViolations(t, cfg, p)
+			totalFiltered += filtered
+			if stale != 0 {
+				t.Errorf("seed %d %s: %d of %d filtered loads were stale",
+					seed, cfg.Name, stale, filtered)
+			}
+		}
+	}
+	if totalFiltered == 0 {
+		t.Fatal("property suite exercised no filtered loads; the assertion is vacuous")
+	}
+}
+
+// TestSVWFilterSoundnessTeeth is the control: with the filter sabotaged so
+// every marked load is excused (SVW.ForceFilter), true violations must slip
+// through and the very same stale-value detector must fire. If it cannot
+// detect violations a broken filter would admit, the property test above
+// proves nothing.
+func TestSVWFilterSoundnessTeeth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	staleSeen := 0
+	for seed := int64(500); seed < 508; seed++ {
+		p := &workloadProgram{name: "prop", prog: workload.Build(randomProfile(seed))}
+		for _, cfg := range svwSoundnessConfigs() {
+			cfg.SVW.ForceFilter = true
+			_, stale := countFilterViolations(t, cfg, p)
+			staleSeen += stale
+		}
+	}
+	if staleSeen == 0 {
+		t.Fatal("sabotaged filter produced no stale filtered loads: the detector has no teeth")
+	}
+}

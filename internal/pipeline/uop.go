@@ -4,6 +4,7 @@ import (
 	"svwsim/internal/core"
 	"svwsim/internal/emu"
 	"svwsim/internal/isa"
+	"svwsim/internal/lsq"
 	"svwsim/internal/rle"
 )
 
@@ -38,6 +39,11 @@ type uop struct {
 	dyn *emu.DynInst
 	seq uint64
 	uid uint64 // unique per dispatch instance; disambiguates refetches
+
+	// class caches dyn.Inst.Class() (set once at rename): the issue loop
+	// classifies every queued uop every cycle, and deriving the class from
+	// the opcode each time dominated the profile.
+	class isa.Class
 
 	// Renaming.
 	destArch    isa.Reg
@@ -90,24 +96,35 @@ type uop struct {
 	mispredict bool
 }
 
-func (u *uop) isLoad() bool   { return u.dyn.Inst.IsLoad() }
-func (u *uop) isStore() bool  { return u.dyn.Inst.IsStore() }
-func (u *uop) isBranch() bool { return u.dyn.Inst.IsBranch() }
+func (u *uop) isLoad() bool   { return u.class == isa.ClassLoad }
+func (u *uop) isStore() bool  { return u.class == isa.ClassStore }
+func (u *uop) isBranch() bool { return u.class == isa.ClassBranch }
 
-// rob is a ring buffer of uops indexed by contiguous sequence numbers; the
-// absence of wrong-path fetch means in-flight seqs are always contiguous.
+// rob is a power-of-two ring buffer of uops indexed by contiguous sequence
+// numbers; the absence of wrong-path fetch means in-flight seqs are always
+// contiguous. Entries are the uop arena: push recycles a slot in place, and
+// the per-instance uid stamped at rename is the generation mark that keeps
+// stale completion events from touching a recycled slot.
 type rob struct {
 	buf   []uop
 	head  int
 	count int
+	capN  int // logical capacity (may be below len(buf))
+	mask  int
 	// headSeq is the seq of the oldest in-flight instruction; only valid
 	// when count > 0.
 	headSeq uint64
 }
 
-func newROB(size int) *rob { return &rob{buf: make([]uop, size)} }
+func newROB(size int) *rob {
+	sz := lsq.RingSize(size)
+	return &rob{buf: make([]uop, sz), capN: size, mask: sz - 1}
+}
 
-func (r *rob) full() bool  { return r.count == len(r.buf) }
+// reset empties the ring for a fresh run, retaining the backing array.
+func (r *rob) reset() { r.head, r.count, r.headSeq = 0, 0, 0 }
+
+func (r *rob) full() bool  { return r.count == r.capN }
 func (r *rob) empty() bool { return r.count == 0 }
 func (r *rob) size() int   { return r.count }
 
@@ -121,7 +138,7 @@ func (r *rob) push(seq uint64) *uop {
 	} else if seq != r.headSeq+uint64(r.count) {
 		panic("pipeline: non-contiguous ROB push")
 	}
-	idx := (r.head + r.count) % len(r.buf)
+	idx := (r.head + r.count) & r.mask
 	r.count++
 	r.buf[idx] = uop{seq: seq, destPhys: noPhys, oldDestPhys: noPhys,
 		itHandle: -1, elimHandle: -1, rexDoneAt: ^uint64(0)}
@@ -133,17 +150,17 @@ func (r *rob) popHead() {
 	if r.empty() {
 		panic("pipeline: ROB underflow")
 	}
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = (r.head + 1) & r.mask
 	r.count--
 	r.headSeq++
 }
 
 // at returns the in-flight uop with the given seq, or nil.
 func (r *rob) at(seq uint64) *uop {
-	if r.empty() || seq < r.headSeq || seq >= r.headSeq+uint64(r.count) {
-		return nil
+	if idx := seq - r.headSeq; idx < uint64(r.count) {
+		return &r.buf[(r.head+int(idx))&r.mask]
 	}
-	return &r.buf[(r.head+int(seq-r.headSeq))%len(r.buf)]
+	return nil
 }
 
 // headUop returns the oldest in-flight uop, or nil.

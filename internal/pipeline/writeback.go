@@ -6,11 +6,10 @@ package pipeline
 
 func (c *Core) writeback() {
 	defer c.scanPendingSTD()
-	evs := c.events[c.cycle]
+	evs := c.events.take(c.cycle)
 	if evs == nil {
 		return
 	}
-	delete(c.events, c.cycle)
 	// Process the whole batch even if a violation flush is requested
 	// mid-way: events for instructions older than the flush point must not
 	// be lost, and state published for about-to-be-squashed instructions is
@@ -72,9 +71,7 @@ func (c *Core) storeAddrResolved(u *uop) {
 			// Several stores can fire in one cycle; the oldest flush wins.
 			c.stats.OrderingViolations++
 			c.ss.Train(ld.PC, d.PC)
-			if c.flushWant == nil || ld.Seq-1 < c.flushWant.keepSeq {
-				c.flushWant = &flushReq{keepSeq: ld.Seq - 1}
-			}
+			c.requestFlush(ld.Seq - 1)
 		}
 	}
 	if c.readyAt[u.srcPhys[1]] <= c.cycle {

@@ -1,0 +1,109 @@
+package prog_test
+
+import (
+	"testing"
+
+	"svwsim/internal/emu"
+	"svwsim/internal/isa"
+	"svwsim/internal/prog"
+)
+
+// FuzzProgBuilder drives the assembler through byte-script programs that
+// exercise its edge cases — forward and backward branches, labels defined
+// far from their uses, interleaved data segments, memory ops — and asserts
+// the invariants Build promises: every emitted word round-trips through the
+// encoder, every resolved branch lands inside the code image, and the built
+// program executes on the emulator without decoding garbage.
+func FuzzProgBuilder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 1, 0, 2, 0, 4, 8, 5, 3, 6, 2, 1, 0, 3, 1})
+	f.Add([]byte{2, 0, 2, 1, 2, 2, 2, 3, 1, 0, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{6, 0, 6, 1, 6, 2, 4, 0, 4, 1, 7, 7, 0, 255, 5, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nLabels = 4
+		b := prog.NewBuilder("fuzz")
+		reg := func(v byte) isa.Reg { return isa.Reg(1 + v%5) }
+
+		// Base register for memory ops points at the data region.
+		b.MovImm(6, prog.DefaultDataBase)
+
+		var defined [nLabels]bool
+		defineNext := func() {
+			for k := 0; k < nLabels; k++ {
+				if !defined[k] {
+					defined[k] = true
+					b.Label(label(k))
+					return
+				}
+			}
+		}
+
+		steps := len(data) / 2
+		if steps > 128 {
+			steps = 128
+		}
+		for i := 0; i < steps; i++ {
+			op, arg := data[2*i], data[2*i+1]
+			switch op % 8 {
+			case 0:
+				b.Addi(reg(arg), reg(arg>>4), int64(int8(arg)))
+			case 1:
+				defineNext()
+			case 2:
+				b.Bne(reg(arg), label(int(arg)%nLabels))
+			case 3:
+				b.Beq(reg(arg), label(int(arg)%nLabels))
+			case 4:
+				b.Ldq(reg(arg), int64(arg%64)*8, 6)
+			case 5:
+				b.Stq(reg(arg), int64(arg%64)*8, 6)
+			case 6:
+				vals := make([]uint64, int(arg%4))
+				for j := range vals {
+					vals[j] = uint64(arg) * uint64(j+1)
+				}
+				b.DataQuads(prog.DefaultDataBase+uint64(arg%8)*0x1000, vals)
+			case 7:
+				b.Xori(reg(arg), reg(arg>>4), int64(arg))
+			}
+		}
+		// Any label still undefined anchors past the last branch so every
+		// fixup resolves (forward references to the program's tail).
+		for k := 0; k < nLabels; k++ {
+			if !defined[k] {
+				defined[k] = true
+				b.Label(label(k))
+			}
+		}
+		b.Halt()
+		p := b.Build()
+
+		// Decode/encode round trip and branch-target containment.
+		codeEnd := p.Base + 4*uint64(len(p.Code))
+		for i, w := range p.Code {
+			inst := isa.Decode(w)
+			if got := p.Decoded()[i]; got != inst {
+				t.Fatalf("Decoded()[%d] = %+v, want %+v", i, got, inst)
+			}
+			pc := p.Base + 4*uint64(i)
+			if inst.IsCondBranch() || inst.IsUncondDirect() {
+				tgt := inst.BranchTarget(pc)
+				if tgt < p.Base || tgt >= codeEnd {
+					t.Fatalf("branch at %#x targets %#x outside code [%#x,%#x)",
+						pc, tgt, p.Base, codeEnd)
+				}
+			}
+		}
+
+		// The built program must execute without decoding garbage; looping
+		// forever is legitimate program behavior, so the run is bounded.
+		e := emu.New(p.NewImage(), p.Entry)
+		for i := 0; i < 1000 && !e.Halted(); i++ {
+			if _, err := e.Step(); err != nil {
+				t.Fatalf("emulation: %v", err)
+			}
+		}
+	})
+}
+
+func label(k int) string { return []string{"L0", "L1", "L2", "L3"}[k] }

@@ -25,6 +25,28 @@ type Program struct {
 	Code  []uint32 // encoded instructions at CodeBase
 	Base  uint64   // CodeBase
 	Data  []Segment
+
+	decoded []isa.Inst // Decode(Code[i]), precomputed at Build
+}
+
+// Decoded returns the decode of each code word: decoded[i] is
+// isa.Decode(Code[i]), the instruction at Base+4i. Emulators install it as
+// a decode table (emu.Emulator.SetDecodeTable) so hot loop bodies are never
+// re-decoded. The slice is shared and must not be modified.
+func (p *Program) Decoded() []isa.Inst {
+	if p.decoded == nil && len(p.Code) > 0 {
+		// Programs constructed literally (tests) rather than via Build.
+		p.decoded = decodeAll(p.Code)
+	}
+	return p.decoded
+}
+
+func decodeAll(code []uint32) []isa.Inst {
+	out := make([]isa.Inst, len(code))
+	for i, w := range code {
+		out[i] = isa.Decode(w)
+	}
+	return out
 }
 
 // Segment is an initialized data region.
@@ -41,9 +63,7 @@ func (p *Program) NewImage() *memimage.Image {
 		m.Write32(p.Base+uint64(4*i), w)
 	}
 	for _, s := range p.Data {
-		for i, b := range s.Bytes {
-			m.SetByte(s.Addr+uint64(i), b)
-		}
+		m.WriteBytes(s.Addr, s.Bytes)
 	}
 	return m
 }
@@ -135,11 +155,12 @@ func (b *Builder) Build() *Program {
 		code[i] = isa.MustEncode(inst)
 	}
 	return &Program{
-		Name:  b.name,
-		Entry: b.base,
-		Base:  b.base,
-		Code:  code,
-		Data:  b.data,
+		Name:    b.name,
+		Entry:   b.base,
+		Base:    b.base,
+		Code:    code,
+		Data:    b.data,
+		decoded: decodeAll(code),
 	}
 }
 

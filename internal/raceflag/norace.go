@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package raceflag reports whether the race detector is compiled in, so
+// allocation-regression tests can skip themselves under `go test -race`
+// (instrumentation perturbs allocation counts).
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -80,8 +80,30 @@ type Table struct {
 	entries []Entry // sets*ways, set-major
 	clock   uint64
 
+	// baseLive[p] counts valid entries whose BasePhys is p, so the
+	// register-free invalidation sweep (InvalidateByBase, called for every
+	// freed physical register) can skip the table scan entirely when no
+	// entry depends on the register — the overwhelmingly common case.
+	baseLive []uint16
+
 	// Stats
 	Hits, Misses, Inserts, Evictions, Invalidations uint64
+}
+
+func (t *Table) incBase(p int) {
+	if p < 0 {
+		return
+	}
+	for p >= len(t.baseLive) {
+		t.baseLive = append(t.baseLive, 0)
+	}
+	t.baseLive[p]++
+}
+
+func (t *Table) decBase(p int) {
+	if p >= 0 && p < len(t.baseLive) {
+		t.baseLive[p]--
+	}
 }
 
 // New builds an empty table.
@@ -170,11 +192,13 @@ func (t *Table) Insert(e Entry) (handle int, evicted Entry, wasEvicted bool) {
 	if slot.Valid {
 		evicted, wasEvicted = *slot, true
 		t.Evictions++
+		t.decBase(slot.BasePhys)
 	}
 	t.clock++
 	e.Valid = true
 	e.stamp = t.clock
 	*slot = e
+	t.incBase(e.BasePhys)
 	return s*t.cfg.Ways + victim, evicted, wasEvicted
 }
 
@@ -206,24 +230,30 @@ func (t *Table) InvalidateHandle(handle int, sig uint64) (Entry, bool) {
 	t.Invalidations++
 	out := *e
 	e.Valid = false
+	t.decBase(e.BasePhys)
 	return out, true
 }
 
 // InvalidateByBase removes every entry whose base physical register is p
 // (called when p is freed: a future instruction could reuse p with a
-// different value, making the signature stale). It returns the invalidated
-// entries so the owner can release their DestPhys references.
-func (t *Table) InvalidateByBase(p int) []Entry {
-	var out []Entry
+// different value, making the signature stale). The invalidated entries are
+// appended to buf — pass a reused scratch slice to keep the owner's release
+// path allocation-free — and returned so the owner can release their
+// DestPhys references.
+func (t *Table) InvalidateByBase(p int, buf []Entry) []Entry {
+	if p < 0 || p >= len(t.baseLive) || t.baseLive[p] == 0 {
+		return buf
+	}
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.Valid && e.BasePhys == p {
 			t.Invalidations++
-			out = append(out, *e)
+			buf = append(buf, *e)
 			e.Valid = false
+			t.decBase(p)
 		}
 	}
-	return out
+	return buf
 }
 
 // EvictOne invalidates the least recently used valid entry anywhere in the
@@ -242,6 +272,7 @@ func (t *Table) EvictOne() (Entry, bool) {
 	}
 	e := t.entries[victim]
 	t.entries[victim].Valid = false
+	t.decBase(e.BasePhys)
 	t.Evictions++
 	return e, true
 }
@@ -255,6 +286,9 @@ func (t *Table) Clear() []Entry {
 			out = append(out, t.entries[i])
 			t.entries[i].Valid = false
 		}
+	}
+	for i := range t.baseLive {
+		t.baseLive[i] = 0
 	}
 	return out
 }

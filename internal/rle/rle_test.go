@@ -127,7 +127,7 @@ func TestInvalidateByBase(t *testing.T) {
 	it.Insert(Entry{Sig: Sig(isa.OpLdq, 5, 0), DestPhys: 10, BasePhys: 5})
 	it.Insert(Entry{Sig: Sig(isa.OpLdq, 5, 8), DestPhys: 11, BasePhys: 5})
 	it.Insert(Entry{Sig: Sig(isa.OpLdq, 6, 0), DestPhys: 12, BasePhys: 6})
-	out := it.InvalidateByBase(5)
+	out := it.InvalidateByBase(5, nil)
 	if len(out) != 2 {
 		t.Fatalf("invalidated %d entries, want 2", len(out))
 	}

@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"svwsim/internal/pipeline"
 	"svwsim/internal/sim/engine"
+	"svwsim/internal/workload"
 )
 
 // The paper's full multi-ladder sweep on a benchmark pair: 3 ladders ×
@@ -47,6 +49,51 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 	// Repeat at -j 4: also identical run-to-run.
 	if again := sweepOutput(t, engine.New(4)); again != par {
 		t.Fatal("-j 4 sweep is not reproducible run-to-run")
+	}
+}
+
+// TestResetReuseMatchesFresh pins the Core.Reset contract the engine's
+// per-worker simulator reuse depends on: one core Reset across a
+// heterogeneous job list — different configurations, different benchmarks,
+// a repeat of the first job — produces statistics and committed memory
+// byte-identical to a fresh core per job.
+func TestResetReuseMatchesFresh(t *testing.T) {
+	type job struct {
+		cfg   pipeline.Config
+		bench string
+	}
+	mk := func(c pipeline.Config) pipeline.Config {
+		c.MaxInsts, c.WarmupInsts = detInsts, detInsts/5
+		return c
+	}
+	jobs := []job{
+		{mk(SSQ(SVWUpd)), "gcc"},
+		{mk(NLQ(SVWNoUpd)), "twolf"},
+		{mk(RLE(RLESVW)), "crafty"},
+		{mk(SSQ(SVWUpd)), "gcc"}, // repeat: reuse after two intervening jobs
+	}
+	var reused *pipeline.Core
+	for i, j := range jobs {
+		p := workload.Cached(j.bench)
+		fresh := pipeline.New(j.cfg, p)
+		if err := fresh.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if reused == nil {
+			reused = pipeline.New(j.cfg, p)
+		} else {
+			reused.Reset(j.cfg, p)
+		}
+		if err := reused.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if *fresh.Stats() != *reused.Stats() {
+			t.Errorf("job %d (%s on %s): reused-core stats differ from fresh\nfresh:  %+v\nreused: %+v",
+				i, j.cfg.Name, j.bench, *fresh.Stats(), *reused.Stats())
+		}
+		if addr, diff := fresh.CommittedMem().Diff(reused.CommittedMem()); diff {
+			t.Errorf("job %d: committed memory differs at %#x", i, addr)
+		}
 	}
 }
 

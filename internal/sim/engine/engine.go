@@ -27,11 +27,12 @@ package engine
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"svwsim/internal/pipeline"
 )
 
 // Job is one experiment: a machine configuration on a benchmark kernel.
@@ -259,6 +260,10 @@ func (e *Engine) RunContext(ctx context.Context, jobs []Job, progress func(JobRe
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
+			// Each worker owns one reusable simulator: cores are Reset
+			// between jobs instead of constructed per job (arena, rings and
+			// register files carry over; see pipeline.Core.Reset).
+			rn := &runner{}
 			for {
 				idx, ok := shards[self].pop()
 				if !ok {
@@ -275,7 +280,7 @@ func (e *Engine) RunContext(ctx context.Context, jobs []Job, progress func(JobRe
 					emit(idx)
 					continue
 				}
-				e.execute(idx, jobs[idx], out, emit, &deliver)
+				e.execute(idx, jobs[idx], out, emit, &deliver, rn)
 			}
 		}(w)
 	}
@@ -298,12 +303,12 @@ func (e *Engine) RunContext(ctx context.Context, jobs []Job, progress func(JobRe
 // flight is parked as a waiter — the worker returns immediately to take
 // other queued work, and the executing worker delivers the parked result.
 func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
-	deliver *sync.WaitGroup) {
+	deliver *sync.WaitGroup, rn *runner) {
 	if j.Config.TraceCommit != nil {
 		// Traced runs exist for their side effects; a memo hit would
 		// silently skip the per-instruction callbacks. Always execute.
 		start := time.Now()
-		res, err := e.runWithTimeout(j)
+		res, err := e.runWithTimeout(j, rn)
 		out[idx] = JobResult{Index: idx, Job: j, Result: res, Err: err,
 			Elapsed: time.Since(start)}
 		emit(idx)
@@ -343,7 +348,7 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 	e.mu.Unlock()
 
 	start := time.Now()
-	res, err := e.runWithTimeout(j)
+	res, err := e.runWithTimeout(j, rn)
 	e.mu.Lock()
 	ent.res, ent.err, ent.complete = res, err, true
 	waiters := ent.waiters
@@ -365,21 +370,47 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 	}
 }
 
-func (e *Engine) runWithTimeout(j Job) (Result, error) {
+// runner is one worker's reusable simulator slot. It is owned by exactly
+// one worker goroutine; the timeout path hands its core to the run
+// goroutine and only takes it back through the result channel, so an
+// abandoned (timed-out) run keeps its core and the runner starts fresh.
+type runner struct {
+	core *pipeline.Core
+}
+
+func (e *Engine) runWithTimeout(j Job, rn *runner) (Result, error) {
 	e.mu.Lock()
 	timeout := e.timeout
 	e.mu.Unlock()
 	if timeout <= 0 {
-		return Run(j.Config, j.Bench, j.Insts)
+		res, core, err := runOn(rn.core, j.Config, j.Bench, j.Insts)
+		rn.core = core
+		return res, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	res, err := RunContext(ctx, j.Config, j.Bench, j.Insts)
-	if errors.Is(err, context.DeadlineExceeded) {
+	type outcome struct {
+		res  Result
+		core *pipeline.Core
+		err  error
+	}
+	core := rn.core
+	rn.core = nil
+	ch := make(chan outcome, 1)
+	go func() {
+		res, c, err := runOn(core, j.Config, j.Bench, j.Insts)
+		ch <- outcome{res, c, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		rn.core = o.core
+		return o.res, o.err
+	case <-timer.C:
+		// The abandoned goroutine still terminates on the configuration's
+		// own MaxCycles bound; its core is lost with it.
 		return Result{}, fmt.Errorf("%s on %s: timed out after %v",
 			j.Bench, j.Config.Name, timeout)
 	}
-	return res, err
 }
 
 // shard is one worker's deque of job indices.

@@ -27,18 +27,32 @@ func (r *Result) IPC() float64 { return r.Stats.IPC() }
 // executor and may be called directly for one-off runs; only Engine.Run
 // memoizes.
 func Run(cfg Config, bench string, maxInsts uint64) (Result, error) {
-	p := workload.BuildByName(bench)
+	res, _, err := runOn(nil, cfg, bench, maxInsts)
+	return res, err
+}
+
+// runOn executes one job on a reusable simulator. core may be nil (a fresh
+// one is built); the simulator actually used is returned so the caller can
+// keep it for the next job — pipeline.Core.Reset guarantees a reused core
+// is observationally identical to a fresh one. The benchmark program comes
+// from the process-wide build cache.
+func runOn(core *pipeline.Core, cfg Config, bench string, maxInsts uint64) (Result, *pipeline.Core, error) {
+	p := workload.Cached(bench)
 	if maxInsts > 0 {
 		cfg.MaxInsts = maxInsts
 		if cfg.WarmupInsts >= maxInsts/2 {
 			cfg.WarmupInsts = maxInsts / 5
 		}
 	}
-	c := pipeline.New(cfg, p)
-	if err := c.Run(); err != nil {
-		return Result{}, fmt.Errorf("%s on %s: %w", bench, cfg.Name, err)
+	if core == nil {
+		core = pipeline.New(cfg, p)
+	} else {
+		core.Reset(cfg, p)
 	}
-	return Result{Bench: bench, Config: cfg.Name, Stats: *c.Stats()}, nil
+	if err := core.Run(); err != nil {
+		return Result{}, core, fmt.Errorf("%s on %s: %w", bench, cfg.Name, err)
+	}
+	return Result{Bench: bench, Config: cfg.Name, Stats: *core.Stats()}, core, nil
 }
 
 // RunContext is Run with cancellation: it returns ctx's error without

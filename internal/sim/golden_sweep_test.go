@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"svwsim/internal/sim/engine"
+)
+
+// The differential-equivalence suite: a golden snapshot of the full
+// `svwsim -json` sweep — every registry configuration crossed with three
+// behaviourally distinct benchmarks at a reduced instruction budget —
+// captured before the zero-allocation rewrite of the timing core. The
+// optimized core must reproduce it byte-for-byte: any change to timing,
+// stats accounting, or JSON encoding shows up as a diff against
+// testdata/svwsim_sweep.golden. Regenerate (deliberately!) with
+//
+//	go test ./internal/sim -run GoldenSVWSimSweep -update
+const goldenSweepInsts = 8_000
+
+var goldenSweepBenches = []string{"crafty", "gcc", "twolf"}
+
+// goldenSweepJobs is the cross product cmd/svwsim would run for
+// `-config <all registry names> -bench crafty,gcc,twolf`.
+func goldenSweepJobs(t *testing.T) []engine.Job {
+	t.Helper()
+	var jobs []engine.Job
+	for _, cname := range ConfigNames() {
+		cfg, ok := ConfigByName(cname)
+		if !ok {
+			t.Fatalf("registry name %q does not resolve", cname)
+		}
+		for _, b := range goldenSweepBenches {
+			jobs = append(jobs, engine.Job{Study: "svwsim", Label: cfg.Name,
+				Config: cfg, Bench: b, Insts: goldenSweepInsts})
+		}
+	}
+	return jobs
+}
+
+// renderSweepJSON encodes results exactly the way cmd/svwsim -json does:
+// one indented JSON object per result, in job order.
+func renderSweepJSON(t *testing.T, rs []engine.JobResult) string {
+	t.Helper()
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	for _, r := range rs {
+		if err := enc.Encode(r.Result); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+func runGoldenSweep(t *testing.T, workers int) string {
+	t.Helper()
+	eng := engine.New(workers)
+	rs, err := eng.Run(goldenSweepJobs(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderSweepJSON(t, rs)
+}
+
+// TestGoldenSVWSimSweep asserts the timing core reproduces the committed
+// pre-rewrite study output byte-for-byte.
+func TestGoldenSVWSimSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	checkGolden(t, "svwsim_sweep.golden", runGoldenSweep(t, 4))
+}
+
+// TestGoldenSweepWorkerInvariance re-asserts -j 1 == -j 4 on the golden
+// sweep itself (the full registry, not just the figure ladders).
+func TestGoldenSweepWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if seq, par := runGoldenSweep(t, 1), runGoldenSweep(t, 4); seq != par {
+		t.Fatal("golden sweep differs between -j 1 and -j 4")
+	}
+}

@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"sync"
+
+	"svwsim/internal/prog"
+)
+
+// Built programs are deterministic pure functions of their profile and
+// immutable once built (runs instantiate private memory images via
+// prog.Program.NewImage), so the experiment engine shares one build per
+// benchmark across all jobs and workers instead of regenerating code, index
+// streams, and data segments for every run.
+var (
+	progMu    sync.Mutex
+	progCache = make(map[string]*prog.Program)
+)
+
+// Cached returns the named benchmark kernel, building it at most once per
+// process. The returned program is shared: callers must treat it as
+// read-only (every in-repo consumer does — runs operate on fresh images).
+func Cached(name string) *prog.Program {
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progCache[name]; ok {
+		return p
+	}
+	p := BuildByName(name)
+	progCache[name] = p
+	return p
+}

@@ -1,0 +1,93 @@
+package workload_test
+
+import (
+	"testing"
+
+	"svwsim/internal/emu"
+	"svwsim/internal/pipeline"
+	"svwsim/internal/workload"
+)
+
+// FuzzWorkloadProfile builds randomized (but structurally valid) kernel
+// profiles and runs them through the aggressively speculating NLQ+SVW
+// machine, asserting the pipeline's committed instruction stream is exactly
+// the in-order oracle's: same sequence numbers, same PCs, and a committed
+// memory image byte-identical to a pure functional execution. Any flush,
+// forwarding, elimination, or filtering bug that commits a wrong-path or
+// wrong-value instruction diverges one of the three.
+func FuzzWorkloadProfile(f *testing.F) {
+	f.Add(int64(1), uint8(12), uint8(3), uint8(2), uint8(2), uint8(1), uint8(2),
+		uint8(2), uint8(1), uint8(2), uint8(40), uint8(5), false)
+	f.Add(int64(77), uint8(24), uint8(6), uint8(0), uint8(3), uint8(3), uint8(0),
+		uint8(0), uint8(3), uint8(1), uint8(70), uint8(9), true)
+	f.Add(int64(-9), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0),
+		uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), false)
+	f.Fuzz(func(t *testing.T, seed int64, blocks,
+		wHash, wFwd, wReload, wBypass, wChase, wStream, wSwap, wCall,
+		ambig, noise uint8, useMul bool) {
+		p := workload.Profile{
+			Name: "fuzz", Seed: seed,
+			Blocks: 1 + int(blocks%24),
+			W: workload.Weights{
+				Hash:   int(wHash % 8),
+				Fwd:    int(wFwd % 4),
+				Reload: int(wReload % 4),
+				Bypass: int(wBypass % 4),
+				Chase:  int(wChase % 4),
+				Stream: int(wStream % 4),
+				Swap:   int(wSwap % 3),
+				ALU:    1, // keeps the weight total positive
+				Call:   int(wCall % 4),
+				Late:   int((wHash ^ wFwd) % 3),
+			},
+			HashEntries: 512 << (blocks % 2),
+			SwapEntries: 128 << (wSwap % 3),
+			ChaseNodes:  128 << (wChase % 3),
+			CallSaves:   1 + int(wCall%6),
+			FwdDist:     int(wFwd % 6),
+			FwdAmbigPct: int(ambig % 80),
+
+			BranchNoisePct: int(noise % 10),
+			UseMul:         useMul,
+		}
+		prog := workload.Build(p)
+
+		cfg := pipeline.Wide8Config()
+		cfg.Name = "fuzz-nlq+svw"
+		cfg.LSU = pipeline.LSUNLQ
+		cfg.LQSearch = false
+		cfg.StoreIssue = 2
+		cfg.Rex = pipeline.RexReal
+		cfg.SVW.Enabled = true
+		cfg.SVW.UpdateOnForward = true
+		cfg.WarmupInsts = 0
+		cfg.MaxInsts = 2_500
+		cfg.MaxCycles = 2_000_000
+
+		type commit struct{ seq, pc uint64 }
+		var got []commit
+		cfg.TraceCommit = func(r pipeline.TraceRecord) {
+			got = append(got, commit{r.Seq, r.PC})
+		}
+		c := pipeline.New(cfg, prog)
+		if err := c.Run(); err != nil {
+			t.Fatalf("pipeline: %v", err)
+		}
+
+		// Replay the oracle and demand stream equality.
+		ref := emu.New(prog.NewImage(), prog.Entry)
+		for i, cm := range got {
+			d, err := ref.Step()
+			if err != nil {
+				t.Fatalf("oracle step %d: %v", i, err)
+			}
+			if d.Seq != cm.seq || d.PC != cm.pc {
+				t.Fatalf("commit %d: pipeline committed seq=%d pc=%#x, oracle has seq=%d pc=%#x",
+					i, cm.seq, cm.pc, d.Seq, d.PC)
+			}
+		}
+		if addr, diff := c.CommittedMem().Diff(ref.Mem); diff {
+			t.Fatalf("committed memory diverges from oracle at %#x", addr)
+		}
+	})
+}
