@@ -1,11 +1,13 @@
 #!/bin/sh
 # ci.sh — the repository's test gate. Mirrors what a hosted CI job runs:
 # static checks, a full build, the race-enabled test suite (covering the
-# ring-buffer timing core), a fuzz smoke over the differential and builder
-# fuzzers, a one-shot engine benchmark so sweep scaling regressions surface
-# early, the measured-performance gate against BENCH_pipeline.json, and an
-# svwd smoke stage that boots the daemon and byte-compares its responses
-# against the svwsim CLI.
+# ring-buffer timing core and the svwctl coordinator's concurrency/fault
+# tests), a fuzz smoke over the differential and builder fuzzers, a
+# one-shot engine benchmark so sweep scaling regressions surface early,
+# the measured-performance gate against BENCH_pipeline.json, an svwd
+# smoke stage that boots the daemon and byte-compares its responses
+# against the svwsim CLI, and a cluster smoke stage that does the same
+# through svwctl fronting two svwd children.
 #
 #   ./ci.sh            run the full gate
 #   ./ci.sh benchjson  re-capture the 'current' block of BENCH_pipeline.json
@@ -71,4 +73,52 @@ cmp "$tmp/got.json" "$tmp/want.json"
 # Graceful drain: SIGTERM must stop the daemon cleanly.
 kill -TERM "$svwd_pid"
 wait "$svwd_pid"
+trap 'rm -rf "$tmp"' EXIT
+
+# Cluster smoke: svwctl over two svwd children must serve the same run
+# and sweep byte-identically to svwsim -json — the fabric must be
+# invisible to clients.
+go build -o "$tmp" ./cmd/svwctl
+
+"$tmp/svwd" -addr 127.0.0.1:0 -j 2 -grace 0 >"$tmp/b1.out" 2>"$tmp/b1.err" &
+b1_pid=$!
+"$tmp/svwd" -addr 127.0.0.1:0 -j 2 -grace 0 >"$tmp/b2.out" 2>"$tmp/b2.err" &
+b2_pid=$!
+trap 'kill "$b1_pid" "$b2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+wait_listening() {
+    i=0
+    while ! grep -q 'listening on' "$1"; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "$2 did not come up" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+wait_listening "$tmp/b1.out" "svwd backend 1" "$tmp/b1.err"
+wait_listening "$tmp/b2.out" "svwd backend 2" "$tmp/b2.err"
+b1=$(sed -n 's/^svwd: listening on //p' "$tmp/b1.out")
+b2=$(sed -n 's/^svwd: listening on //p' "$tmp/b2.out")
+
+"$tmp/svwctl" -addr 127.0.0.1:0 -grace 0 \
+    -backends "http://$b1,http://$b2" >"$tmp/ctl.out" 2>"$tmp/ctl.err" &
+ctl_pid=$!
+trap 'kill "$ctl_pid" "$b1_pid" "$b2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+wait_listening "$tmp/ctl.out" "svwctl" "$tmp/ctl.err"
+ctl=$(sed -n 's/^svwctl: listening on //p' "$tmp/ctl.out")
+
+"$tmp/svwload" -smoke -url "http://$ctl" \
+    -configs ssq,ssq+svw -benches gcc,twolf -insts "$smoke_insts" >"$tmp/ctl_got.json"
+"$tmp/svwsim" -json -config ssq -bench gcc -insts "$smoke_insts" >"$tmp/ctl_want.json"
+"$tmp/svwsim" -json -config ssq,ssq+svw -bench gcc,twolf -insts "$smoke_insts" >>"$tmp/ctl_want.json"
+cmp "$tmp/ctl_got.json" "$tmp/ctl_want.json"
+
+# Graceful drain for the whole fabric.
+kill -TERM "$ctl_pid"
+wait "$ctl_pid"
+kill -TERM "$b1_pid" "$b2_pid"
+wait "$b1_pid" "$b2_pid"
 trap 'rm -rf "$tmp"' EXIT

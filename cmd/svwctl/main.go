@@ -1,0 +1,124 @@
+// Command svwctl fronts a pool of svwd backends as one horizontally
+// scaled simulation service. It serves the same JSON/HTTP surface as a
+// single svwd (run, sweep, stats, healthz, configs, benches, studies), so
+// clients — svwload, curl, dashboards — point at either interchangeably.
+// See internal/cluster for the fabric semantics: rendezvous routing on
+// the engine memo key (backend cache affinity), bounded per-backend
+// concurrency, retry-on-another-backend, optional hedging, and health
+// probing.
+//
+// Usage:
+//
+//	svwctl -addr 127.0.0.1:7410 \
+//	       -backends http://127.0.0.1:7411,http://127.0.0.1:7412
+//	svwctl -addr 127.0.0.1:0 -backends ... # free port; printed on stdout
+//
+// Like svwd, svwctl prints "svwctl: listening on HOST:PORT" to stdout
+// once the socket is open and drains gracefully on SIGTERM/SIGINT: the
+// health endpoint flips to 503, in-flight requests get up to -drain to
+// finish, then connections are closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"svwsim/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7410", "listen address (port 0 = pick a free port)")
+	backends := flag.String("backends", "", "comma-separated svwd base URLs (required)")
+	conc := flag.Int("backend-conc", cluster.DefaultBackendConcurrency,
+		"max in-flight requests per backend")
+	attempts := flag.Int("max-attempts", 0,
+		"max forwarding attempts per job across backends (0 = 2x backend count)")
+	hedge := flag.Duration("hedge", 0,
+		"hedge a straggling job onto its fallback backend after this delay (0 = off)")
+	healthEvery := flag.Duration("health-interval", time.Second,
+		"background backend health probe period (0 = passive health only)")
+	maxBody := flag.Int64("max-body", cluster.DefaultMaxBodyBytes, "max request body bytes")
+	maxSweep := flag.Int("max-sweep", cluster.DefaultMaxSweepJobs, "max jobs in one sweep matrix")
+	grace := flag.Duration("grace", time.Second,
+		"delay between advertising 503 on healthz and closing the listener")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	c, err := cluster.New(cluster.Options{
+		Backends:           urls,
+		BackendConcurrency: *conc,
+		MaxAttempts:        *attempts,
+		HedgeAfter:         *hedge,
+		MaxBodyBytes:       *maxBody,
+		MaxSweepJobs:       *maxSweep,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svwctl: %v (use -backends url1,url2)\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	// Seed real health marks before taking traffic, then keep probing in
+	// the background so idle recovery doesn't wait for a fail-open retry.
+	healthy := c.ProbeAll(ctx)
+	fmt.Fprintf(os.Stderr, "svwctl: %d/%d backends healthy\n", healthy, len(urls))
+	if *healthEvery > 0 {
+		go c.HealthLoop(ctx, *healthEvery)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svwctl: %v\n", err)
+		os.Exit(1)
+	}
+	// Stdout, unbuffered: scripts (ci.sh's cluster smoke stage) parse the
+	// bound address to reach a coordinator started on port 0.
+	fmt.Printf("svwctl: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "svwctl: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain, mirroring svwd: advertise 503 on healthz, keep the
+	// listener open for the grace period so load balancers observe it,
+	// then stop accepting and give in-flight requests the drain window.
+	fmt.Fprintln(os.Stderr, "svwctl: draining")
+	c.SetDraining(true)
+	time.Sleep(*grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "svwctl: shutdown: %v\n", err)
+		}
+		srv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "svwctl: stopped")
+}

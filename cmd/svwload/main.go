@@ -1,9 +1,13 @@
-// Command svwload drives a running svwd daemon: the repository's first
-// service-level benchmark. It fires N concurrent clients at /v1/sweep with
-// a repeated config × bench matrix and reports throughput, latency
-// percentiles, admission rejections, and the daemon's cache hit rate over
-// the run (from /v1/stats deltas) — the workload the ISCA evaluation
-// matrix generates when it is served remotely instead of run locally.
+// Command svwload drives a running simulation service — a single svwd
+// daemon or an svwctl coordinator fronting several, interchangeably: the
+// repository's service-level benchmark. It fires N concurrent clients at
+// /v1/sweep with a repeated config × bench matrix and reports throughput,
+// latency percentiles, admission rejections, and the service's cache hit
+// rate over the run (from /v1/stats deltas) — the workload the ISCA
+// evaluation matrix generates when it is served remotely instead of run
+// locally. Pointed at a coordinator (-url to svwctl), the /v1/stats
+// cluster section is also reported: backend health, retries and hedges
+// over the run.
 //
 // Usage:
 //
@@ -161,6 +165,14 @@ type statsSnapshot struct {
 	Admission struct {
 		Rejected uint64 `json:"rejected"`
 	} `json:"admission"`
+	// Cluster is present only when the target is an svwctl coordinator.
+	Cluster *struct {
+		BackendsTotal   int    `json:"backends_total"`
+		BackendsHealthy int    `json:"backends_healthy"`
+		Jobs            uint64 `json:"jobs"`
+		Retries         uint64 `json:"retries"`
+		Hedges          uint64 `json:"hedges"`
+	} `json:"cluster"`
 }
 
 // runLoad fires clients × iters sweep requests and prints the service-level
@@ -254,5 +266,15 @@ func (l *loader) runLoad(clients, iters int) error {
 	fmt.Printf("  engine memo   +%d hits / +%d misses over the run\n",
 		after.Engine.MemoHits-before.Engine.MemoHits,
 		after.Engine.MemoMisses-before.Engine.MemoMisses)
+	if cl := after.Cluster; cl != nil {
+		var jobs, retries, hedges uint64
+		if b := before.Cluster; b != nil {
+			jobs, retries, hedges = cl.Jobs-b.Jobs, cl.Retries-b.Retries, cl.Hedges-b.Hedges
+		} else {
+			jobs, retries, hedges = cl.Jobs, cl.Retries, cl.Hedges
+		}
+		fmt.Printf("  cluster       %d/%d backends healthy, +%d jobs, +%d retries, +%d hedges\n",
+			cl.BackendsHealthy, cl.BackendsTotal, jobs, retries, hedges)
+	}
 	return nil
 }

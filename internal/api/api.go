@@ -1,0 +1,216 @@
+// Package api is the wire contract of the svw simulation services: the
+// request/response shapes and the exact JSON encoding shared by the svwd
+// backend (internal/server) and the svwctl coordinator (internal/cluster).
+// Both layers serve the same /v1 surface from these types, so a client —
+// svwload, curl, a dashboard — cannot tell a single backend from a fabric
+// of them, and the two implementations cannot drift apart: there is only
+// one definition of every body that crosses the wire.
+//
+// /v1/run and /v1/sweep bodies use exactly the `svwsim -json` encoding
+// (MarshalResult), so any service response can be byte-compared against
+// the CLI; the CI smoke stages do exactly that, for svwd and for svwctl
+// fronting two svwd children.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"svwsim/internal/sim/engine"
+)
+
+// CacheHeader is set by svwd on /v1/run responses ("hit" or "miss") so a
+// fronting coordinator can observe backend cache effectiveness without
+// parsing bodies; svwctl propagates it and surfaces per-backend hit counts
+// in its /v1/stats cluster section.
+const CacheHeader = "X-Svwd-Cache"
+
+// RunRequest is the body of POST /v1/run: one (config, bench, insts) job.
+type RunRequest struct {
+	// Config is a registry name (see GET /v1/configs / sim.ConfigNames).
+	Config string `json:"config"`
+	// Bench is a benchmark kernel name (see GET /v1/benches).
+	Bench string `json:"bench"`
+	// Insts bounds committed instructions (0 keeps the config's default).
+	Insts uint64 `json:"insts"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a config × bench matrix that
+// flattens into a job list config-major (configs outer, benches inner), the
+// same order `svwsim -config a,b -bench x,y` runs.
+type SweepRequest struct {
+	Configs []string `json:"configs"`
+	Benches []string `json:"benches"`
+	Insts   uint64   `json:"insts"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ConfigsResponse is the body of GET /v1/configs.
+type ConfigsResponse struct {
+	Configs []string `json:"configs"`
+}
+
+// BenchesResponse is the body of GET /v1/benches.
+type BenchesResponse struct {
+	Benches []string `json:"benches"`
+}
+
+// HealthResponse is the body of GET /v1/healthz. Status is "ok" while
+// serving and "draining" (with HTTP 503) once shutdown has begun, so load
+// balancers stop routing new work during the drain. The coordinator adds
+// "degraded" (503) when no backend is healthy, and reports pool counts in
+// the Backends* fields (omitted by single-node svwd).
+type HealthResponse struct {
+	Status          string  `json:"status"`
+	UptimeS         float64 `json:"uptime_s"`
+	BackendsHealthy *int    `json:"backends_healthy,omitempty"`
+	BackendsTotal   *int    `json:"backends_total,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats. From svwd the Cluster field
+// is absent; from svwctl the Cache/Engine/Admission sections are sums over
+// the backend pool and Cluster carries the coordinator's own counters, so
+// tooling written against one shape (svwload) reads both.
+type StatsResponse struct {
+	UptimeS   float64       `json:"uptime_s"`
+	Cache     CacheStats    `json:"cache"`
+	Engine    EngineStats   `json:"engine"`
+	Admission GateStats     `json:"admission"`
+	Cluster   *ClusterStats `json:"cluster,omitempty"`
+}
+
+// CacheStats is the /v1/stats view of the svwd result cache (or, from the
+// coordinator, the pool-wide sum).
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// EngineStats surfaces the shared engine's reuse counters.
+type EngineStats struct {
+	MemoHits    uint64 `json:"memo_hits"`
+	MemoMisses  uint64 `json:"memo_misses"`
+	MemoEntries int    `json:"memo_entries"`
+}
+
+// GateStats is the /v1/stats view of the admission gate.
+type GateStats struct {
+	// Capacity is the configured max concurrent jobs (0 = unlimited).
+	Capacity int    `json:"capacity"`
+	InUse    int    `json:"in_use"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// ClusterStats is the coordinator's own /v1/stats section: fabric-level
+// counters plus the per-backend breakdown. Jobs counts each client job
+// exactly once however many forwarding attempts it took — retries and
+// hedges are accounted separately, never as extra jobs.
+type ClusterStats struct {
+	BackendsTotal   int `json:"backends_total"`
+	BackendsHealthy int `json:"backends_healthy"`
+	// Runs / Sweeps count client requests; Jobs counts sweep cells plus
+	// runs, each exactly once.
+	Runs      uint64 `json:"runs"`
+	Sweeps    uint64 `json:"sweeps"`
+	Jobs      uint64 `json:"jobs"`
+	JobErrors uint64 `json:"job_errors"`
+	// Retries counts failover attempts beyond the first of each
+	// forwarding walk (a hedge's own first attempt is accounted under
+	// Hedges, not Retries); Hedges counts speculative duplicates launched
+	// for stragglers, HedgeWins the hedges whose response was used.
+	Retries   uint64                `json:"retries"`
+	Hedges    uint64                `json:"hedges"`
+	HedgeWins uint64                `json:"hedge_wins"`
+	Backends  []ClusterBackendStats `json:"backends"`
+}
+
+// ClusterBackendStats is one backend's row in ClusterStats.
+type ClusterBackendStats struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// InFlight is the coordinator's current in-flight requests to this
+	// backend (bounded by its per-backend concurrency limit).
+	InFlight int `json:"in_flight"`
+	// Requests counts forwarded requests including retries and hedges;
+	// Errors the ones that failed (connection errors and 5xx).
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	// JobsOK counts jobs whose winning response came from this backend;
+	// CacheHits the subset the backend answered from its LRU (CacheHeader).
+	JobsOK    uint64 `json:"jobs_ok"`
+	CacheHits uint64 `json:"cache_hits"`
+}
+
+// SweepEvent is the data payload of one SSE "result" event during
+// POST /v1/sweep streaming: the job's index in the flattened matrix plus
+// where its result came from. Events always arrive in index order.
+type SweepEvent struct {
+	Index  int    `json:"index"`
+	Config string `json:"config"`
+	Bench  string `json:"bench"`
+	// Cached: served from an LRU cache, no engine involvement (on the
+	// coordinator: the serving backend's cache, via CacheHeader).
+	Cached bool `json:"cached"`
+	// Memoized: executed via the engine but answered from its memo table.
+	Memoized bool `json:"memoized"`
+	// Backend is the URL of the backend that served the job; set only by
+	// the coordinator (single-node svwd omits it).
+	Backend string `json:"backend,omitempty"`
+	// Error is set instead of Result when the job failed (or was cancelled).
+	Error string `json:"error,omitempty"`
+	// Result is the engine result in the `svwsim -json` shape.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// SweepDone is the data payload of the final SSE "done" event.
+type SweepDone struct {
+	Jobs        int `json:"jobs"`
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	Errors      int `json:"errors"`
+}
+
+// --- encoding helpers ----------------------------------------------------
+
+// WriteJSON writes v as indented JSON with a trailing newline (the same
+// encoding `svwsim -json` and `svwexp -json` use).
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	WriteBody(w, status, append(b, '\n'))
+}
+
+// WriteBody writes pre-serialized JSON bytes.
+func WriteBody(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// WriteError writes an ErrorResponse with the given status.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// MarshalResult encodes an engine result exactly as `svwsim -json` does:
+// indented JSON plus a trailing newline. Both service layers store and
+// serve results in this form, so cache hits, fresh runs, coordinator
+// merges and the CLI are all byte-identical.
+func MarshalResult(res engine.Result) ([]byte, error) {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

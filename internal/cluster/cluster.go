@@ -1,0 +1,306 @@
+// Package cluster scales the svwd simulation service out horizontally:
+// the svwctl coordinator fronts N svwd backends behind the same JSON/HTTP
+// surface (/v1/run, /v1/sweep, /v1/healthz, /v1/stats, /v1/configs,
+// /v1/benches, /v1/studies/*), so clients — svwload, curl, dashboards —
+// are unchanged whether they talk to one backend or a fabric of them.
+//
+// The fabric's moving parts:
+//
+//   - routing: every job is placed by rendezvous hashing on its engine
+//     memo key (engine.Fingerprint — the same key svwd's LRU and the
+//     engine's memo table use), so repeated jobs always land on the same
+//     backend and its caches stay hot, and a backend-set change only
+//     remaps the keys the departed backend owned (see routing.go);
+//   - fan-out: sweep matrices flatten config-major exactly like svwd and
+//     svwsim, each cell forwarded as one /v1/run with bounded per-backend
+//     concurrency; responses merge back in job-index order, buffered or
+//     as SSE, so cluster output is byte-identical to `svwsim -json`;
+//   - resilience: backends are health-checked (background probes plus
+//     passive marking on request failures); a failed attempt retries on
+//     the key's next-ranked backend, and optional hedging duplicates a
+//     straggling job onto the fallback after a configurable delay, first
+//     response winning;
+//   - observability: /v1/stats aggregates the pool's cache/engine/
+//     admission counters and adds a cluster section (per-backend health,
+//     requests, errors, jobs won, cache hits, retry/hedge counts). Each
+//     client job is counted exactly once however many attempts it took.
+//
+// The coordinator keeps no result state of its own: caching lives in the
+// backends, where the routing affinity makes it effective.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"svwsim/internal/api"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultBackendConcurrency = 8
+	DefaultMaxBodyBytes       = 1 << 20 // 1 MiB
+	DefaultMaxSweepJobs       = 4096
+	DefaultProbeTimeout       = 2 * time.Second
+)
+
+// Options configures a Coordinator. Backends is required; every other
+// zero value falls back to a production-usable default.
+type Options struct {
+	// Backends are the svwd base URLs to front (e.g. "http://10.0.0.1:7411").
+	// Order does not matter: placement depends only on the URL set.
+	Backends []string
+	// BackendConcurrency caps the coordinator's in-flight requests per
+	// backend (0 = DefaultBackendConcurrency).
+	BackendConcurrency int
+	// MaxAttempts bounds forwarding attempts per job, counting the first
+	// (0 = 2 × len(Backends), min 2). Attempts walk the key's rendezvous
+	// order, healthy backends first, then fail open to unhealthy ones.
+	MaxAttempts int
+	// HedgeAfter launches a speculative duplicate of a job on its
+	// next-ranked backend when the primary has not answered within this
+	// delay; the first response wins (0 = hedging disabled). The hedge
+	// shares the job's MaxAttempts budget.
+	HedgeAfter time.Duration
+	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxSweepJobs bounds one sweep's flattened matrix
+	// (0 = DefaultMaxSweepJobs).
+	MaxSweepJobs int
+	// Client optionally overrides the HTTP client used to reach backends
+	// (nil = a client with a connection pool sized to the fabric).
+	Client *http.Client
+}
+
+// backend is one svwd instance in the pool.
+type backend struct {
+	url string
+	sem chan struct{} // per-backend in-flight bound
+
+	mu        sync.Mutex
+	healthy   bool
+	lastErr   error
+	inFlight  int
+	requests  uint64
+	errors    uint64
+	jobsOK    uint64
+	cacheHits uint64
+}
+
+func (b *backend) isHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// setHealth flips the backend's health state (err annotates an unhealthy
+// transition for stats/debugging).
+func (b *backend) setHealth(healthy bool, err error) {
+	b.mu.Lock()
+	b.healthy = healthy
+	b.lastErr = err
+	b.mu.Unlock()
+}
+
+// noteStart accounts one forwarded request beginning.
+func (b *backend) noteStart() {
+	b.mu.Lock()
+	b.inFlight++
+	b.requests++
+	b.mu.Unlock()
+}
+
+// noteEnd accounts a request finishing; failed marks a transport/5xx
+// failure.
+func (b *backend) noteEnd(failed bool) {
+	b.mu.Lock()
+	b.inFlight--
+	if failed {
+		b.errors++
+	}
+	b.mu.Unlock()
+}
+
+// noteWin accounts a winning response — the one actually returned to the
+// client; cached marks a backend LRU hit. Called once per dispatch, so a
+// retried or hedged job still scores exactly one win.
+func (b *backend) noteWin(cached bool) {
+	b.mu.Lock()
+	b.jobsOK++
+	if cached {
+		b.cacheHits++
+	}
+	b.mu.Unlock()
+}
+
+func (b *backend) stats() api.ClusterBackendStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return api.ClusterBackendStats{
+		URL:       b.url,
+		Healthy:   b.healthy,
+		InFlight:  b.inFlight,
+		Requests:  b.requests,
+		Errors:    b.errors,
+		JobsOK:    b.jobsOK,
+		CacheHits: b.cacheHits,
+	}
+}
+
+// Coordinator is the svwctl fabric: a stateless router/merger over a pool
+// of svwd backends. Create with New; it is safe for concurrent use.
+type Coordinator struct {
+	backends     []*backend
+	client       *http.Client
+	maxAttempts  int
+	hedgeAfter   time.Duration
+	maxBody      int64
+	maxSweepJobs int
+	start        time.Time
+	draining     atomic.Bool
+
+	mu        sync.Mutex
+	runs      uint64
+	sweeps    uint64
+	jobs      uint64
+	jobErrors uint64
+	retries   uint64
+	hedges    uint64
+	hedgeWins uint64
+}
+
+// New builds a Coordinator over opts.Backends (at least one required).
+// Backends start out presumed healthy; probes and request outcomes adjust
+// the presumption from there.
+func New(opts Options) (*Coordinator, error) {
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	conc := opts.BackendConcurrency
+	if conc <= 0 {
+		conc = DefaultBackendConcurrency
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 2 * len(opts.Backends)
+	}
+	if maxAttempts < 2 {
+		maxAttempts = 2
+	}
+	maxBody := opts.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	maxSweep := opts.MaxSweepJobs
+	if maxSweep <= 0 {
+		maxSweep = DefaultMaxSweepJobs
+	}
+	client := opts.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = conc
+		client = &http.Client{Transport: tr}
+	}
+	seen := make(map[string]bool, len(opts.Backends))
+	c := &Coordinator{
+		client:       client,
+		maxAttempts:  maxAttempts,
+		hedgeAfter:   opts.HedgeAfter,
+		maxBody:      maxBody,
+		maxSweepJobs: maxSweep,
+		start:        time.Now(),
+	}
+	for _, u := range opts.Backends {
+		if u == "" || seen[u] {
+			return nil, fmt.Errorf("cluster: empty or duplicate backend URL %q", u)
+		}
+		seen[u] = true
+		c.backends = append(c.backends, &backend{
+			url:     u,
+			sem:     make(chan struct{}, conc),
+			healthy: true,
+		})
+	}
+	return c, nil
+}
+
+// SetDraining marks the coordinator as draining: /v1/healthz flips to 503
+// so load balancers stop routing to the process while in-flight requests
+// finish (the same drain contract svwd has).
+func (c *Coordinator) SetDraining(v bool) { c.draining.Store(v) }
+
+// healthyCount returns how many backends are currently presumed healthy.
+func (c *Coordinator) healthyCount() int {
+	n := 0
+	for _, b := range c.backends {
+		if b.isHealthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Handler returns the fabric's routing handler, suitable for http.Server.
+// The surface mirrors internal/server's exactly.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
+	mux.HandleFunc("GET /v1/configs", c.handleConfigs)
+	mux.HandleFunc("GET /v1/benches", c.handleBenches)
+	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	mux.HandleFunc("POST /v1/run", c.handleRun)
+	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
+	mux.HandleFunc("GET /v1/studies/{study}", c.handleStudy)
+	return mux
+}
+
+// counters below are tiny and hot; one mutex keeps them race-clean.
+
+func (c *Coordinator) addRun()   { c.mu.Lock(); c.runs++; c.mu.Unlock() }
+func (c *Coordinator) addSweep() { c.mu.Lock(); c.sweeps++; c.mu.Unlock() }
+
+// addJob accounts one client job's final outcome — exactly once per job,
+// however many forwarding attempts or hedges it took.
+func (c *Coordinator) addJob(failed bool) {
+	c.mu.Lock()
+	if failed {
+		c.jobErrors++
+	} else {
+		c.jobs++
+	}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) addRetry() { c.mu.Lock(); c.retries++; c.mu.Unlock() }
+func (c *Coordinator) addHedge() { c.mu.Lock(); c.hedges++; c.mu.Unlock() }
+func (c *Coordinator) addHedgeWin() {
+	c.mu.Lock()
+	c.hedgeWins++
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) clusterStats() api.ClusterStats {
+	c.mu.Lock()
+	st := api.ClusterStats{
+		Runs:      c.runs,
+		Sweeps:    c.sweeps,
+		Jobs:      c.jobs,
+		JobErrors: c.jobErrors,
+		Retries:   c.retries,
+		Hedges:    c.hedges,
+		HedgeWins: c.hedgeWins,
+	}
+	c.mu.Unlock()
+	st.BackendsTotal = len(c.backends)
+	for _, b := range c.backends {
+		bs := b.stats()
+		if bs.Healthy {
+			st.BackendsHealthy++
+		}
+		st.Backends = append(st.Backends, bs)
+	}
+	return st
+}

@@ -1,0 +1,454 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"svwsim/internal/api"
+	"svwsim/internal/server"
+	"svwsim/internal/sim"
+	"svwsim/internal/sim/engine"
+)
+
+const testInsts = 5_000
+
+// equivalenceBenches is the bench slice the multi-node suite sweeps with
+// the full config registry: every machine in the paper's ladders over a
+// representative bench subset, kept small enough for the race-enabled run.
+var equivalenceBenches = []string{"gcc", "twolf"}
+
+// fabric is a coordinator over n real in-process svwd backends, each an
+// httptest server speaking actual HTTP (so transport-level faults —
+// connection kills, 503 wrappers — behave like production).
+type fabric struct {
+	c        *Coordinator
+	backends []*httptest.Server
+}
+
+// newFabric builds n svwd backends and a coordinator over them. wrap, if
+// non-nil, can interpose a fault-injecting handler per backend.
+func newFabric(t *testing.T, n int, opts Options, wrap func(i int, h http.Handler) http.Handler) *fabric {
+	t.Helper()
+	f := &fabric{}
+	for i := 0; i < n; i++ {
+		h := server.New(server.Options{Workers: 2, MaxConcurrentJobs: -1}).Handler()
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		f.backends = append(f.backends, ts)
+		opts.Backends = append(opts.Backends, ts.URL)
+	}
+	c, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runs after the backends close (LIFO): drop pooled keep-alive
+	// connections so server teardown never waits on them.
+	t.Cleanup(c.client.CloseIdleConnections)
+	f.c = c
+	return f
+}
+
+// do runs one request through the coordinator's handler.
+func (f *fabric) do(method, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	for k, v := range hdr {
+		r.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	f.c.Handler().ServeHTTP(w, r)
+	return w
+}
+
+// stats fetches the coordinator's aggregated /v1/stats.
+func (f *fabric) stats(t *testing.T) api.StatsResponse {
+	t.Helper()
+	w := f.do("GET", "/v1/stats", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats HTTP %d: %s", w.Code, w.Body)
+	}
+	var st api.StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil {
+		t.Fatal("coordinator stats without cluster section")
+	}
+	return st
+}
+
+// refRunBody is the reference encoding — what `svwsim -json` prints for
+// one (config, bench, testInsts) job — memoized across the whole test
+// package so each job's reference simulation runs once.
+var (
+	refMu    sync.Mutex
+	refCache = map[string][]byte{}
+)
+
+func refRunBody(t *testing.T, config, bench string) []byte {
+	t.Helper()
+	k := config + "|" + bench
+	refMu.Lock()
+	body, ok := refCache[k]
+	refMu.Unlock()
+	if ok {
+		return body
+	}
+	cfg, ok := sim.ConfigByName(config)
+	if !ok {
+		t.Fatalf("unknown config %q", config)
+	}
+	res, err := engine.Run(cfg, bench, testInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = api.MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMu.Lock()
+	refCache[k] = body
+	refMu.Unlock()
+	return body
+}
+
+// refSweepBody concatenates the reference bodies config-major — the exact
+// bytes `svwsim -json -config c1,c2 -bench b1,b2` prints.
+func refSweepBody(t *testing.T, configs, benches []string) []byte {
+	t.Helper()
+	var body []byte
+	for _, c := range configs {
+		for _, b := range benches {
+			body = append(body, refRunBody(t, c, b)...)
+		}
+	}
+	return body
+}
+
+func sweepBody(configs, benches []string) string {
+	b, _ := json.Marshal(api.SweepRequest{Configs: configs, Benches: benches, Insts: testInsts})
+	return string(b)
+}
+
+// TestClusterSweepEquivalence is the multi-node headline: the full
+// config-registry sweep through a 3-backend fabric is byte-identical to
+// the `svwsim -json` encoding AND to the same sweep through a 1-backend
+// fabric — the cluster-level analog of the engine's j1==j4 determinism.
+func TestClusterSweepEquivalence(t *testing.T) {
+	configs := sim.ConfigNames()
+	want := refSweepBody(t, configs, equivalenceBenches)
+	body := sweepBody(configs, equivalenceBenches)
+
+	multi := newFabric(t, 3, Options{}, nil)
+	w := multi.do("POST", "/v1/sweep", body, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("3-backend sweep HTTP %d: %s", w.Code, w.Body)
+	}
+	if !bytes.Equal(w.Body.Bytes(), want) {
+		t.Fatal("3-backend sweep differs from the svwsim -json reference")
+	}
+
+	single := newFabric(t, 1, Options{}, nil)
+	w1 := single.do("POST", "/v1/sweep", body, nil)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("1-backend sweep HTTP %d: %s", w1.Code, w1.Body)
+	}
+	if !bytes.Equal(w1.Body.Bytes(), w.Body.Bytes()) {
+		t.Fatal("1-backend and 3-backend sweeps differ: merge order is not deterministic")
+	}
+
+	// The equivalence must come from a genuine fan-out: every backend in
+	// the pool served a share of the jobs (routing is balanced enough over
+	// 45 keys that an unused backend means routing or failover is broken).
+	st := multi.stats(t)
+	njobs := uint64(len(configs) * len(equivalenceBenches))
+	if st.Cluster.Jobs != njobs || st.Cluster.JobErrors != 0 {
+		t.Fatalf("cluster jobs %d errors %d, want %d/0", st.Cluster.Jobs, st.Cluster.JobErrors, njobs)
+	}
+	var sumOK uint64
+	for _, b := range st.Cluster.Backends {
+		if b.JobsOK == 0 {
+			t.Errorf("backend %s served no jobs; fan-out did not spread", b.URL)
+		}
+		sumOK += b.JobsOK
+	}
+	if sumOK != njobs {
+		t.Fatalf("backends won %d jobs in total, want exactly %d (no double counting)", sumOK, njobs)
+	}
+	// Backend-side accounting agrees: each job was computed (or served
+	// from an LRU) exactly once across the pool.
+	if served := st.Cache.Hits + st.Cache.Misses; served != njobs {
+		t.Fatalf("pool cache served %d jobs, want %d", served, njobs)
+	}
+
+	// Repeat the sweep: routing affinity must turn it into pure backend
+	// LRU hits, still byte-identical.
+	w2 := multi.do("POST", "/v1/sweep", body, nil)
+	if !bytes.Equal(w2.Body.Bytes(), want) {
+		t.Fatal("repeated sweep differs")
+	}
+	st2 := multi.stats(t)
+	if hits := st2.Cache.Hits - st.Cache.Hits; hits != njobs {
+		t.Fatalf("repeat sweep got %d pool cache hits, want %d (affinity broken)", hits, njobs)
+	}
+}
+
+// TestClusterSSEOrderingAndPayloads: the streamed sweep arrives in
+// job-index order with each payload byte-identical to the reference, and
+// the repeat pass reports backend cache hits through the fabric.
+func TestClusterSSEOrderingAndPayloads(t *testing.T) {
+	f := newFabric(t, 3, Options{}, nil)
+	configs := []string{"ssq", "ssq+svw", "nlq", "rle"}
+	benches := []string{"gcc", "twolf"}
+	body := sweepBody(configs, benches)
+	hdr := map[string]string{"Accept": "text/event-stream"}
+
+	check := func(wantCached bool) {
+		t.Helper()
+		w := f.do("POST", "/v1/sweep", body, hdr)
+		if w.Code != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", w.Code, w.Body)
+		}
+		events, err := api.ParseEvents(w.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(configs) * len(benches)
+		if len(events) != n+1 {
+			t.Fatalf("got %d events, want %d results + done", len(events), n)
+		}
+		for i := 0; i < n; i++ {
+			ev := events[i]
+			if ev.Name != "result" || ev.ID != i {
+				t.Fatalf("event %d: name %q id %d (SSE must arrive in job-index order)", i, ev.Name, ev.ID)
+			}
+			var data api.SweepEvent
+			if err := json.Unmarshal(ev.Data, &data); err != nil {
+				t.Fatal(err)
+			}
+			cfg, bench := configs[i/len(benches)], benches[i%len(benches)]
+			built, _ := sim.ConfigByName(cfg)
+			if data.Index != i || data.Config != built.Name || data.Bench != bench {
+				t.Fatalf("event %d: %+v, want %s on %s", i, data, built.Name, bench)
+			}
+			if data.Backend == "" {
+				t.Fatalf("event %d: no backend attribution", i)
+			}
+			if data.Cached != wantCached {
+				t.Fatalf("event %d: cached=%v, want %v", i, data.Cached, wantCached)
+			}
+			// Event payloads ride inside a JSON envelope, which compacts
+			// the embedded RawMessage; compare against the compacted
+			// reference bytes.
+			var ref bytes.Buffer
+			if err := json.Compact(&ref, refRunBody(t, cfg, bench)); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data.Result, ref.Bytes()) {
+				t.Fatalf("event %d: result payload differs from reference", i)
+			}
+		}
+		last := events[n]
+		if last.Name != "done" {
+			t.Fatalf("final event %q, want done", last.Name)
+		}
+		var done api.SweepDone
+		if err := json.Unmarshal(last.Data, &done); err != nil {
+			t.Fatal(err)
+		}
+		want := api.SweepDone{Jobs: n, CacheHits: 0, CacheMisses: n}
+		if wantCached {
+			want = api.SweepDone{Jobs: n, CacheHits: n, CacheMisses: 0}
+		}
+		if done != want {
+			t.Fatalf("done %+v, want %+v", done, want)
+		}
+	}
+	check(false) // first pass: computed across the pool
+	check(true)  // second pass: served by the backends' LRUs via affinity
+}
+
+// TestClusterRunAndRegistryEndpoints: /v1/run through the fabric matches
+// the reference encoding and the CLI-facing registry endpoints are
+// byte-identical to a backend's.
+func TestClusterRunAndRegistryEndpoints(t *testing.T) {
+	f := newFabric(t, 2, Options{}, nil)
+	runReq := fmt.Sprintf(`{"config":"ssq+svw","bench":"gcc","insts":%d}`, testInsts)
+
+	w := f.do("POST", "/v1/run", runReq, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("run HTTP %d: %s", w.Code, w.Body)
+	}
+	if !bytes.Equal(w.Body.Bytes(), refRunBody(t, "ssq+svw", "gcc")) {
+		t.Fatal("run body differs from svwsim -json reference")
+	}
+	if h := w.Header().Get(api.CacheHeader); h != "miss" {
+		t.Fatalf("first run %s=%q, want miss", api.CacheHeader, h)
+	}
+	// Repeat: same backend via affinity, served by its LRU.
+	w2 := f.do("POST", "/v1/run", runReq, nil)
+	if !bytes.Equal(w2.Body.Bytes(), w.Body.Bytes()) {
+		t.Fatal("repeated run differs")
+	}
+	if h := w2.Header().Get(api.CacheHeader); h != "hit" {
+		t.Fatalf("repeat run %s=%q, want hit (affinity broken)", api.CacheHeader, h)
+	}
+	// A case-insensitive alias routes and encodes identically.
+	alias := fmt.Sprintf(`{"config":"SSQ+SVW","bench":"gcc","insts":%d}`, testInsts)
+	w3 := f.do("POST", "/v1/run", alias, nil)
+	if !bytes.Equal(w3.Body.Bytes(), w.Body.Bytes()) {
+		t.Fatal("aliased config run differs")
+	}
+	if h := w3.Header().Get(api.CacheHeader); h != "hit" {
+		t.Fatalf("aliased run %s=%q, want hit (canonicalization broke affinity)", api.CacheHeader, h)
+	}
+
+	for _, path := range []string{"/v1/configs", "/v1/benches"} {
+		got := f.do("GET", path, "", nil)
+		r, err := http.Get(f.backends[0].URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if _, err := want.ReadFrom(r.Body); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if !bytes.Equal(got.Body.Bytes(), want.Bytes()) {
+			t.Fatalf("%s differs between coordinator and backend", path)
+		}
+	}
+}
+
+// TestClusterStudyProxy: study endpoints route through the fabric and
+// return the backend's figure JSON verbatim, with repeats served by the
+// same backend's study cache.
+func TestClusterStudyProxy(t *testing.T) {
+	f := newFabric(t, 2, Options{}, nil)
+	path := fmt.Sprintf("/v1/studies/ssn?benches=gcc&bits=8,0&insts=%d", testInsts)
+	w := f.do("GET", path, "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("ssn HTTP %d: %s", w.Code, w.Body)
+	}
+	var ssn sim.SSNWidthJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &ssn); err != nil {
+		t.Fatal(err)
+	}
+	if len(ssn.Bits) != 2 {
+		t.Fatalf("ssn %+v", ssn)
+	}
+	before := f.stats(t)
+	w2 := f.do("GET", path, "", nil)
+	if !bytes.Equal(w2.Body.Bytes(), w.Body.Bytes()) {
+		t.Fatal("repeated study differs")
+	}
+	after := f.stats(t)
+	if hits := after.Cache.Hits - before.Cache.Hits; hits != 1 {
+		t.Fatalf("study repeat got %d backend cache hits, want 1", hits)
+	}
+	// Backend validation errors proxy through verbatim.
+	if w := f.do("GET", "/v1/studies/ladder?benches=gcc", "", nil); w.Code != http.StatusBadRequest {
+		t.Errorf("ladder without fig: HTTP %d, want 400", w.Code)
+	}
+	if w := f.do("GET", "/v1/studies/nope", "", nil); w.Code != http.StatusNotFound {
+		t.Errorf("unknown study: HTTP %d, want 404", w.Code)
+	}
+}
+
+// TestClusterValidation: the coordinator enforces the same request
+// contract as a single backend, before any fan-out.
+func TestClusterValidation(t *testing.T) {
+	f := newFabric(t, 2, Options{MaxSweepJobs: 4, MaxBodyBytes: 512}, nil)
+	cases := []struct {
+		method, path, body string
+		code               int
+	}{
+		{"POST", "/v1/run", `{"config":"no-such","bench":"gcc"}`, http.StatusBadRequest},
+		{"POST", "/v1/run", `{"config":"ssq","bench":"no-such"}`, http.StatusBadRequest},
+		{"POST", "/v1/run", `{"config":`, http.StatusBadRequest},
+		{"POST", "/v1/run", `{"config":"ssq","bench":"gcc","bogus":1}`, http.StatusBadRequest},
+		{"POST", "/v1/sweep", `{"configs":[],"benches":["gcc"]}`, http.StatusBadRequest},
+		{"POST", "/v1/sweep", `{"configs":["no-such"],"benches":["gcc"]}`, http.StatusBadRequest},
+		{"POST", "/v1/sweep", `{"configs":["ssq","nlq","rle"],"benches":["gcc","twolf"]}`, http.StatusBadRequest},
+		{"POST", "/v1/run", `{"config":"ssq","bench":"gcc","pad":"` + strings.Repeat("x", 600) + `"}`,
+			http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		if w := f.do(c.method, c.path, c.body, nil); w.Code != c.code {
+			t.Errorf("%s %s %q: HTTP %d, want %d", c.method, c.path, c.body, w.Code, c.code)
+		}
+	}
+	if w := f.do("GET", "/v1/run", "", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run: HTTP %d, want 405", w.Code)
+	}
+	// No backend was consulted for any of these.
+	st := f.stats(t)
+	for _, b := range st.Cluster.Backends {
+		if b.Requests != 0 {
+			t.Errorf("backend %s saw %d requests from invalid client input", b.URL, b.Requests)
+		}
+	}
+}
+
+// TestNewRejectsBadPools: a coordinator without a valid pool is a
+// configuration error, not a latent outage.
+func TestNewRejectsBadPools(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("New with no backends succeeded")
+	}
+	if _, err := New(Options{Backends: []string{"http://a", "http://a"}}); err == nil {
+		t.Error("New with duplicate backends succeeded")
+	}
+	if _, err := New(Options{Backends: []string{""}}); err == nil {
+		t.Error("New with empty backend URL succeeded")
+	}
+}
+
+// TestHealthzStates: ok with a healthy pool, degraded (503) when every
+// backend is down, draining (503) once shutdown begins.
+func TestHealthzStates(t *testing.T) {
+	f := newFabric(t, 2, Options{}, nil)
+	w := f.do("GET", "/v1/healthz", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz HTTP %d", w.Code)
+	}
+	var h api.HealthResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.BackendsHealthy == nil || *h.BackendsHealthy != 2 || *h.BackendsTotal != 2 {
+		t.Fatalf("healthz %+v", h)
+	}
+
+	for _, ts := range f.backends {
+		ts.Close()
+	}
+	if n := f.c.ProbeAll(t.Context()); n != 0 {
+		t.Fatalf("ProbeAll over closed backends: %d healthy", n)
+	}
+	if w := f.do("GET", "/v1/healthz", "", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-down healthz HTTP %d, want 503", w.Code)
+	}
+
+	f.c.SetDraining(true)
+	w = f.do("GET", "/v1/healthz", "", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if w.Code != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Fatalf("draining healthz HTTP %d status %q", w.Code, h.Status)
+	}
+}

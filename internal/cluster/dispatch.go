@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"svwsim/internal/api"
+)
+
+// outcome is the result of dispatching one request into the pool.
+type outcome struct {
+	b      *backend // backend that produced the response (nil if none did)
+	status int      // HTTP status of the final response (0 = no response)
+	body   []byte
+	cached bool // backend answered from its LRU (api.CacheHeader)
+	hedged bool // produced by the hedge attempt, not the primary
+	// err is set when no usable response was obtained (all candidates
+	// failed, saturated, or the client went away).
+	err error
+}
+
+// dispatch forwards one request to the pool: rendezvous-routed, retried
+// across backends, optionally hedged. It is the single entry point the
+// handlers use, so every path gets identical failover behavior, and it
+// performs the winning-response bookkeeping exactly once per call.
+func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, reqBody []byte) outcome {
+	// One attempts budget per job, shared between the primary walk and a
+	// hedge, so MaxAttempts bounds the job's total backend traffic even
+	// when both walks are live.
+	var budget atomic.Int64
+	if c.hedgeAfter <= 0 || len(c.backends) < 2 {
+		out := c.forward(ctx, key, 0, method, path, reqBody, &budget)
+		c.noteOutcome(out)
+		return out
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reap the losing attempt
+	results := make(chan outcome, 2)
+	go func() { results <- c.forward(hctx, key, 0, method, path, reqBody, &budget) }()
+
+	timer := time.NewTimer(c.hedgeAfter)
+	defer timer.Stop()
+	outstanding, hedged := 1, false
+	var firstFail *outcome
+	for {
+		select {
+		case out := <-results:
+			outstanding--
+			if out.err == nil {
+				c.noteOutcome(out)
+				return out
+			}
+			if outstanding > 0 {
+				firstFail = &out // let the other attempt finish the job
+				continue
+			}
+			if firstFail != nil {
+				out = *firstFail // both failed: report the earlier failure
+			}
+			c.noteOutcome(out)
+			return out
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			hedged = true
+			c.addHedge()
+			outstanding++
+			go func() {
+				// Offset 1 starts the candidate walk at the key's
+				// second-ranked backend, so the hedge never duplicates
+				// work onto the straggling primary first.
+				out := c.forward(hctx, key, 1, method, path, reqBody, &budget)
+				out.hedged = true
+				results <- out
+			}()
+		}
+	}
+}
+
+// noteOutcome records a dispatch's final outcome on the winning backend
+// and the hedge counters. Job-level accounting (Jobs/JobErrors) is the
+// handlers' business: they know what is a client job and what is not.
+func (c *Coordinator) noteOutcome(out outcome) {
+	if out.err == nil && out.status == http.StatusOK && out.b != nil {
+		out.b.noteWin(out.cached)
+		if out.hedged {
+			c.addHedgeWin()
+		}
+	}
+}
+
+// forward walks the key's rendezvous candidate order starting at offset,
+// attempting each backend until one yields a terminal response or the
+// job's shared attempts budget runs out. Pass 0 skips backends currently
+// marked unhealthy (unless none are healthy); pass 1 fails open and
+// tries everyone, so a pool whose marks are all stale can still recover.
+// Attempts beyond each walk's first count as retries (a hedge's first
+// attempt is accounted as the hedge, not a retry).
+func (c *Coordinator) forward(ctx context.Context, key string, offset int, method, path string, reqBody []byte, budget *atomic.Int64) outcome {
+	order := rank(c.backends, key)
+	n := len(order)
+	walkAttempts := 0
+	last := outcome{err: fmt.Errorf("no backend attempted")}
+	for pass := 0; pass < 2; pass++ {
+		anyHealthy := c.healthyCount() > 0
+		for i := 0; i < n; i++ {
+			b := c.backends[order[(i+offset)%n]]
+			if pass == 0 && anyHealthy && !b.isHealthy() {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return outcome{err: err}
+			}
+			if budget.Add(1) > int64(c.maxAttempts) {
+				budget.Add(-1)
+				return last
+			}
+			walkAttempts++
+			if walkAttempts > 1 {
+				c.addRetry()
+			}
+			out, retryable := c.attempt(ctx, b, method, path, reqBody)
+			if !retryable {
+				return out
+			}
+			last = out
+		}
+		if pass == 0 && budget.Load() < int64(c.maxAttempts) {
+			// Preferred candidates exhausted: breathe briefly so transient
+			// saturation can drain before the fail-open pass.
+			select {
+			case <-time.After(5 * time.Millisecond):
+			case <-ctx.Done():
+				return outcome{err: ctx.Err()}
+			}
+		}
+	}
+	return last
+}
+
+// attempt forwards the request to one backend under its concurrency
+// bound. The second result reports whether the failure is retryable on
+// another backend: transport errors and 5xx (which also mark the backend
+// unhealthy) and 429 saturation (which does not — a busy backend is not a
+// sick one) are; success and other 4xx are terminal.
+func (c *Coordinator) attempt(ctx context.Context, b *backend, method, path string, reqBody []byte) (outcome, bool) {
+	select {
+	case b.sem <- struct{}{}:
+	case <-ctx.Done():
+		return outcome{err: ctx.Err()}, false
+	}
+	defer func() { <-b.sem }()
+
+	var body io.Reader
+	if len(reqBody) > 0 {
+		body = bytes.NewReader(reqBody)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.url+path, body)
+	if err != nil {
+		return outcome{err: err}, false
+	}
+	if len(reqBody) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+
+	b.noteStart()
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The client (or a winning hedge) went away; say nothing about
+			// the backend's health.
+			b.noteEnd(false)
+			return outcome{err: ctx.Err()}, false
+		}
+		b.setHealth(false, err)
+		b.noteEnd(true)
+		return outcome{b: b, err: fmt.Errorf("%s: %w", b.url, err)}, true
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() != nil {
+			b.noteEnd(false)
+			return outcome{err: ctx.Err()}, false
+		}
+		b.setHealth(false, err)
+		b.noteEnd(true)
+		return outcome{b: b, err: fmt.Errorf("%s: reading response: %w", b.url, err)}, true
+	}
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		b.setHealth(true, nil)
+		b.noteEnd(false)
+		return outcome{
+			b: b, status: resp.StatusCode, body: respBody,
+			cached: resp.Header.Get(api.CacheHeader) == "hit",
+		}, false
+	case resp.StatusCode == http.StatusTooManyRequests:
+		b.noteEnd(false)
+		return outcome{b: b, status: resp.StatusCode,
+			err: fmt.Errorf("%s: saturated (HTTP 429)", b.url)}, true
+	case resp.StatusCode >= 500:
+		b.setHealth(false, fmt.Errorf("HTTP %d", resp.StatusCode))
+		b.noteEnd(true)
+		return outcome{b: b, status: resp.StatusCode,
+			err: fmt.Errorf("%s: HTTP %d", b.url, resp.StatusCode)}, true
+	default:
+		// Other 4xx: the backend rejected the request itself — propagate
+		// its body verbatim rather than guessing at another backend.
+		b.noteEnd(false)
+		return outcome{b: b, status: resp.StatusCode, body: respBody}, false
+	}
+}

@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"svwsim/internal/api"
+	"svwsim/internal/sim"
+	"svwsim/internal/sim/engine"
+	"svwsim/internal/workload"
+)
+
+// decodeBody parses the request body into v under the coordinator's size
+// limit, writing the error response itself — the same contract and
+// messages as svwd's decoder, so clients see one behavior.
+func (c *Coordinator) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, c.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			api.WriteError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		api.WriteError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// clientGone reports whether err is the request context ending — the
+// client disconnected, so there is no one to write an error to.
+func clientGone(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// writeDispatchError maps a failed dispatch onto the client response:
+// pool-wide saturation propagates as 429 (with Retry-After, like svwd's
+// own admission gate), everything else as 502.
+func writeDispatchError(w http.ResponseWriter, out outcome) {
+	if out.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+		api.WriteError(w, http.StatusTooManyRequests,
+			"cluster saturated: every backend refused the job, retry later")
+		return
+	}
+	api.WriteError(w, http.StatusBadGateway, "no backend could serve the request: %v", out.err)
+}
+
+// --- registry / health / stats ------------------------------------------
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := c.healthyCount()
+	total := len(c.backends)
+	status, code := "ok", http.StatusOK
+	switch {
+	case c.draining.Load():
+		status, code = "draining", http.StatusServiceUnavailable
+	case healthy == 0:
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	api.WriteJSON(w, code, api.HealthResponse{
+		Status:          status,
+		UptimeS:         time.Since(c.start).Seconds(),
+		BackendsHealthy: &healthy,
+		BackendsTotal:   &total,
+	})
+}
+
+// The registry endpoints are served locally: coordinator and backends
+// compile against the same registries, so the bodies are identical to a
+// backend's and cost no fan-out.
+
+func (c *Coordinator) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, api.ConfigsResponse{Configs: sim.ConfigNames()})
+}
+
+func (c *Coordinator) handleBenches(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, http.StatusOK, api.BenchesResponse{Benches: workload.Names()})
+}
+
+// handleStats aggregates the pool: each backend's /v1/stats is fetched
+// concurrently and summed into the single-node shape (so svwload works
+// unchanged against a coordinator), plus the cluster section with the
+// coordinator's own counters and the per-backend breakdown.
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := api.StatsResponse{UptimeS: time.Since(c.start).Seconds()}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, b := range c.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), DefaultProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/v1/stats", nil)
+			if err != nil {
+				return
+			}
+			res, err := c.client.Do(req)
+			if err != nil || res.StatusCode != http.StatusOK {
+				if res != nil {
+					res.Body.Close()
+				}
+				return // unreachable backends contribute nothing to the sums
+			}
+			defer res.Body.Close()
+			var st api.StatsResponse
+			if json.NewDecoder(res.Body).Decode(&st) != nil {
+				return
+			}
+			mu.Lock()
+			resp.Cache.Hits += st.Cache.Hits
+			resp.Cache.Misses += st.Cache.Misses
+			resp.Cache.Evictions += st.Cache.Evictions
+			resp.Cache.Entries += st.Cache.Entries
+			resp.Cache.Capacity += st.Cache.Capacity
+			resp.Engine.MemoHits += st.Engine.MemoHits
+			resp.Engine.MemoMisses += st.Engine.MemoMisses
+			resp.Engine.MemoEntries += st.Engine.MemoEntries
+			resp.Admission.Capacity += st.Admission.Capacity
+			resp.Admission.InUse += st.Admission.InUse
+			resp.Admission.Rejected += st.Admission.Rejected
+			mu.Unlock()
+		}(b)
+	}
+	wg.Wait()
+	cs := c.clusterStats()
+	resp.Cluster = &cs
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// --- /v1/run -------------------------------------------------------------
+
+func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req api.RunRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	cfg, ok := sim.ConfigByName(req.Config)
+	if !ok {
+		api.WriteError(w, http.StatusBadRequest, "unknown config %q", req.Config)
+		return
+	}
+	if _, ok := workload.Get(req.Bench); !ok {
+		api.WriteError(w, http.StatusBadRequest, "unknown benchmark %q", req.Bench)
+		return
+	}
+	c.addRun()
+
+	// Forward the normalized registry name (the display name in cfg.Name
+	// is not a registry key). The routing key is the memo key of the
+	// built config, so aliases and case differences hash to the same
+	// backend as their canonical spelling regardless of spelling.
+	key := engine.Fingerprint(cfg, req.Bench, req.Insts)
+	body, err := json.Marshal(api.RunRequest{
+		Config: normalizeConfigName(req.Config), Bench: req.Bench, Insts: req.Insts})
+	if err != nil {
+		api.WriteError(w, http.StatusInternalServerError, "encoding job: %v", err)
+		return
+	}
+	out := c.dispatch(r.Context(), key, http.MethodPost, "/v1/run", body)
+	c.addJob(out.err != nil)
+	if out.err != nil {
+		if clientGone(out.err) {
+			return
+		}
+		writeDispatchError(w, out)
+		return
+	}
+	if out.status == http.StatusOK {
+		if out.cached {
+			w.Header().Set(api.CacheHeader, "hit")
+		} else {
+			w.Header().Set(api.CacheHeader, "miss")
+		}
+	}
+	api.WriteBody(w, out.status, out.body)
+}
+
+// --- /v1/sweep -----------------------------------------------------------
+
+// normalizeConfigName lowercases and trims a client-supplied config name
+// so the forwarded request resolves in the backend's registry exactly as
+// it resolved here (sim.ConfigByName is case/whitespace-insensitive).
+func normalizeConfigName(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// sweepJob is one cell of the flattened matrix.
+type sweepJob struct {
+	config string // the config's display name (what SSE events carry)
+	bench  string
+	key    string // engine memo key: the routing key
+	body   []byte // the /v1/run request forwarded for this cell
+}
+
+// planSweep validates the request and flattens the matrix config-major
+// (the `svwsim -config a,b -bench x,y` order — identical to svwd's). It
+// writes the error response itself on failure.
+func (c *Coordinator) planSweep(w http.ResponseWriter, req *api.SweepRequest) ([]sweepJob, bool) {
+	if len(req.Configs) == 0 || len(req.Benches) == 0 {
+		api.WriteError(w, http.StatusBadRequest, "sweep matrix is empty: need configs and benches")
+		return nil, false
+	}
+	if n := len(req.Configs) * len(req.Benches); n > c.maxSweepJobs {
+		api.WriteError(w, http.StatusBadRequest,
+			"sweep matrix has %d jobs, limit is %d", n, c.maxSweepJobs)
+		return nil, false
+	}
+	var jobs []sweepJob
+	for _, cname := range req.Configs {
+		cfg, ok := sim.ConfigByName(cname)
+		if !ok {
+			api.WriteError(w, http.StatusBadRequest, "unknown config %q", cname)
+			return nil, false
+		}
+		for _, bench := range req.Benches {
+			if _, ok := workload.Get(bench); !ok {
+				api.WriteError(w, http.StatusBadRequest, "unknown benchmark %q", bench)
+				return nil, false
+			}
+			body, err := json.Marshal(api.RunRequest{
+				Config: normalizeConfigName(cname), Bench: bench, Insts: req.Insts})
+			if err != nil {
+				api.WriteError(w, http.StatusInternalServerError, "encoding job: %v", err)
+				return nil, false
+			}
+			jobs = append(jobs, sweepJob{
+				config: cfg.Name,
+				bench:  bench,
+				key:    engine.Fingerprint(cfg, bench, req.Insts),
+				body:   body,
+			})
+		}
+	}
+	return jobs, true
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	if !c.decodeBody(w, r, &req) {
+		return
+	}
+	jobs, ok := c.planSweep(w, &req)
+	if !ok {
+		return
+	}
+	c.addSweep()
+
+	// Fan out: one dispatch per cell, each rendezvous-routed by its memo
+	// key. Goroutines are cheap; actual backend concurrency is bounded by
+	// the per-backend semaphores inside dispatch.
+	outcomes := make([]outcome, len(jobs))
+	done := make([]chan struct{}, len(jobs))
+	for i := range jobs {
+		done[i] = make(chan struct{})
+		go func(i int) {
+			defer close(done[i])
+			outcomes[i] = c.dispatch(r.Context(), jobs[i].key, http.MethodPost, "/v1/run", jobs[i].body)
+			if outcomes[i].err == nil && outcomes[i].status != http.StatusOK {
+				// A non-200 terminal response is a failed cell from the
+				// sweep's point of view.
+				outcomes[i].err = errors.New(string(outcomes[i].body))
+			}
+			c.addJob(outcomes[i].err != nil)
+		}(i)
+	}
+
+	if api.WantsSSE(r) {
+		c.streamSweep(w, jobs, outcomes, done)
+		return
+	}
+	c.bufferSweep(w, r, jobs, outcomes, done)
+}
+
+// bufferSweep waits for every cell and writes the whole sweep as a
+// sequence of indented result objects in job-index order — byte-identical
+// to the equivalent multi-job `svwsim -json` invocation, however many
+// backends computed it.
+func (c *Coordinator) bufferSweep(w http.ResponseWriter, r *http.Request, jobs []sweepJob, outcomes []outcome, done []chan struct{}) {
+	for i := range done {
+		<-done[i]
+	}
+	var body []byte
+	for i := range jobs {
+		if err := outcomes[i].err; err != nil {
+			if clientGone(err) {
+				return
+			}
+			if outcomes[i].status == http.StatusTooManyRequests {
+				// Pool-wide saturation keeps svwd's contract: 429 with
+				// Retry-After, not a 500 — the fabric must be
+				// indistinguishable from a single saturated daemon.
+				writeDispatchError(w, outcomes[i])
+				return
+			}
+			// Deterministic error reporting: the lowest-index failure
+			// names the sweep's error, like the engine's own contract.
+			api.WriteError(w, http.StatusInternalServerError,
+				"sweep failed: job %d (%s on %s): %v", i, jobs[i].config, jobs[i].bench, err)
+			return
+		}
+		body = append(body, outcomes[i].body...)
+	}
+	api.WriteBody(w, http.StatusOK, body)
+}
+
+// streamSweep emits one SSE "result" event per cell in job-index order as
+// results land, then a "done" summary. Events carry the serving backend's
+// URL and whether its LRU answered, so a watching client sees the fabric's
+// cache affinity live.
+func (c *Coordinator) streamSweep(w http.ResponseWriter, jobs []sweepJob, outcomes []outcome, done []chan struct{}) {
+	stream, err := api.NewSSE(w)
+	if err != nil {
+		api.WriteError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	summary := api.SweepDone{Jobs: len(jobs)}
+	for i := range jobs {
+		<-done[i]
+		out := outcomes[i]
+		ev := api.SweepEvent{
+			Index:  i,
+			Config: jobs[i].config,
+			Bench:  jobs[i].bench,
+			Cached: out.cached,
+		}
+		if out.b != nil {
+			ev.Backend = out.b.url
+		}
+		if out.cached {
+			summary.CacheHits++
+		} else {
+			summary.CacheMisses++
+		}
+		if out.err != nil {
+			ev.Error = out.err.Error()
+			summary.Errors++
+		} else {
+			ev.Result = json.RawMessage(out.body)
+		}
+		stream.Event("result", i, ev)
+	}
+	stream.Event("done", len(jobs), summary)
+}
+
+// --- /v1/studies/{study} -------------------------------------------------
+
+// handleStudy proxies a study request to one backend, routed by the study
+// path and raw query so repeated identical requests hit the same
+// backend's study cache. Validation and computation stay in the backend;
+// the response (including 4xx validation errors) is forwarded verbatim.
+func (c *Coordinator) handleStudy(w http.ResponseWriter, r *http.Request) {
+	study := r.PathValue("study")
+	path := "/v1/studies/" + study
+	key := "study|" + study
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+		key += "|" + r.URL.RawQuery
+	}
+	out := c.dispatch(r.Context(), key, http.MethodGet, path, nil)
+	if out.err != nil {
+		if clientGone(out.err) {
+			return
+		}
+		writeDispatchError(w, out)
+		return
+	}
+	api.WriteBody(w, out.status, out.body)
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Active health checking. Request outcomes already mark backends healthy
+// and unhealthy passively (dispatch.go); the probe loop adds recovery for
+// idle pools — an unhealthy backend with no traffic routed at it would
+// otherwise only be rediscovered by the fail-open retry pass.
+
+// probe checks one backend's /v1/healthz and updates its health mark.
+// Any 200 counts as healthy; a draining backend's 503 marks it unhealthy,
+// which is exactly what a drain wants (no new work routed to it).
+func (c *Coordinator) probe(ctx context.Context, b *backend) bool {
+	pctx, cancel := context.WithTimeout(ctx, DefaultProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.url+"/v1/healthz", nil)
+	if err != nil {
+		b.setHealth(false, err)
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return b.isHealthy() // shutting down; leave the mark alone
+		}
+		b.setHealth(false, err)
+		return false
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.setHealth(false, errHTTPStatus(resp.StatusCode))
+		return false
+	}
+	b.setHealth(true, nil)
+	return true
+}
+
+type errHTTPStatus int
+
+func (e errHTTPStatus) Error() string { return http.StatusText(int(e)) }
+
+// ProbeAll probes every backend once, concurrently, and returns how many
+// are healthy. svwctl calls it at startup so the first requests already
+// see real health marks; tests use it to force deterministic state.
+func (c *Coordinator) ProbeAll(ctx context.Context) int {
+	var wg sync.WaitGroup
+	for _, b := range c.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			c.probe(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+	return c.healthyCount()
+}
+
+// HealthLoop probes the pool every interval until ctx is done. Run it in
+// its own goroutine; it returns when ctx is cancelled.
+func (c *Coordinator) HealthLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.ProbeAll(ctx)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Job routing: rendezvous (highest-random-weight) hashing on the engine
+// memo key. Every (coordinator, backend set) pair computes the same
+// preference order for a key — FNV-1a is unseeded, so the order is also
+// stable across processes and restarts. The properties the fabric leans
+// on:
+//
+//   - affinity: a key's primary backend is a pure function of (key,
+//     backend URL set), so repeats of a job always land on the same
+//     backend and its LRU/memo stay hot;
+//   - minimal disruption: removing a backend only remaps the keys it
+//     owned (every other key's top choice is unchanged), and adding one
+//     only claims the keys it now wins — no global reshuffle;
+//   - built-in failover order: the second-ranked backend is the natural
+//     retry/hedge target, itself deterministic per key, so retried work
+//     warms one fallback cache instead of spraying the pool.
+
+// score is one backend's rendezvous weight for a key.
+func score(backendURL, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(backendURL))
+	h.Write([]byte{0}) // separate url from key: "ab"+"c" != "a"+"bc"
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// rank returns indices into backends ordered by descending rendezvous
+// score for key (ties broken by URL, then index, for full determinism).
+// backends[rank[0]] is the key's home; later entries are its failover
+// order.
+func rank(backends []*backend, key string) []int {
+	order := make([]int, len(backends))
+	scores := make([]uint64, len(backends))
+	for i, b := range backends {
+		order[i] = i
+		scores[i] = score(b.url, key)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		if backends[ia].url != backends[ib].url {
+			return backends[ia].url < backends[ib].url
+		}
+		return ia < ib
+	})
+	return order
+}
+
+// rankURLs is rank over bare URLs, for tests and tooling that reason about
+// placement without a live pool.
+func rankURLs(urls []string, key string) []string {
+	bs := make([]*backend, len(urls))
+	for i, u := range urls {
+		bs[i] = &backend{url: u}
+	}
+	order := rank(bs, key)
+	out := make([]string, len(order))
+	for i, idx := range order {
+		out[i] = urls[idx]
+	}
+	return out
+}

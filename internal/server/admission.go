@@ -1,6 +1,10 @@
 package server
 
-import "sync"
+import (
+	"sync"
+
+	"svwsim/internal/api"
+)
 
 // gate is the daemon's admission controller: a counting semaphore over
 // engine jobs. Every request that needs engine work tries to acquire one
@@ -13,14 +17,6 @@ type gate struct {
 	cap      int // <= 0: unlimited
 	inUse    int
 	rejected uint64
-}
-
-// GateStats is the /v1/stats view of the admission gate.
-type GateStats struct {
-	// Capacity is the configured max concurrent jobs (0 = unlimited).
-	Capacity int    `json:"capacity"`
-	InUse    int    `json:"in_use"`
-	Rejected uint64 `json:"rejected"`
 }
 
 func newGate(capacity int) *gate { return &gate{cap: capacity} }
@@ -58,8 +54,8 @@ func (g *gate) tryAcquire(n int) (release func(), ok bool) {
 }
 
 // stats snapshots the counters.
-func (g *gate) stats() GateStats {
+func (g *gate) stats() api.GateStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return GateStats{Capacity: g.cap, InUse: g.inUse, Rejected: g.rejected}
+	return api.GateStats{Capacity: g.cap, InUse: g.inUse, Rejected: g.rejected}
 }

@@ -3,6 +3,8 @@ package server
 import (
 	"container/list"
 	"sync"
+
+	"svwsim/internal/api"
 )
 
 // lru is a bounded, thread-safe LRU cache from string keys to serialized
@@ -24,15 +26,6 @@ type lru struct {
 type lruEntry struct {
 	key string
 	val []byte
-}
-
-// CacheStats is the /v1/stats view of the result cache.
-type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
 }
 
 // newLRU returns a cache bounded to capacity entries (minimum 1).
@@ -92,10 +85,10 @@ func (c *lru) put(key string, val []byte) {
 }
 
 // stats snapshots the counters.
-func (c *lru) stats() CacheStats {
+func (c *lru) stats() api.CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{
+	return api.CacheStats{
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"svwsim/internal/api"
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/workload"
@@ -17,27 +18,14 @@ import (
 
 // --- shared helpers ------------------------------------------------------
 
-// writeJSON writes v as indented JSON with a trailing newline (the same
-// encoding `svwsim -json` and `svwexp -json` use).
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	b, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	writeBody(w, status, append(b, '\n'))
-}
+// The JSON and SSE encodings live in internal/api, shared with the svwctl
+// coordinator; the wrappers below keep handler call sites short.
 
-// writeBody writes pre-serialized JSON bytes.
-func writeBody(w http.ResponseWriter, status int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(body)
-}
+func writeJSON(w http.ResponseWriter, status int, v any)    { api.WriteJSON(w, status, v) }
+func writeBody(w http.ResponseWriter, status int, b []byte) { api.WriteBody(w, status, b) }
 
-// writeError writes an ErrorResponse with the given status.
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	api.WriteError(w, status, format, args...)
 }
 
 // decodeBody parses the request body into v under the server's size limit.
@@ -60,15 +48,11 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// marshalResult encodes an engine result exactly as `svwsim -json` does:
-// indented JSON plus a trailing newline. Cached bytes are stored in this
-// form so cache hits and fresh runs are byte-identical.
+// marshalResult encodes an engine result exactly as `svwsim -json` does
+// (api.MarshalResult). Cached bytes are stored in this form so cache hits
+// and fresh runs are byte-identical.
 func marshalResult(res engine.Result) ([]byte, error) {
-	b, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	return append(b, '\n'), nil
+	return api.MarshalResult(res)
 }
 
 // clientGone reports whether err is the request context ending — the client
@@ -139,9 +123,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := engine.Fingerprint(cfg, req.Bench, req.Insts)
 	if body, ok := s.cache.get(key); ok {
 		s.cache.account(1, 0)
+		w.Header().Set(api.CacheHeader, "hit")
 		writeBody(w, http.StatusOK, body)
 		return
 	}
+	w.Header().Set(api.CacheHeader, "miss")
 	release, ok := s.gate.tryAcquire(1)
 	if !ok {
 		rejectSaturated(w)
@@ -244,7 +230,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	// Admitted (or fully cached): now the sweep's cache outcome counts.
 	s.cache.account(uint64(len(p.jobs)-len(p.sub)), uint64(len(p.sub)))
-	if wantsSSE(r) {
+	if api.WantsSSE(r) {
 		s.streamSweep(w, r, p)
 		return
 	}
@@ -288,7 +274,7 @@ func (s *Server) bufferSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 // progress callback delivers them (already in sub-index order, which is
 // monotone in job-index order, so the merge needs no reordering).
 func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPlan) {
-	stream, err := newSSE(w)
+	stream, err := api.NewSSE(w)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -332,10 +318,10 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 				summary.Errors++
 			}
 		}
-		stream.event("result", i, ev)
+		stream.Event("result", i, ev)
 	}
 	<-done // engine finished; all sends drained above
-	stream.event("done", len(p.jobs), summary)
+	stream.Event("done", len(p.jobs), summary)
 }
 
 // --- /v1/studies/{study} -------------------------------------------------

@@ -1,17 +1,16 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
+	"svwsim/internal/api"
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
 )
@@ -252,38 +251,12 @@ func TestSweepValidation(t *testing.T) {
 	}
 }
 
-// sseEvent is one parsed frame of an event stream.
-type sseEvent struct {
-	name string
-	id   int
-	data string
-}
-
-func parseSSE(t *testing.T, body string) []sseEvent {
+// parseSSE parses an event-stream body via the shared api parser.
+func parseSSE(t *testing.T, body string) []api.Event {
 	t.Helper()
-	var events []sseEvent
-	var cur sseEvent
-	cur.id = -1
-	sc := bufio.NewScanner(strings.NewReader(body))
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			cur.name = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "id: "):
-			id, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
-			if err != nil {
-				t.Fatalf("bad id line %q", line)
-			}
-			cur.id = id
-		case strings.HasPrefix(line, "data: "):
-			cur.data = strings.TrimPrefix(line, "data: ")
-		case line == "":
-			if cur.name != "" {
-				events = append(events, cur)
-			}
-			cur = sseEvent{id: -1}
-		}
+	events, err := api.ParseEvents(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
 	}
 	return events
 }
@@ -310,12 +283,12 @@ func TestSweepSSEOrdering(t *testing.T) {
 		}
 		for i := 0; i < 4; i++ {
 			ev := events[i]
-			if ev.name != "result" || ev.id != i {
+			if ev.Name != "result" || ev.ID != i {
 				t.Fatalf("event %d: name %q id %d, want result/%d (SSE must arrive in job-index order)",
-					i, ev.name, ev.id, i)
+					i, ev.Name, ev.ID, i)
 			}
 			var data SweepEvent
-			if err := json.Unmarshal([]byte(ev.data), &data); err != nil {
+			if err := json.Unmarshal(ev.Data, &data); err != nil {
 				t.Fatal(err)
 			}
 			wantCfg, wantBench := configs[i/2], benches[i%2]
@@ -331,11 +304,11 @@ func TestSweepSSEOrdering(t *testing.T) {
 			}
 		}
 		last := events[4]
-		if last.name != "done" {
-			t.Fatalf("final event %q, want done", last.name)
+		if last.Name != "done" {
+			t.Fatalf("final event %q, want done", last.Name)
 		}
 		var done SweepDone
-		if err := json.Unmarshal([]byte(last.data), &done); err != nil {
+		if err := json.Unmarshal(last.Data, &done); err != nil {
 			t.Fatal(err)
 		}
 		if done.Jobs != 4 || done.Errors != 0 {

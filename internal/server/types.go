@@ -1,91 +1,27 @@
 package server
 
-import "encoding/json"
+import "svwsim/internal/api"
 
-// Request and response shapes for the svwd HTTP API. Study endpoints return
-// the figure JSON shapes from internal/sim/print.go verbatim; /v1/run and
-// /v1/sweep return engine results encoded exactly as `svwsim -json` prints
-// them, so a service response can be byte-compared against the CLI (the CI
-// smoke stage does exactly that).
-
-// RunRequest is the body of POST /v1/run: one (config, bench, insts) job.
-type RunRequest struct {
-	// Config is a registry name (see GET /v1/configs / sim.ConfigNames).
-	Config string `json:"config"`
-	// Bench is a benchmark kernel name (see GET /v1/benches).
-	Bench string `json:"bench"`
-	// Insts bounds committed instructions (0 keeps the config's default).
-	Insts uint64 `json:"insts"`
-}
-
-// SweepRequest is the body of POST /v1/sweep: a config × bench matrix that
-// flattens into an engine job list config-major (configs outer, benches
-// inner), the same order `svwsim -config a,b -bench x,y` runs.
-type SweepRequest struct {
-	Configs []string `json:"configs"`
-	Benches []string `json:"benches"`
-	Insts   uint64   `json:"insts"`
-}
-
-// ErrorResponse is the body of every non-2xx response.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
-
-// ConfigsResponse is the body of GET /v1/configs.
-type ConfigsResponse struct {
-	Configs []string `json:"configs"`
-}
-
-// BenchesResponse is the body of GET /v1/benches.
-type BenchesResponse struct {
-	Benches []string `json:"benches"`
-}
-
-// HealthResponse is the body of GET /v1/healthz. Status is "ok" while
-// serving and "draining" (with HTTP 503) once shutdown has begun, so load
-// balancers stop routing new work during the drain.
-type HealthResponse struct {
-	Status  string  `json:"status"`
-	UptimeS float64 `json:"uptime_s"`
-}
-
-// StatsResponse is the body of GET /v1/stats.
-type StatsResponse struct {
-	UptimeS   float64     `json:"uptime_s"`
-	Cache     CacheStats  `json:"cache"`
-	Engine    EngineStats `json:"engine"`
-	Admission GateStats   `json:"admission"`
-}
-
-// EngineStats surfaces the shared engine's reuse counters.
-type EngineStats struct {
-	MemoHits    uint64 `json:"memo_hits"`
-	MemoMisses  uint64 `json:"memo_misses"`
-	MemoEntries int    `json:"memo_entries"`
-}
-
-// SweepEvent is the data payload of one SSE "result" event during
-// POST /v1/sweep streaming: the job's index in the flattened matrix plus
-// where its result came from. Events always arrive in index order.
-type SweepEvent struct {
-	Index  int    `json:"index"`
-	Config string `json:"config"`
-	Bench  string `json:"bench"`
-	// Cached: served from the daemon's LRU cache, no engine involvement.
-	Cached bool `json:"cached"`
-	// Memoized: executed via the engine but answered from its memo table.
-	Memoized bool `json:"memoized"`
-	// Error is set instead of Result when the job failed (or was cancelled).
-	Error string `json:"error,omitempty"`
-	// Result is the engine result in the `svwsim -json` shape.
-	Result json.RawMessage `json:"result,omitempty"`
-}
-
-// SweepDone is the data payload of the final SSE "done" event.
-type SweepDone struct {
-	Jobs        int `json:"jobs"`
-	CacheHits   int `json:"cache_hits"`
-	CacheMisses int `json:"cache_misses"`
-	Errors      int `json:"errors"`
-}
+// The request and response shapes of the svwd HTTP API live in
+// internal/api, shared with the svwctl coordinator so the two layers
+// serve literally the same wire types and cannot drift. The aliases keep
+// the server package's historical names usable.
+//
+// Study endpoints return the figure JSON shapes from internal/sim/print.go
+// verbatim; /v1/run and /v1/sweep return engine results encoded exactly as
+// `svwsim -json` prints them, so a service response can be byte-compared
+// against the CLI (the CI smoke stage does exactly that).
+type (
+	RunRequest      = api.RunRequest
+	SweepRequest    = api.SweepRequest
+	ErrorResponse   = api.ErrorResponse
+	ConfigsResponse = api.ConfigsResponse
+	BenchesResponse = api.BenchesResponse
+	HealthResponse  = api.HealthResponse
+	StatsResponse   = api.StatsResponse
+	CacheStats      = api.CacheStats
+	EngineStats     = api.EngineStats
+	GateStats       = api.GateStats
+	SweepEvent      = api.SweepEvent
+	SweepDone       = api.SweepDone
+)
