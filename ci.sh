@@ -31,6 +31,7 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -bench=Engine -benchtime=1x -run='^$' ./internal/sim/engine
+go test -bench=Store -benchtime=1x -run='^$' ./internal/store
 
 # Fuzz smoke: each fuzzer gets a short budget; any crasher fails the gate.
 go test -fuzz='^FuzzProgBuilder$' -fuzztime=10s -run='^$' ./internal/prog
@@ -47,20 +48,26 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp" ./cmd/svwd ./cmd/svwload ./cmd/svwsim
 
+# wait_listening <stdout-file> <label> <stderr-file>: block until the
+# daemon prints its listening line (all smoke stages share this).
+wait_listening() {
+    i=0
+    while ! grep -q 'listening on' "$1"; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "$2 did not come up" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
 "$tmp/svwd" -addr 127.0.0.1:0 -j 4 -grace 0 >"$tmp/svwd.out" 2>"$tmp/svwd.err" &
 svwd_pid=$!
 trap 'kill "$svwd_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
-i=0
-while ! grep -q 'listening on' "$tmp/svwd.out"; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "svwd did not come up" >&2
-        cat "$tmp/svwd.err" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_listening "$tmp/svwd.out" "svwd" "$tmp/svwd.err"
 addr=$(sed -n 's/^svwd: listening on //p' "$tmp/svwd.out")
 
 smoke_insts=20000
@@ -75,6 +82,41 @@ kill -TERM "$svwd_pid"
 wait "$svwd_pid"
 trap 'rm -rf "$tmp"' EXIT
 
+# Warm-restart smoke: a svwsim sweep pre-warms a persistent store
+# directory; an svwd booted on that directory must answer the same jobs
+# byte-identically with ZERO engine executions — every result comes off
+# the disk tier (or the memory tier it was promoted into).
+storedir="$tmp/store"
+"$tmp/svwsim" -json -config ssq+svw -bench gcc,twolf -insts "$smoke_insts" \
+    -store-dir "$storedir" >"$tmp/prewarm.json"
+# The store-enabled pre-warm pass itself must be byte-identical to a
+# plain store-less sweep.
+"$tmp/svwsim" -json -config ssq+svw -bench gcc,twolf -insts "$smoke_insts" >"$tmp/want2.json"
+cmp "$tmp/prewarm.json" "$tmp/want2.json"
+
+"$tmp/svwd" -addr 127.0.0.1:0 -j 4 -grace 0 -store-dir "$storedir" \
+    >"$tmp/svwd2.out" 2>"$tmp/svwd2.err" &
+svwd2_pid=$!
+trap 'kill "$svwd2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+wait_listening "$tmp/svwd2.out" "restarted svwd" "$tmp/svwd2.err"
+addr2=$(sed -n 's/^svwd: listening on //p' "$tmp/svwd2.out")
+
+"$tmp/svwload" -smoke -url "http://$addr2" \
+    -configs ssq+svw -benches gcc,twolf -insts "$smoke_insts" >"$tmp/warm_got.json"
+cmp "$tmp/warm_got.json" "$tmp/want.json"
+
+# Zero executions: the engine was never consulted, and the disk tier
+# actually served (the run plus the sweep's first probe may promote to
+# memory, but at least one job must have come off the disk).
+"$tmp/svwload" -stats -url "http://$addr2" >"$tmp/warm_stats.json"
+grep -q '"memo_misses": 0' "$tmp/warm_stats.json"
+grep -q '"memo_hits": 0' "$tmp/warm_stats.json"
+grep -Eq '"disk_hits": [1-9]' "$tmp/warm_stats.json"
+
+kill -TERM "$svwd2_pid"
+wait "$svwd2_pid"
+trap 'rm -rf "$tmp"' EXIT
+
 # Cluster smoke: svwctl over two svwd children must serve the same run
 # and sweep byte-identically to svwsim -json — the fabric must be
 # invisible to clients.
@@ -86,18 +128,6 @@ b1_pid=$!
 b2_pid=$!
 trap 'kill "$b1_pid" "$b2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
-wait_listening() {
-    i=0
-    while ! grep -q 'listening on' "$1"; do
-        i=$((i + 1))
-        if [ "$i" -gt 100 ]; then
-            echo "$2 did not come up" >&2
-            cat "$3" >&2
-            exit 1
-        fi
-        sleep 0.1
-    done
-}
 wait_listening "$tmp/b1.out" "svwd backend 1" "$tmp/b1.err"
 wait_listening "$tmp/b2.out" "svwd backend 2" "$tmp/b2.err"
 b1=$(sed -n 's/^svwd: listening on //p' "$tmp/b1.out")

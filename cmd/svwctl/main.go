@@ -48,6 +48,12 @@ func main() {
 		"background backend health probe period (0 = passive health only)")
 	maxBody := flag.Int64("max-body", cluster.DefaultMaxBodyBytes, "max request body bytes")
 	maxSweep := flag.Int("max-sweep", cluster.DefaultMaxSweepJobs, "max jobs in one sweep matrix")
+	storeDir := flag.String("store-dir", "",
+		"coordinator-side persistent result store directory (empty = none): "+
+			"computed results are written through to it and served from it when "+
+			"no backend can take a job")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0,
+		"persistent store size cap in bytes, LRU-GCed past it (0 = 1GiB default)")
 	grace := flag.Duration("grace", time.Second,
 		"delay between advertising 503 on healthz and closing the listener")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
@@ -66,9 +72,15 @@ func main() {
 		HedgeAfter:         *hedge,
 		MaxBodyBytes:       *maxBody,
 		MaxSweepJobs:       *maxSweep,
+		StoreDir:           *storeDir,
+		StoreMaxBytes:      *storeMaxBytes,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "svwctl: %v (use -backends url1,url2)\n", err)
+		hint := ""
+		if len(urls) == 0 {
+			hint = " (use -backends url1,url2)"
+		}
+		fmt.Fprintf(os.Stderr, "svwctl: %v%s\n", err, hint)
 		os.Exit(1)
 	}
 

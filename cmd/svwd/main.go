@@ -37,7 +37,12 @@ func main() {
 	workers := flag.Int("j", 0, "engine workers (0 = GOMAXPROCS)")
 	maxJobs := flag.Int("max-jobs", server.DefaultMaxConcurrentJobs,
 		"max concurrently admitted engine jobs before 429 (-1 = unlimited)")
-	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "LRU result cache entries")
+	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "result store memory-tier entries")
+	storeDir := flag.String("store-dir", "",
+		"persistent result store directory (empty = memory only); a restarted "+
+			"daemon pointed at the same directory serves previous results from disk")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0,
+		"persistent store size cap in bytes, LRU-GCed past it (0 = 1GiB default)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
 	maxSweep := flag.Int("max-sweep", server.DefaultMaxSweepJobs, "max jobs in one sweep matrix")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none)")
@@ -47,15 +52,21 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
 	flag.Parse()
 
-	s := server.New(server.Options{
+	s, err := server.New(server.Options{
 		Workers:           *workers,
 		MaxConcurrentJobs: *maxJobs,
 		CacheEntries:      *cacheEntries,
+		StoreDir:          *storeDir,
+		StoreMaxBytes:     *storeMaxBytes,
 		MaxBodyBytes:      *maxBody,
 		MaxSweepJobs:      *maxSweep,
 		JobTimeout:        *timeout,
 		EngineMemoCap:     *memoCap,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svwd: %v\n", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

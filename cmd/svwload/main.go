@@ -17,7 +17,9 @@
 // With -smoke it instead performs one healthz probe, one /v1/run (first
 // config × first bench) and one /v1/sweep (the full matrix), printing the
 // two response bodies verbatim to stdout; ci.sh byte-compares that output
-// against the equivalent `svwsim -json` invocations.
+// against the equivalent `svwsim -json` invocations. With -stats it
+// prints the raw /v1/stats body, which the warm-restart smoke stage greps
+// to prove a restarted daemon served everything from its disk tier.
 package main
 
 import (
@@ -32,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"svwsim/internal/api"
 )
 
 func main() {
@@ -42,6 +46,7 @@ func main() {
 	benches := flag.String("benches", "gcc,twolf", "sweep benches, comma-separated")
 	insts := flag.Uint64("insts", 30_000, "committed instructions per job")
 	smoke := flag.Bool("smoke", false, "one /v1/run + one /v1/sweep, bodies to stdout")
+	stats := flag.Bool("stats", false, "print the raw /v1/stats body and exit")
 	flag.Parse()
 
 	l := &loader{
@@ -51,14 +56,16 @@ func main() {
 		benches: strings.Split(*benches, ","),
 		insts:   *insts,
 	}
-	if *smoke {
-		if err := l.runSmoke(); err != nil {
-			fmt.Fprintf(os.Stderr, "svwload: %v\n", err)
-			os.Exit(1)
-		}
-		return
+	var err error
+	switch {
+	case *stats:
+		err = l.printStats()
+	case *smoke:
+		err = l.runSmoke()
+	default:
+		err = l.runLoad(*clients, *iters)
 	}
-	if err := l.runLoad(*clients, *iters); err != nil {
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "svwload: %v\n", err)
 		os.Exit(1)
 	}
@@ -151,34 +158,37 @@ func (l *loader) runSmoke() error {
 	return nil
 }
 
+// --- stats ---------------------------------------------------------------
+
+// printStats dumps the service's /v1/stats body verbatim (scripts grep
+// it; humans read it).
+func (l *loader) printStats() error {
+	resp, err := l.client.Get(l.base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/stats: HTTP %d: %s", resp.StatusCode, body)
+	}
+	os.Stdout.Write(body)
+	return nil
+}
+
 // --- load ----------------------------------------------------------------
 
-type statsSnapshot struct {
-	Cache struct {
-		Hits   uint64 `json:"hits"`
-		Misses uint64 `json:"misses"`
-	} `json:"cache"`
-	Engine struct {
-		MemoHits   uint64 `json:"memo_hits"`
-		MemoMisses uint64 `json:"memo_misses"`
-	} `json:"engine"`
-	Admission struct {
-		Rejected uint64 `json:"rejected"`
-	} `json:"admission"`
-	// Cluster is present only when the target is an svwctl coordinator.
-	Cluster *struct {
-		BackendsTotal   int    `json:"backends_total"`
-		BackendsHealthy int    `json:"backends_healthy"`
-		Jobs            uint64 `json:"jobs"`
-		Retries         uint64 `json:"retries"`
-		Hedges          uint64 `json:"hedges"`
-	} `json:"cluster"`
-}
+// Stats snapshots decode into the shared wire types (internal/api): the
+// same structs svwd and svwctl marshal, so the reporter reads exactly
+// what the services wrote and cannot drift from them.
 
 // runLoad fires clients × iters sweep requests and prints the service-level
 // report.
 func (l *loader) runLoad(clients, iters int) error {
-	var before statsSnapshot
+	var before api.StatsResponse
 	if err := l.get("/v1/stats", &before); err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
@@ -233,7 +243,7 @@ func (l *loader) runLoad(clients, iters int) error {
 		return firstErr
 	}
 
-	var after statsSnapshot
+	var after api.StatsResponse
 	if err := l.get("/v1/stats", &after); err != nil {
 		return fmt.Errorf("stats: %w", err)
 	}
@@ -248,10 +258,11 @@ func (l *loader) runLoad(clients, iters int) error {
 	}
 	n := len(latencies)
 	hits := after.Cache.Hits - before.Cache.Hits
+	diskHits := after.Cache.DiskHits - before.Cache.DiskHits
 	misses := after.Cache.Misses - before.Cache.Misses
 	hitRate := 0.0
-	if hits+misses > 0 {
-		hitRate = float64(hits) / float64(hits+misses) * 100
+	if hits+diskHits+misses > 0 {
+		hitRate = float64(hits+diskHits) / float64(hits+diskHits+misses) * 100
 	}
 
 	fmt.Printf("svwload: %d clients x %d sweeps (%d jobs each), insts=%d\n",
@@ -262,7 +273,8 @@ func (l *loader) runLoad(clients, iters int) error {
 	fmt.Printf("  latency       p50 %v  p90 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
-	fmt.Printf("  server cache  %d hits / %d misses (%.1f%% hit rate)\n", hits, misses, hitRate)
+	fmt.Printf("  server store  %d memory hits / %d disk hits / %d misses (%.1f%% hit rate)\n",
+		hits, diskHits, misses, hitRate)
 	fmt.Printf("  engine memo   +%d hits / +%d misses over the run\n",
 		after.Engine.MemoHits-before.Engine.MemoHits,
 		after.Engine.MemoMisses-before.Engine.MemoMisses)
@@ -275,6 +287,17 @@ func (l *loader) runLoad(clients, iters int) error {
 		}
 		fmt.Printf("  cluster       %d/%d backends healthy, +%d jobs, +%d retries, +%d hedges\n",
 			cl.BackendsHealthy, cl.BackendsTotal, jobs, retries, hedges)
+		var backendDisk uint64
+		for _, b := range cl.Backends {
+			backendDisk += b.DiskHits
+		}
+		if backendDisk > 0 {
+			fmt.Printf("  backend disk  %d jobs served from backend disk tiers\n", backendDisk)
+		}
+		if cl.Store != nil {
+			fmt.Printf("  coord store   %d memory / %d disk hits served coordinator-side, %d entries on disk\n",
+				cl.Store.Hits, cl.Store.DiskHits, cl.Store.DiskEntries)
+		}
 	}
 	return nil
 }

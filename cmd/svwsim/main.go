@@ -11,6 +11,12 @@
 //
 // Configuration names come from the shared registry (sim.ConfigNames);
 // -list prints both the benchmarks and the configurations.
+//
+// With -store-dir, runs go through the persistent result store shared
+// with svwd and svwctl (internal/store): already-stored jobs are answered
+// from disk without simulating, and fresh results are written back — so a
+// CLI sweep pre-warms the store a daemon later serves from, and vice
+// versa. Output, including -json, is byte-identical either way.
 package main
 
 import (
@@ -20,8 +26,10 @@ import (
 	"os"
 	"strings"
 
+	"svwsim/internal/api"
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
+	"svwsim/internal/store"
 	"svwsim/internal/workload"
 )
 
@@ -32,6 +40,11 @@ func main() {
 	workers := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock limit (0 = none)")
 	jsonOut := flag.Bool("json", false, "machine-readable output")
+	storeDir := flag.String("store-dir", "",
+		"persistent result store directory shared with svwd/svwctl (empty = off): "+
+			"stored jobs are served from disk, fresh ones written back")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0,
+		"persistent store size cap in bytes, LRU-GCed past it (0 = 1GiB default)")
 	list := flag.Bool("list", false, "list benchmarks and configurations, then exit")
 	flag.Parse()
 
@@ -63,29 +76,73 @@ func main() {
 		}
 	}
 
-	eng := engine.New(*workers)
-	eng.SetTimeout(*timeout)
-	rs, err := eng.Run(jobs, nil)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "svwsim: %v\n", err)
-		os.Exit(1)
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: *storeDir, MaxBytes: *storeMaxBytes})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svwsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		for _, r := range rs {
-			if err := enc.Encode(r.Result); err != nil {
+
+	// Probe the store for every job; only the misses go to the engine. The
+	// stored bytes are api.MarshalResult output — exactly what -json
+	// prints — so served and simulated jobs are indistinguishable in the
+	// output.
+	bodies := make([][]byte, len(jobs))
+	var sub []engine.Job
+	var subIdx []int
+	for i := range jobs {
+		if st != nil {
+			key := engine.Fingerprint(jobs[i].Config, jobs[i].Bench, jobs[i].Insts)
+			if body, origin := st.Get(key); origin != store.OriginMiss {
+				st.AccountGet(origin)
+				bodies[i] = body
+				continue
+			}
+		}
+		sub = append(sub, jobs[i])
+		subIdx = append(subIdx, i)
+	}
+	if len(sub) > 0 {
+		eng := engine.New(*workers)
+		eng.SetTimeout(*timeout)
+		rs, err := eng.Run(sub, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svwsim: %v\n", err)
+			os.Exit(1)
+		}
+		for s, r := range rs {
+			body, err := api.MarshalResult(r.Result)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "svwsim: %v\n", err)
 				os.Exit(1)
 			}
+			bodies[subIdx[s]] = body
+			if st != nil {
+				key := engine.Fingerprint(r.Job.Config, r.Job.Bench, r.Job.Insts)
+				st.Put(key, body)
+			}
+		}
+	}
+
+	if *jsonOut {
+		for _, body := range bodies {
+			os.Stdout.Write(body)
 		}
 		return
 	}
-	for i := range rs {
+	for i, body := range bodies {
+		var res sim.Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			fmt.Fprintf(os.Stderr, "svwsim: decoding result: %v\n", err)
+			os.Exit(1)
+		}
 		if i > 0 {
 			fmt.Println()
 		}
-		printResult(&rs[i].Result)
+		printResult(&res)
 	}
 }
 

@@ -18,13 +18,25 @@ import (
 	"net/http"
 
 	"svwsim/internal/sim/engine"
+	"svwsim/internal/store"
 )
 
-// CacheHeader is set by svwd on /v1/run responses ("hit" or "miss") so a
-// fronting coordinator can observe backend cache effectiveness without
-// parsing bodies; svwctl propagates it and surfaces per-backend hit counts
-// in its /v1/stats cluster section.
+// CacheHeader is set on /v1/run responses to say which store tier served
+// the result: "memory" (the in-process LRU), "disk" (the persistent
+// tier), or "miss" (freshly computed). A fronting coordinator reads it to
+// observe backend cache effectiveness without parsing bodies, propagates
+// it verbatim, and surfaces per-backend memory/disk hit counts in its
+// /v1/stats cluster section.
 const CacheHeader = "X-Svwd-Cache"
+
+// The CacheHeader values. These are store.Origin's String() spellings —
+// servers derive the header from a store lookup's Origin directly, and a
+// test in internal/server pins the two enumerations together.
+const (
+	CacheMemory = "memory"
+	CacheDisk   = "disk"
+	CacheMiss   = "miss"
+)
 
 // RunRequest is the body of POST /v1/run: one (config, bench, insts) job.
 type RunRequest struct {
@@ -84,14 +96,61 @@ type StatsResponse struct {
 	Cluster   *ClusterStats `json:"cluster,omitempty"`
 }
 
-// CacheStats is the /v1/stats view of the svwd result cache (or, from the
-// coordinator, the pool-wide sum).
+// CacheStats is the /v1/stats view of a tiered result store (or, from the
+// coordinator, the pool-wide sum). It is the one definition of the cache
+// counters: server, cluster and svwload all read and write this struct,
+// so the layers cannot drift apart. Hits counts memory-tier hits;
+// DiskHits counts results served from the persistent tier. The Disk*
+// occupancy fields are zero on a store with no disk tier.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
+	Hits            uint64 `json:"hits"`
+	DiskHits        uint64 `json:"disk_hits"`
+	Misses          uint64 `json:"misses"`
+	Evictions       uint64 `json:"evictions"`
+	Entries         int    `json:"entries"`
+	Capacity        int    `json:"capacity"`
+	DiskEntries     int    `json:"disk_entries"`
+	DiskBytes       int64  `json:"disk_bytes"`
+	DiskMaxBytes    int64  `json:"disk_max_bytes"`
+	DiskEvictions   uint64 `json:"disk_evictions"`
+	DiskCorrupt     uint64 `json:"disk_corrupt"`
+	DiskWriteErrors uint64 `json:"disk_write_errors"`
+}
+
+// StoreCacheStats converts a store snapshot to its wire shape.
+func StoreCacheStats(st store.Stats) CacheStats {
+	return CacheStats{
+		Hits:            st.Hits,
+		DiskHits:        st.DiskHits,
+		Misses:          st.Misses,
+		Evictions:       st.Evictions,
+		Entries:         st.Entries,
+		Capacity:        st.Capacity,
+		DiskEntries:     st.Disk.Entries,
+		DiskBytes:       st.Disk.Bytes,
+		DiskMaxBytes:    st.Disk.MaxBytes,
+		DiskEvictions:   st.Disk.Evictions,
+		DiskCorrupt:     st.Disk.Corrupt,
+		DiskWriteErrors: st.Disk.WriteErrors,
+	}
+}
+
+// Add accumulates o into s field by field — the coordinator's pool-wide
+// aggregation. Living next to the struct, it cannot silently miss a field
+// the way per-caller summing loops can.
+func (s *CacheStats) Add(o CacheStats) {
+	s.Hits += o.Hits
+	s.DiskHits += o.DiskHits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.Capacity += o.Capacity
+	s.DiskEntries += o.DiskEntries
+	s.DiskBytes += o.DiskBytes
+	s.DiskMaxBytes += o.DiskMaxBytes
+	s.DiskEvictions += o.DiskEvictions
+	s.DiskCorrupt += o.DiskCorrupt
+	s.DiskWriteErrors += o.DiskWriteErrors
 }
 
 // EngineStats surfaces the shared engine's reuse counters.
@@ -101,12 +160,26 @@ type EngineStats struct {
 	MemoEntries int    `json:"memo_entries"`
 }
 
+// Add accumulates o into s (see CacheStats.Add).
+func (s *EngineStats) Add(o EngineStats) {
+	s.MemoHits += o.MemoHits
+	s.MemoMisses += o.MemoMisses
+	s.MemoEntries += o.MemoEntries
+}
+
 // GateStats is the /v1/stats view of the admission gate.
 type GateStats struct {
 	// Capacity is the configured max concurrent jobs (0 = unlimited).
 	Capacity int    `json:"capacity"`
 	InUse    int    `json:"in_use"`
 	Rejected uint64 `json:"rejected"`
+}
+
+// Add accumulates o into s (see CacheStats.Add).
+func (s *GateStats) Add(o GateStats) {
+	s.Capacity += o.Capacity
+	s.InUse += o.InUse
+	s.Rejected += o.Rejected
 }
 
 // ClusterStats is the coordinator's own /v1/stats section: fabric-level
@@ -126,10 +199,14 @@ type ClusterStats struct {
 	// forwarding walk (a hedge's own first attempt is accounted under
 	// Hedges, not Retries); Hedges counts speculative duplicates launched
 	// for stragglers, HedgeWins the hedges whose response was used.
-	Retries   uint64                `json:"retries"`
-	Hedges    uint64                `json:"hedges"`
-	HedgeWins uint64                `json:"hedge_wins"`
-	Backends  []ClusterBackendStats `json:"backends"`
+	Retries   uint64 `json:"retries"`
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	// Store is the coordinator's own result store (set only when svwctl
+	// runs with -store-dir): jobs it served directly from the persistent
+	// tier when no backend could, and the tier's occupancy.
+	Store    *CacheStats           `json:"store,omitempty"`
+	Backends []ClusterBackendStats `json:"backends"`
 }
 
 // ClusterBackendStats is one backend's row in ClusterStats.
@@ -144,9 +221,11 @@ type ClusterBackendStats struct {
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`
 	// JobsOK counts jobs whose winning response came from this backend;
-	// CacheHits the subset the backend answered from its LRU (CacheHeader).
+	// CacheHits the subset the backend answered from its memory tier and
+	// DiskHits the subset it answered from its disk tier (CacheHeader).
 	JobsOK    uint64 `json:"jobs_ok"`
 	CacheHits uint64 `json:"cache_hits"`
+	DiskHits  uint64 `json:"disk_hits"`
 }
 
 // SweepEvent is the data payload of one SSE "result" event during
@@ -156,9 +235,11 @@ type SweepEvent struct {
 	Index  int    `json:"index"`
 	Config string `json:"config"`
 	Bench  string `json:"bench"`
-	// Cached: served from an LRU cache, no engine involvement (on the
-	// coordinator: the serving backend's cache, via CacheHeader).
-	Cached bool `json:"cached"`
+	// Cached: served from the result store, no engine involvement (on the
+	// coordinator: the serving backend's store, via CacheHeader). Origin
+	// says which tier ("memory" or "disk"); it is empty for computed jobs.
+	Cached bool   `json:"cached"`
+	Origin string `json:"origin,omitempty"`
 	// Memoized: executed via the engine but answered from its memo table.
 	Memoized bool `json:"memoized"`
 	// Backend is the URL of the backend that served the job; set only by
@@ -170,10 +251,13 @@ type SweepEvent struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
-// SweepDone is the data payload of the final SSE "done" event.
+// SweepDone is the data payload of the final SSE "done" event. CacheHits
+// counts every store-served job (both tiers); DiskHits the disk-tier
+// subset.
 type SweepDone struct {
 	Jobs        int `json:"jobs"`
 	CacheHits   int `json:"cache_hits"`
+	DiskHits    int `json:"disk_hits"`
 	CacheMisses int `json:"cache_misses"`
 	Errors      int `json:"errors"`
 }

@@ -20,13 +20,20 @@
 //     the key's next-ranked backend, and optional hedging duplicates a
 //     straggling job onto the fallback after a configurable delay, first
 //     response winning;
-//   - observability: /v1/stats aggregates the pool's cache/engine/
+//   - observability: /v1/stats aggregates the pool's store/engine/
 //     admission counters and adds a cluster section (per-backend health,
-//     requests, errors, jobs won, cache hits, retry/hedge counts). Each
-//     client job is counted exactly once however many attempts it took.
+//     requests, errors, jobs won, memory/disk cache hits, retry/hedge
+//     counts). Each client job is counted exactly once however many
+//     attempts it took.
 //
-// The coordinator keeps no result state of its own: caching lives in the
-// backends, where the routing affinity makes it effective.
+// Result caching lives in the backends, where the routing affinity makes
+// it effective — with one exception: started with Options.StoreDir, the
+// coordinator opens its own tiered result store (internal/store, the same
+// subsystem svwd and svwsim use) as a last-resort read-through. A job
+// whose every backend attempt failed is answered from that store when a
+// previous run — this coordinator's own write-through, or a CLI sweep
+// pre-warming the directory — left the result behind, so a fabric whose
+// backends are all down can still serve everything it has ever computed.
 package cluster
 
 import (
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"svwsim/internal/api"
+	"svwsim/internal/store"
 )
 
 // Defaults for Options zero values.
@@ -73,6 +81,13 @@ type Options struct {
 	// Client optionally overrides the HTTP client used to reach backends
 	// (nil = a client with a connection pool sized to the fabric).
 	Client *http.Client
+	// StoreDir roots the coordinator's own result store ("" = none). Run
+	// and sweep results computed through the fabric are written through to
+	// it, and jobs whose every backend attempt fails are served from it.
+	StoreDir string
+	// StoreMaxBytes caps the store's disk tier
+	// (0 = store.DefaultDiskMaxBytes).
+	StoreMaxBytes int64
 }
 
 // backend is one svwd instance in the pool.
@@ -88,6 +103,7 @@ type backend struct {
 	errors    uint64
 	jobsOK    uint64
 	cacheHits uint64
+	diskHits  uint64
 }
 
 func (b *backend) isHealthy() bool {
@@ -125,13 +141,17 @@ func (b *backend) noteEnd(failed bool) {
 }
 
 // noteWin accounts a winning response — the one actually returned to the
-// client; cached marks a backend LRU hit. Called once per dispatch, so a
-// retried or hedged job still scores exactly one win.
-func (b *backend) noteWin(cached bool) {
+// client; origin is the backend's CacheHeader value, attributing memory-
+// and disk-tier hits separately. Called once per dispatch, so a retried
+// or hedged job still scores exactly one win.
+func (b *backend) noteWin(origin string) {
 	b.mu.Lock()
 	b.jobsOK++
-	if cached {
+	switch origin {
+	case api.CacheMemory:
 		b.cacheHits++
+	case api.CacheDisk:
+		b.diskHits++
 	}
 	b.mu.Unlock()
 }
@@ -147,6 +167,7 @@ func (b *backend) stats() api.ClusterBackendStats {
 		Errors:    b.errors,
 		JobsOK:    b.jobsOK,
 		CacheHits: b.cacheHits,
+		DiskHits:  b.diskHits,
 	}
 }
 
@@ -155,6 +176,7 @@ func (b *backend) stats() api.ClusterBackendStats {
 type Coordinator struct {
 	backends     []*backend
 	client       *http.Client
+	store        *store.Store // nil without Options.StoreDir
 	maxAttempts  int
 	hedgeAfter   time.Duration
 	maxBody      int64
@@ -204,9 +226,18 @@ func New(opts Options) (*Coordinator, error) {
 		tr.MaxIdleConnsPerHost = conc
 		client = &http.Client{Transport: tr}
 	}
+	var st *store.Store
+	if opts.StoreDir != "" {
+		var err error
+		st, err = store.Open(store.Options{Dir: opts.StoreDir, MaxBytes: opts.StoreMaxBytes})
+		if err != nil {
+			return nil, err
+		}
+	}
 	seen := make(map[string]bool, len(opts.Backends))
 	c := &Coordinator{
 		client:       client,
+		store:        st,
 		maxAttempts:  maxAttempts,
 		hedgeAfter:   opts.HedgeAfter,
 		maxBody:      maxBody,
@@ -295,6 +326,10 @@ func (c *Coordinator) clusterStats() api.ClusterStats {
 	}
 	c.mu.Unlock()
 	st.BackendsTotal = len(c.backends)
+	if c.store != nil {
+		ss := api.StoreCacheStats(c.store.Stats())
+		st.Store = &ss
+	}
 	for _, b := range c.backends {
 		bs := b.stats()
 		if bs.Healthy {

@@ -37,7 +37,11 @@ func newFabric(t *testing.T, n int, opts Options, wrap func(i int, h http.Handle
 	t.Helper()
 	f := &fabric{}
 	for i := 0; i < n; i++ {
-		h := server.New(server.Options{Workers: 2, MaxConcurrentJobs: -1}).Handler()
+		srv, err := server.New(server.Options{Workers: 2, MaxConcurrentJobs: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Handler()
 		if wrap != nil {
 			h = wrap(i, h)
 		}
@@ -303,8 +307,8 @@ func TestClusterRunAndRegistryEndpoints(t *testing.T) {
 	if !bytes.Equal(w2.Body.Bytes(), w.Body.Bytes()) {
 		t.Fatal("repeated run differs")
 	}
-	if h := w2.Header().Get(api.CacheHeader); h != "hit" {
-		t.Fatalf("repeat run %s=%q, want hit (affinity broken)", api.CacheHeader, h)
+	if h := w2.Header().Get(api.CacheHeader); h != api.CacheMemory {
+		t.Fatalf("repeat run %s=%q, want memory (affinity broken)", api.CacheHeader, h)
 	}
 	// A case-insensitive alias routes and encodes identically.
 	alias := fmt.Sprintf(`{"config":"SSQ+SVW","bench":"gcc","insts":%d}`, testInsts)
@@ -312,8 +316,8 @@ func TestClusterRunAndRegistryEndpoints(t *testing.T) {
 	if !bytes.Equal(w3.Body.Bytes(), w.Body.Bytes()) {
 		t.Fatal("aliased config run differs")
 	}
-	if h := w3.Header().Get(api.CacheHeader); h != "hit" {
-		t.Fatalf("aliased run %s=%q, want hit (canonicalization broke affinity)", api.CacheHeader, h)
+	if h := w3.Header().Get(api.CacheHeader); h != api.CacheMemory {
+		t.Fatalf("aliased run %s=%q, want memory (canonicalization broke affinity)", api.CacheHeader, h)
 	}
 
 	for _, path := range []string{"/v1/configs", "/v1/benches"} {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"svwsim/internal/api"
+	"svwsim/internal/store"
 )
 
 // outcome is the result of dispatching one request into the pool.
@@ -17,11 +18,21 @@ type outcome struct {
 	b      *backend // backend that produced the response (nil if none did)
 	status int      // HTTP status of the final response (0 = no response)
 	body   []byte
-	cached bool // backend answered from its LRU (api.CacheHeader)
+	// origin is the serving store tier from api.CacheHeader ("memory",
+	// "disk", "miss"; empty when the response carried no header, e.g. a
+	// proxied study). A response served by the coordinator's own store
+	// after every backend attempt failed has a tier origin and b == nil.
+	origin string
 	hedged bool // produced by the hedge attempt, not the primary
 	// err is set when no usable response was obtained (all candidates
 	// failed, saturated, or the client went away).
 	err error
+}
+
+// cached reports whether the response was served from a store rather than
+// computed — any tier, backend or coordinator.
+func (o *outcome) cached() bool {
+	return o.origin == api.CacheMemory || o.origin == api.CacheDisk
 }
 
 // dispatch forwards one request to the pool: rendezvous-routed, retried
@@ -89,11 +100,42 @@ func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, re
 // handlers' business: they know what is a client job and what is not.
 func (c *Coordinator) noteOutcome(out outcome) {
 	if out.err == nil && out.status == http.StatusOK && out.b != nil {
-		out.b.noteWin(out.cached)
+		out.b.noteWin(out.origin)
 		if out.hedged {
 			c.addHedgeWin()
 		}
 	}
+}
+
+// dispatchJob dispatches one engine job (a /v1/run body, keyed by its
+// memo key) with the coordinator store wrapped around the pool:
+//
+//   - a job no backend could serve is answered from the coordinator's own
+//     store when the result is already on its disk — a previous
+//     write-through, or a CLI sweep that pre-warmed the directory — so a
+//     fabric with every backend down still serves what it has computed;
+//   - a freshly computed result is written through to the store.
+//
+// Without Options.StoreDir this is exactly dispatch.
+func (c *Coordinator) dispatchJob(ctx context.Context, key string, reqBody []byte) outcome {
+	out := c.dispatch(ctx, key, http.MethodPost, "/v1/run", reqBody)
+	if c.store == nil {
+		return out
+	}
+	if out.err != nil && ctx.Err() == nil {
+		if body, origin := c.store.Get(key); origin != store.OriginMiss {
+			c.store.AccountGet(origin)
+			return outcome{
+				status: http.StatusOK,
+				body:   body,
+				origin: origin.String(),
+			}
+		}
+	}
+	if out.err == nil && out.status == http.StatusOK && !out.cached() {
+		c.store.Put(key, out.body)
+	}
+	return out
 }
 
 // forward walks the key's rendezvous candidate order starting at offset,
@@ -201,7 +243,7 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, method, path stri
 		b.noteEnd(false)
 		return outcome{
 			b: b, status: resp.StatusCode, body: respBody,
-			cached: resp.Header.Get(api.CacheHeader) == "hit",
+			origin: resp.Header.Get(api.CacheHeader),
 		}, false
 	case resp.StatusCode == http.StatusTooManyRequests:
 		b.noteEnd(false)

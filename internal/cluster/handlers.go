@@ -116,18 +116,13 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 			if json.NewDecoder(res.Body).Decode(&st) != nil {
 				return
 			}
+			// The section types aggregate themselves (internal/api's Add
+			// methods), so a field added to the wire contract is summed
+			// here by construction, not by remembering to edit this loop.
 			mu.Lock()
-			resp.Cache.Hits += st.Cache.Hits
-			resp.Cache.Misses += st.Cache.Misses
-			resp.Cache.Evictions += st.Cache.Evictions
-			resp.Cache.Entries += st.Cache.Entries
-			resp.Cache.Capacity += st.Cache.Capacity
-			resp.Engine.MemoHits += st.Engine.MemoHits
-			resp.Engine.MemoMisses += st.Engine.MemoMisses
-			resp.Engine.MemoEntries += st.Engine.MemoEntries
-			resp.Admission.Capacity += st.Admission.Capacity
-			resp.Admission.InUse += st.Admission.InUse
-			resp.Admission.Rejected += st.Admission.Rejected
+			resp.Cache.Add(st.Cache)
+			resp.Engine.Add(st.Engine)
+			resp.Admission.Add(st.Admission)
 			mu.Unlock()
 		}(b)
 	}
@@ -166,7 +161,7 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusInternalServerError, "encoding job: %v", err)
 		return
 	}
-	out := c.dispatch(r.Context(), key, http.MethodPost, "/v1/run", body)
+	out := c.dispatchJob(r.Context(), key, body)
 	c.addJob(out.err != nil)
 	if out.err != nil {
 		if clientGone(out.err) {
@@ -176,11 +171,13 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if out.status == http.StatusOK {
-		if out.cached {
-			w.Header().Set(api.CacheHeader, "hit")
-		} else {
-			w.Header().Set(api.CacheHeader, "miss")
+		// Propagate the serving tier verbatim — memory, disk or miss —
+		// whether a backend's store answered or the coordinator's own.
+		origin := out.origin
+		if origin == "" {
+			origin = api.CacheMiss
 		}
+		w.Header().Set(api.CacheHeader, origin)
 	}
 	api.WriteBody(w, out.status, out.body)
 }
@@ -264,7 +261,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		done[i] = make(chan struct{})
 		go func(i int) {
 			defer close(done[i])
-			outcomes[i] = c.dispatch(r.Context(), jobs[i].key, http.MethodPost, "/v1/run", jobs[i].body)
+			outcomes[i] = c.dispatchJob(r.Context(), jobs[i].key, jobs[i].body)
 			if outcomes[i].err == nil && outcomes[i].status != http.StatusOK {
 				// A non-200 terminal response is a failed cell from the
 				// sweep's point of view.
@@ -331,13 +328,19 @@ func (c *Coordinator) streamSweep(w http.ResponseWriter, jobs []sweepJob, outcom
 			Index:  i,
 			Config: jobs[i].config,
 			Bench:  jobs[i].bench,
-			Cached: out.cached,
+			Cached: out.cached(),
+		}
+		if ev.Cached {
+			ev.Origin = out.origin
 		}
 		if out.b != nil {
 			ev.Backend = out.b.url
 		}
-		if out.cached {
+		if ev.Cached {
 			summary.CacheHits++
+			if out.origin == api.CacheDisk {
+				summary.DiskHits++
+			}
 		} else {
 			summary.CacheMisses++
 		}

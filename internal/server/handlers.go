@@ -13,6 +13,7 @@ import (
 	"svwsim/internal/api"
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
+	"svwsim/internal/store"
 	"svwsim/internal/workload"
 )
 
@@ -93,7 +94,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.eng.Memo()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeS: time.Since(s.start).Seconds(),
-		Cache:   s.cache.stats(),
+		Cache:   api.StoreCacheStats(s.store.Stats()),
 		Engine: EngineStats{
 			MemoHits:    m.Hits,
 			MemoMisses:  m.Misses,
@@ -121,13 +122,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := engine.Fingerprint(cfg, req.Bench, req.Insts)
-	if body, ok := s.cache.get(key); ok {
-		s.cache.account(1, 0)
-		w.Header().Set(api.CacheHeader, "hit")
+	if body, origin := s.store.Get(key); origin != store.OriginMiss {
+		s.store.AccountGet(origin)
+		w.Header().Set(api.CacheHeader, origin.String())
 		writeBody(w, http.StatusOK, body)
 		return
 	}
-	w.Header().Set(api.CacheHeader, "miss")
+	w.Header().Set(api.CacheHeader, api.CacheMiss)
 	release, ok := s.gate.tryAcquire(1)
 	if !ok {
 		rejectSaturated(w)
@@ -136,7 +137,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	// A miss is counted once admitted, not at probe time: a rejected
 	// request neither serves nor computes anything.
-	s.cache.account(0, 1)
+	s.store.Account(0, 0, 1)
 
 	rs, err := s.eng.RunContext(r.Context(), []engine.Job{{
 		Study: "svwd-run", Label: cfg.Name, Config: cfg,
@@ -154,22 +155,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
 		return
 	}
-	s.cache.put(key, body)
+	s.store.Put(key, body)
 	writeBody(w, http.StatusOK, body)
 }
 
 // --- /v1/sweep -----------------------------------------------------------
 
-// sweepPlan is a flattened sweep matrix with per-job cache state.
+// sweepPlan is a flattened sweep matrix with per-job store state.
 type sweepPlan struct {
 	jobs   []engine.Job
 	keys   []string
-	cached [][]byte     // cached[i] != nil: job i was served by the LRU
-	sub    []engine.Job // the uncached jobs, in job-index order
+	cached [][]byte       // cached[i] != nil: job i was served by the store
+	origin []store.Origin // which tier served job i (OriginMiss = computed)
+	sub    []engine.Job   // the uncached jobs, in job-index order
+	disk   int            // how many cached jobs came from the disk tier
 }
 
 // planSweep validates the request, flattens the matrix config-major (the
-// `svwsim -config a,b -bench x,y` order) and probes the cache for every
+// `svwsim -config a,b -bench x,y` order) and probes the store for every
 // job. It writes the error response itself on failure.
 func (s *Server) planSweep(w http.ResponseWriter, req *SweepRequest) (*sweepPlan, bool) {
 	if len(req.Configs) == 0 || len(req.Benches) == 0 {
@@ -201,9 +204,14 @@ func (s *Server) planSweep(w http.ResponseWriter, req *SweepRequest) (*sweepPlan
 		}
 	}
 	p.cached = make([][]byte, len(p.jobs))
+	p.origin = make([]store.Origin, len(p.jobs))
 	for i, key := range p.keys {
-		if body, ok := s.cache.get(key); ok {
+		if body, origin := s.store.Get(key); origin != store.OriginMiss {
 			p.cached[i] = body
+			p.origin[i] = origin
+			if origin == store.OriginDisk {
+				p.disk++
+			}
 		} else {
 			p.sub = append(p.sub, p.jobs[i])
 		}
@@ -228,8 +236,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		defer release()
 	}
-	// Admitted (or fully cached): now the sweep's cache outcome counts.
-	s.cache.account(uint64(len(p.jobs)-len(p.sub)), uint64(len(p.sub)))
+	// Admitted (or fully cached): now the sweep's store outcome counts.
+	s.store.Account(uint64(len(p.jobs)-len(p.sub)-p.disk), uint64(p.disk), uint64(len(p.sub)))
 	if api.WantsSSE(r) {
 		s.streamSweep(w, r, p)
 		return
@@ -261,7 +269,7 @@ func (s *Server) bufferSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 			writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
 			return
 		}
-		s.cache.put(p.keys[i], b)
+		s.store.Put(p.keys[i], b)
 		body = append(body, b...)
 		sub++
 	}
@@ -301,8 +309,12 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 		}
 		if p.cached[i] != nil {
 			ev.Cached = true
+			ev.Origin = p.origin[i].String()
 			ev.Result = json.RawMessage(p.cached[i])
 			summary.CacheHits++
+			if p.origin[i] == store.OriginDisk {
+				summary.DiskHits++
+			}
 		} else {
 			jr := <-results
 			summary.CacheMisses++
@@ -311,7 +323,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 				ev.Error = jr.Err.Error()
 				summary.Errors++
 			} else if body, err := marshalResult(jr.Result); err == nil {
-				s.cache.put(p.keys[i], body)
+				s.store.Put(p.keys[i], body)
 				ev.Result = json.RawMessage(body)
 			} else {
 				ev.Error = err.Error()
@@ -456,8 +468,8 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := p.key(study)
-	if body, ok := s.cache.get(key); ok {
-		s.cache.account(1, 0)
+	if body, origin := s.store.Get(key); origin != store.OriginMiss {
+		s.store.AccountGet(origin)
 		writeBody(w, http.StatusOK, body)
 		return
 	}
@@ -467,7 +479,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	s.cache.account(0, 1)
+	s.store.Account(0, 0, 1)
 
 	v, err := run(r.Context())
 	if err != nil {
@@ -483,6 +495,6 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body = append(body, '\n')
-	s.cache.put(key, body)
+	s.store.Put(key, body)
 	writeBody(w, http.StatusOK, body)
 }

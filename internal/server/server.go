@@ -12,9 +12,12 @@
 // One Server owns one engine.Engine, so memoized reuse spans every request
 // the process has served. On top of the engine sit the service layers:
 //
-//   - a bounded LRU result cache keyed by the engine's memo key
-//     (engine.Fingerprint), serving repeated requests without touching the
-//     engine at all — hit/miss counters are on /v1/stats;
+//   - the shared tiered result store (internal/store) keyed by the
+//     engine's memo key (engine.Fingerprint): a bounded in-memory LRU,
+//     optionally backed by a persistent disk tier (Options.StoreDir) so a
+//     restarted daemon answers previously computed work without touching
+//     the engine — hit/disk-hit/miss counters are on /v1/stats and the
+//     serving tier is named in the X-Svwd-Cache response header;
 //   - an admission gate bounding concurrently admitted engine jobs,
 //     refusing excess work with HTTP 429 (cache hits bypass the gate);
 //   - per-request context cancellation threaded into the engine, so a
@@ -35,6 +38,7 @@ import (
 	"time"
 
 	"svwsim/internal/sim/engine"
+	"svwsim/internal/store"
 )
 
 // Defaults for Options zero values.
@@ -55,8 +59,17 @@ type Options struct {
 	// requests; excess requests get HTTP 429 (0 = DefaultMaxConcurrentJobs,
 	// < 0 = unlimited).
 	MaxConcurrentJobs int
-	// CacheEntries bounds the LRU result cache (0 = DefaultCacheEntries).
+	// CacheEntries bounds the result store's in-memory tier
+	// (0 = DefaultCacheEntries).
 	CacheEntries int
+	// StoreDir roots the result store's persistent tier; "" disables it
+	// (memory-only, the previous behavior). Point a restarted daemon at
+	// the same directory and previously computed sweeps are answered from
+	// disk with zero engine executions.
+	StoreDir string
+	// StoreMaxBytes caps the persistent tier; least-recently-accessed
+	// entries are GCed past it (0 = store.DefaultDiskMaxBytes).
+	StoreMaxBytes int64
 	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
 	// MaxSweepJobs bounds one sweep's flattened matrix
@@ -70,11 +83,11 @@ type Options struct {
 	EngineMemoCap int
 }
 
-// Server is the svwd HTTP service: one shared engine plus the cache and
+// Server is the svwd HTTP service: one shared engine plus the store and
 // admission layers. Create with New; it is safe for concurrent use.
 type Server struct {
 	eng          *engine.Engine
-	cache        *lru
+	store        *store.Store
 	gate         *gate
 	maxBody      int64
 	maxSweepJobs int
@@ -82,8 +95,9 @@ type Server struct {
 	draining     atomic.Bool
 }
 
-// New builds a Server from opts (see Options for zero-value defaults).
-func New(opts Options) *Server {
+// New builds a Server from opts (see Options for zero-value defaults). It
+// fails only when a configured StoreDir cannot be opened.
+func New(opts Options) (*Server, error) {
 	maxJobs := opts.MaxConcurrentJobs
 	if maxJobs == 0 {
 		maxJobs = DefaultMaxConcurrentJobs
@@ -103,17 +117,25 @@ func New(opts Options) *Server {
 	if maxSweep <= 0 {
 		maxSweep = DefaultMaxSweepJobs
 	}
+	st, err := store.Open(store.Options{
+		MemoryEntries: cacheEntries,
+		Dir:           opts.StoreDir,
+		MaxBytes:      opts.StoreMaxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
 	eng := engine.New(opts.Workers)
 	eng.SetTimeout(opts.JobTimeout)
 	eng.SetMemoCap(opts.EngineMemoCap)
 	return &Server{
 		eng:          eng,
-		cache:        newLRU(cacheEntries),
+		store:        st,
 		gate:         newGate(maxJobs),
 		maxBody:      maxBody,
 		maxSweepJobs: maxSweep,
 		start:        time.Now(),
-	}
+	}, nil
 }
 
 // Engine returns the server's shared engine (for embedding svwd-style

@@ -21,7 +21,11 @@ func newTestServer(opts Options) *Server {
 	if opts.Workers == 0 {
 		opts.Workers = 4
 	}
-	return New(opts)
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // do runs one request through the server's handler.

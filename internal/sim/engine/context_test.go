@@ -138,3 +138,40 @@ func TestMemoCapEviction(t *testing.T) {
 		t.Errorf("want 1 memo hit for the duplicated job, got %d", hits)
 	}
 }
+
+// Eviction is true LRU, not insertion-order FIFO: a memo hit refreshes an
+// entry's recency, so the least recently *used* entry goes first.
+func TestMemoCapEvictionIsLRU(t *testing.T) {
+	eng := New(1)
+	eng.SetMemoCap(2)
+	jobs := ctxJobs(3, 5000)
+	a, b, c := jobs[0], jobs[1], jobs[2]
+	// Fill the table with a then b, then touch a: under FIFO a is still
+	// the first victim; under LRU the victim is b.
+	if _, err := eng.Run([]Job{a, b, a}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m0 := eng.Memo()
+	if m0.Misses != 2 || m0.Hits != 1 {
+		t.Fatalf("warmup memo %+v, want 2 misses / 1 hit", m0)
+	}
+	// Inserting c evicts exactly one entry. Re-running a must still hit.
+	if _, err := eng.Run([]Job{c, a}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m1 := eng.Memo()
+	if misses := m1.Misses - m0.Misses; misses != 1 {
+		t.Errorf("want only c to execute, got %d misses (a was evicted: FIFO, not LRU)", misses)
+	}
+	if hits := m1.Hits - m0.Hits; hits != 1 {
+		t.Errorf("want a to memo-hit after c's insert, got %d hits", hits)
+	}
+	// b was the LRU entry and must be the one that went.
+	if _, err := eng.Run([]Job{b}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m2 := eng.Memo()
+	if misses := m2.Misses - m1.Misses; misses != 1 {
+		t.Errorf("want b evicted (1 fresh execution), got %d misses", misses)
+	}
+}

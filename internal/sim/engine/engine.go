@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"svwsim/internal/pipeline"
+	"svwsim/internal/store"
 )
 
 // Job is one experiment: a machine configuration on a benchmark kernel.
@@ -75,9 +76,8 @@ type Engine struct {
 	progress func(JobResult)
 
 	mu      sync.Mutex
-	memo    map[string]*memoEntry
-	memoCap int      // max completed memo entries (0 = unbounded)
-	order   []string // memo keys in insertion order, for eviction
+	memo    *store.LRU[*memoEntry] // recency-ordered: hits refresh, eviction takes the LRU entry
+	memoCap int                    // max memo entries (0 = unbounded)
 	hits    uint64
 	misses  uint64
 }
@@ -95,7 +95,7 @@ type memoEntry struct {
 
 // New returns an engine with the given worker count (<= 0 = GOMAXPROCS).
 func New(workers int) *Engine {
-	return &Engine{workers: workers, memo: make(map[string]*memoEntry)}
+	return &Engine{workers: workers, memo: store.NewLRU[*memoEntry]()}
 }
 
 // Workers returns the effective worker count for a sweep of n jobs.
@@ -143,15 +143,16 @@ func (e *Engine) Memo() MemoStats {
 func (e *Engine) MemoSize() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.memo)
+	return e.memo.Len()
 }
 
 // SetMemoCap bounds the memo table to n entries (0 = unbounded, the
-// default). When an insertion exceeds the cap, the oldest completed entries
-// are evicted; in-flight executions are never evicted, so waiter delivery is
-// unaffected. Long-lived engines — a daemon sharing one engine across
-// requests — use this to keep memory bounded; evicted jobs simply
-// re-execute on their next request.
+// default). When an insertion exceeds the cap, the least recently used
+// completed entries are evicted (memo hits refresh recency — true LRU, via
+// the shared store index); in-flight executions are never evicted, so
+// waiter delivery is unaffected. Long-lived engines — a daemon sharing one
+// engine across requests — use this to keep memory bounded; evicted jobs
+// simply re-execute on their next request.
 func (e *Engine) SetMemoCap(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -159,39 +160,19 @@ func (e *Engine) SetMemoCap(n int) {
 	e.evictLocked()
 }
 
-// dropOrderLocked removes key's newest occurrence from the insertion-order
-// list (failed executions delete their memo entry, so the key must leave
-// the order list with it). Scans from the back: the key was appended on
-// this execution's insert, so it is near the end.
-func (e *Engine) dropOrderLocked(key string) {
-	for i := len(e.order) - 1; i >= 0; i-- {
-		if e.order[i] == key {
-			e.order = append(e.order[:i], e.order[i+1:]...)
-			return
-		}
-	}
-}
-
-// evictLocked drops the oldest completed memo entries until the table fits
-// the cap. Keys whose entries were already removed (failed executions) are
-// discarded as they are encountered; in-flight entries are kept by cycling
-// them to the back of the order list.
+// evictLocked drops least-recently-used completed memo entries until the
+// table fits the cap. In-flight entries are skipped in place, keeping
+// their recency.
 func (e *Engine) evictLocked() {
 	if e.memoCap <= 0 {
 		return
 	}
-	for scan := len(e.order); len(e.memo) > e.memoCap && scan > 0; scan-- {
-		key := e.order[0]
-		e.order = e.order[1:]
-		ent, ok := e.memo[key]
-		if !ok {
-			continue // stale: entry failed and was removed
+	for e.memo.Len() > e.memoCap {
+		if _, _, ok := e.memo.EvictOldest(func(_ string, ent *memoEntry) bool {
+			return ent.complete
+		}); !ok {
+			return // everything over the cap is in flight; retry next insert
 		}
-		if !ent.complete {
-			e.order = append(e.order, key)
-			continue
-		}
-		delete(e.memo, key)
 	}
 }
 
@@ -321,7 +302,7 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 
 	key := Fingerprint(j.Config, j.Bench, j.Insts)
 	e.mu.Lock()
-	ent, ok := e.memo[key]
+	ent, ok := e.memo.Get(key) // a hit refreshes the entry's recency
 	if ok {
 		e.hits++
 		if ent.complete {
@@ -341,8 +322,7 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 		return
 	}
 	ent = &memoEntry{}
-	e.memo[key] = ent
-	e.order = append(e.order, key)
+	e.memo.Put(key, ent)
 	e.misses++
 	e.evictLocked()
 	e.mu.Unlock()
@@ -356,10 +336,8 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 	if err != nil {
 		// Failures (including timeouts) are not cached: a later identical
 		// job must get a fresh attempt, not the stale error. Waiters parked
-		// on this execution still observe its error. The order entry goes
-		// too, or repeated failures would grow it without bound.
-		delete(e.memo, key)
-		e.dropOrderLocked(key)
+		// on this execution still observe its error.
+		e.memo.Delete(key)
 	}
 	e.mu.Unlock()
 	out[idx] = JobResult{Index: idx, Job: j, Result: res, Err: err,

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStore measures the read and write paths of both tiers with a
+// payload shaped like a marshaled engine result (~1 KiB). Run alongside
+// the engine bench suite:
+//
+//	go test -bench=Store -run='^$' ./internal/store
+func BenchmarkStore(b *testing.B) {
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cfg-%03d|gcc|300000", i)
+	}
+
+	b.Run("memory-get", func(b *testing.B) {
+		s, _ := Open(Options{MemoryEntries: len(keys)})
+		for _, k := range keys {
+			s.Put(k, payload)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, o := s.Get(keys[i%len(keys)]); o != OriginMemory {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("memory-put", func(b *testing.B) {
+		s, _ := Open(Options{MemoryEntries: len(keys)})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Put(keys[i%len(keys)], payload)
+		}
+	})
+	b.Run("disk-get", func(b *testing.B) {
+		s, err := Open(Options{MemoryEntries: 1, Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range keys {
+			s.Put(k, payload)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// MemoryEntries=1 keeps all but the last key out of the hot
+			// tier, so this measures the disk read + validate path.
+			if _, o := s.Get(keys[i%(len(keys)-1)]); o == OriginMiss {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("disk-put", func(b *testing.B) {
+		s, err := Open(Options{MemoryEntries: 1, Dir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Put(keys[i%len(keys)], payload)
+		}
+	})
+}

@@ -1,0 +1,324 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The on-disk entry format. Every entry is one file named by the SHA-256
+// of its key (content addressing: the key IS the identity, so concurrent
+// writers of the same key converge on the same file and the same bytes):
+//
+//	offset size  field
+//	0      4     magic "SVWS"
+//	4      4     format version (little-endian uint32)
+//	8      4     key length (little-endian uint32)
+//	12     4     value length (little-endian uint32)
+//	16     4     CRC-32 (IEEE) of key bytes + value bytes
+//	20     k     key bytes (verbatim engine memo key)
+//	20+k   v     value bytes
+//
+// Readers validate everything — magic, version, lengths against the file
+// size, checksum, and that the stored key matches the requested one (a
+// SHA-256 collision or a renamed file would otherwise serve the wrong
+// result). Any mismatch means the entry is ignored and deleted, never
+// misread: a truncated write, a bit flip, or an entry from an older
+// schema version all degrade to a cache miss and a recompute.
+//
+// diskVersion is also the invalidation knob for *payload* semantics: the
+// store key (engine.Fingerprint) covers configuration, benchmark and
+// budget but not the simulator's code, so a change that alters simulation
+// output for unchanged configs (a timing fix, a stats change) MUST bump
+// diskVersion — old directories then degrade to misses and recompute
+// instead of serving stale pre-fix results as if they were current.
+const (
+	diskMagic      = "SVWS"
+	diskVersion    = 1
+	diskHeaderSize = 20
+	diskSuffix     = ".svw"
+	diskTmpPrefix  = ".tmp-"
+)
+
+// DefaultDiskMaxBytes caps a disk tier that was not given an explicit
+// budget.
+const DefaultDiskMaxBytes = 1 << 30 // 1 GiB
+
+// DiskStats snapshots the disk tier's state and counters.
+type DiskStats struct {
+	Entries   int
+	Bytes     int64
+	MaxBytes  int64
+	Evictions uint64 // entries removed by the size-cap GC
+	Corrupt   uint64 // entries dropped by validation (checksum, header, key)
+	// WriteErrors counts failed Puts (disk full, permissions): the tier
+	// keeps serving what it has, but new results are not persisting —
+	// surfaced so a dying disk is visible in /v1/stats before a restart
+	// discovers it as a cold store.
+	WriteErrors uint64
+}
+
+// diskFile is the in-memory index record for one on-disk entry.
+type diskFile struct {
+	size int64
+}
+
+// Disk is the persistent tier: one checksummed file per key under dir,
+// bounded to maxBytes by evicting least-recently-accessed entries. It is
+// safe for concurrent use, including by multiple Disk instances over the
+// same directory (writes are atomic renames; readers validate what they
+// find), though each instance GCs only against its own view of the total.
+type Disk struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	index *LRU[diskFile] // file name -> size, recency = access order
+	total int64
+
+	evictions   uint64
+	corrupt     uint64
+	writeErrors uint64
+}
+
+// OpenDisk opens (creating if needed) a disk tier rooted at dir. Leftover
+// temp files from a crashed writer are removed; existing entries are
+// indexed oldest-access-first using file mtimes, so the GC's LRU order
+// survives a restart (reads bump mtime best-effort). maxBytes <= 0 falls
+// back to DefaultDiskMaxBytes.
+func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultDiskMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: opening disk tier: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning disk tier: %w", err)
+	}
+	type scanned struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var files []scanned
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, diskTmpPrefix) {
+			// A writer died between create and rename; the entry never
+			// existed as far as readers are concerned.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, diskSuffix) || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, scanned{name: name, size: info.Size(), mtime: info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	d := &Disk{dir: dir, maxBytes: maxBytes, index: NewLRU[diskFile]()}
+	for _, f := range files {
+		d.index.Put(f.name, diskFile{size: f.size}) // Put order = recency order
+		d.total += f.size
+	}
+	d.gcLocked()
+	return d, nil
+}
+
+// Dir returns the tier's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// fileName is the content address of key.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + diskSuffix
+}
+
+// Get returns the stored value for key, or false on miss. A file that
+// fails validation — wrong magic, unknown version, bad lengths, checksum
+// mismatch, or a stored key that differs from the requested one — is
+// deleted and reported as a miss, so corruption costs a recompute, never
+// a wrong answer.
+func (d *Disk) Get(key string) ([]byte, bool) {
+	name := fileName(key)
+	path := filepath.Join(d.dir, name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Deindex only a confirmed-absent file; a transient read error
+			// (fd exhaustion, EIO) must not desync the index and byte
+			// total from what is actually on disk. Re-stat under the lock:
+			// a concurrent Put may have landed the entry between our read
+			// and here, and its fresh index entry must survive.
+			d.mu.Lock()
+			if _, statErr := os.Stat(path); os.IsNotExist(statErr) {
+				d.dropLocked(name)
+			}
+			d.mu.Unlock()
+		}
+		return nil, false
+	}
+	val, ok := decodeEntry(raw, key)
+	d.mu.Lock()
+	if !ok {
+		// Delete the corrupt entry — unless the file changed size since
+		// our read, which means a concurrent Put replaced it with a fresh
+		// entry that must not be destroyed over stale bytes. (A same-size
+		// replacement in that window is indistinguishable; the next Get
+		// simply re-reads it.) Either way this request is a miss.
+		if info, statErr := os.Stat(path); statErr == nil && info.Size() == int64(len(raw)) {
+			d.corrupt++
+			d.dropLocked(name)
+			os.Remove(path)
+		}
+		d.mu.Unlock()
+		return nil, false
+	}
+	if _, indexed := d.index.Get(name); !indexed {
+		// Another instance (or a pre-restart run) wrote it; adopt it.
+		d.index.Put(name, diskFile{size: int64(len(raw))})
+		d.total += int64(len(raw))
+	}
+	d.mu.Unlock()
+	// Bump mtime so access recency survives a restart; best-effort, and
+	// outside the lock so a slow filesystem cannot stall other requests.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return val, true
+}
+
+// Put stores val under key: encoded to a temp file in the same directory,
+// then renamed into place, so readers only ever observe complete entries.
+// Oversized tiers shed least-recently-accessed entries afterwards.
+func (d *Disk) Put(key string, val []byte) error {
+	name := fileName(key)
+	path := filepath.Join(d.dir, name)
+	buf := encodeEntry(key, val)
+
+	if err := d.writeFile(path, buf); err != nil {
+		d.mu.Lock()
+		d.writeErrors++
+		d.mu.Unlock()
+		return err
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropLocked(name) // replacing: retire the old size before adding the new
+	d.index.Put(name, diskFile{size: int64(len(buf))})
+	d.total += int64(len(buf))
+	d.gcLocked()
+	return nil
+}
+
+// writeFile lands buf at path via temp file + rename.
+func (d *Disk) writeFile(path string, buf []byte) error {
+	tmp, err := os.CreateTemp(d.dir, diskTmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: writing entry: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing entry: %w", err)
+	}
+	return nil
+}
+
+// dropLocked removes name from the index (not the filesystem), keeping the
+// byte total consistent.
+func (d *Disk) dropLocked(name string) {
+	if f, ok := d.index.Peek(name); ok {
+		d.index.Delete(name)
+		d.total -= f.size
+	}
+}
+
+// gcLocked evicts least-recently-accessed entries until the tier fits its
+// byte budget. The newest entry is always kept, even if it alone exceeds
+// the budget — an empty store would just recompute-and-GC forever.
+func (d *Disk) gcLocked() {
+	for d.total > d.maxBytes && d.index.Len() > 1 {
+		name, f, ok := d.index.EvictOldest(nil)
+		if !ok {
+			return
+		}
+		d.total -= f.size
+		d.evictions++
+		os.Remove(filepath.Join(d.dir, name))
+	}
+}
+
+// Stats snapshots the tier.
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DiskStats{
+		Entries:     d.index.Len(),
+		Bytes:       d.total,
+		MaxBytes:    d.maxBytes,
+		Evictions:   d.evictions,
+		Corrupt:     d.corrupt,
+		WriteErrors: d.writeErrors,
+	}
+}
+
+// encodeEntry serializes one entry in the on-disk format.
+func encodeEntry(key string, val []byte) []byte {
+	buf := make([]byte, diskHeaderSize+len(key)+len(val))
+	copy(buf[0:4], diskMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], diskVersion)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(val)))
+	copy(buf[diskHeaderSize:], key)
+	copy(buf[diskHeaderSize+len(key):], val)
+	crc := crc32.ChecksumIEEE(buf[diskHeaderSize:])
+	binary.LittleEndian.PutUint32(buf[16:20], crc)
+	return buf
+}
+
+// decodeEntry validates raw against the format and wantKey, returning the
+// value on success.
+func decodeEntry(raw []byte, wantKey string) ([]byte, bool) {
+	if len(raw) < diskHeaderSize || string(raw[0:4]) != diskMagic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(raw[4:8]) != diskVersion {
+		return nil, false // older/newer schema: ignore, do not guess
+	}
+	keyLen := int64(binary.LittleEndian.Uint32(raw[8:12]))
+	valLen := int64(binary.LittleEndian.Uint32(raw[12:16]))
+	if int64(len(raw)) != diskHeaderSize+keyLen+valLen {
+		return nil, false // truncated or padded
+	}
+	if crc32.ChecksumIEEE(raw[diskHeaderSize:]) != binary.LittleEndian.Uint32(raw[16:20]) {
+		return nil, false
+	}
+	if string(raw[diskHeaderSize:diskHeaderSize+keyLen]) != wantKey {
+		return nil, false
+	}
+	val := make([]byte, valLen)
+	copy(val, raw[diskHeaderSize+keyLen:])
+	return val, true
+}

@@ -1,0 +1,88 @@
+package store
+
+import "container/list"
+
+// LRU is a recency-ordered string-keyed index: a map over an intrusive
+// list, front = most recently used. It is the one LRU implementation in
+// the repository — the store's memory tier, and the engine's memo table
+// (which previously evicted in insertion order, i.e. FIFO), both order
+// their entries with it, so "least recently used" means the same thing at
+// every layer.
+//
+// LRU is not safe for concurrent use; callers hold their own lock (the
+// engine its memo mutex, Store its tier mutex).
+type LRU[V any] struct {
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewLRU returns an empty index.
+func NewLRU[V any]() *LRU[V] {
+	return &LRU[V]{ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Len returns the number of entries.
+func (l *LRU[V]) Len() int { return l.ll.Len() }
+
+// Get returns the value under key and refreshes its recency.
+func (l *LRU[V]) Get(key string) (V, bool) {
+	el, ok := l.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.ll.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+// Peek returns the value under key without touching recency.
+func (l *LRU[V]) Peek(key string) (V, bool) {
+	el, ok := l.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+// Put stores val under key as the most recently used entry, replacing any
+// existing value.
+func (l *LRU[V]) Put(key string, val V) {
+	if el, ok := l.items[key]; ok {
+		l.ll.MoveToFront(el)
+		el.Value.(*lruEntry[V]).val = val
+		return
+	}
+	l.items[key] = l.ll.PushFront(&lruEntry[V]{key: key, val: val})
+}
+
+// Delete removes key if present.
+func (l *LRU[V]) Delete(key string) {
+	if el, ok := l.items[key]; ok {
+		l.ll.Remove(el)
+		delete(l.items, key)
+	}
+}
+
+// EvictOldest removes and returns the least-recently-used entry for which
+// evictable returns true (nil = any). Entries the predicate rejects are
+// left in place, untouched in recency order, and scanning continues toward
+// more recent ones; false is returned when nothing qualifies.
+func (l *LRU[V]) EvictOldest(evictable func(key string, val V) bool) (string, V, bool) {
+	for el := l.ll.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*lruEntry[V])
+		if evictable != nil && !evictable(ent.key, ent.val) {
+			continue
+		}
+		l.ll.Remove(el)
+		delete(l.items, ent.key)
+		return ent.key, ent.val, true
+	}
+	var zero V
+	return "", zero, false
+}

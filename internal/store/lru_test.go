@@ -1,0 +1,79 @@
+package store
+
+import "testing"
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	l := NewLRU[string]()
+	l.Put("a", "A")
+	l.Put("b", "B")
+	l.Get("a") // refresh a: b is now the LRU entry
+	key, val, ok := l.EvictOldest(nil)
+	if !ok || key != "b" || val != "B" {
+		t.Fatalf("evicted %q=%q ok=%v, want b=B", key, val, ok)
+	}
+	if _, ok := l.Peek("a"); !ok {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	if l.Len() != 1 {
+		t.Fatalf("len %d, want 1", l.Len())
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	l := NewLRU[string]()
+	l.Put("a", "A1")
+	l.Put("b", "B")
+	l.Put("a", "A2") // refresh + replace: b becomes the LRU entry
+	if v, _ := l.Peek("a"); v != "A2" {
+		t.Fatalf("got %q, want refreshed value", v)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("duplicate put grew the index to %d", l.Len())
+	}
+	if key, _, _ := l.EvictOldest(nil); key != "b" {
+		t.Fatalf("evicted %q, want b (a was refreshed by Put)", key)
+	}
+}
+
+func TestLRUPeekDoesNotRefresh(t *testing.T) {
+	l := NewLRU[string]()
+	l.Put("a", "A")
+	l.Put("b", "B")
+	l.Peek("a") // must NOT refresh
+	if key, _, _ := l.EvictOldest(nil); key != "a" {
+		t.Fatalf("evicted %q, want a (Peek must not refresh recency)", key)
+	}
+}
+
+func TestLRUEvictOldestPredicate(t *testing.T) {
+	l := NewLRU[int]()
+	l.Put("a", 1)
+	l.Put("b", 2)
+	l.Put("c", 3)
+	// Only even values are evictable: "a" (oldest) is skipped in place.
+	key, val, ok := l.EvictOldest(func(_ string, v int) bool { return v%2 == 0 })
+	if !ok || key != "b" || val != 2 {
+		t.Fatalf("evicted %q=%d ok=%v, want b=2", key, val, ok)
+	}
+	// Nothing evictable: report false, leave the index intact.
+	if _, _, ok := l.EvictOldest(func(_ string, v int) bool { return v > 100 }); ok {
+		t.Fatal("evicted an entry the predicate rejected")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len %d after rejected eviction, want 2", l.Len())
+	}
+	// The skipped-in-place oldest is still the oldest.
+	if key, _, _ := l.EvictOldest(nil); key != "a" {
+		t.Fatalf("evicted %q, want a", key)
+	}
+}
+
+func TestLRUDelete(t *testing.T) {
+	l := NewLRU[string]()
+	l.Put("a", "A")
+	l.Delete("a")
+	l.Delete("ghost") // no-op
+	if _, ok := l.Peek("a"); ok || l.Len() != 0 {
+		t.Fatalf("a survived Delete (len %d)", l.Len())
+	}
+}

@@ -1,0 +1,199 @@
+// Package store is the unified content-addressed result store: one cache
+// subsystem shared by every layer of the serving stack. The engine's memo
+// table orders its entries with the same LRU index (lru.go), the svwd
+// server and the svwctl coordinator serve /v1/run and /v1/sweep through a
+// Store, and svwsim reads and pre-warms the same on-disk tier, so a
+// result computed anywhere is a lookup everywhere.
+//
+// A Store is two tiers behind one Get/Put:
+//
+//   - a bounded in-memory LRU of serialized result bytes — the hot tier,
+//     equivalent to the bespoke LRU internal/server used to own;
+//   - an optional disk tier (disk.go): one checksummed, atomically
+//     written file per engine memo key, size-capped with LRU GC, so warm
+//     restarts and cross-process sharing cost a read instead of a
+//     re-simulation.
+//
+// Get consults memory first, then disk; a disk hit is promoted into
+// memory. Put writes through to both tiers. Lookups never touch the
+// hit/miss counters — callers that actually serve the bytes record the
+// outcome with Account, so probes on requests that end up rejected
+// cannot skew the rates (the same contract the server's old LRU had).
+package store
+
+import "sync"
+
+// DefaultMemoryEntries bounds the memory tier when Options leaves it zero.
+const DefaultMemoryEntries = 4096
+
+// Origin says which tier answered a Get.
+type Origin int
+
+const (
+	// OriginMiss: neither tier had the key.
+	OriginMiss Origin = iota
+	// OriginMemory: served from the in-memory LRU.
+	OriginMemory
+	// OriginDisk: served from the disk tier (and promoted to memory).
+	OriginDisk
+)
+
+// String returns the origin's wire spelling — the X-Svwd-Cache values.
+func (o Origin) String() string {
+	switch o {
+	case OriginMemory:
+		return "memory"
+	case OriginDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
+// Options configures Open.
+type Options struct {
+	// MemoryEntries bounds the in-memory tier (0 = DefaultMemoryEntries,
+	// minimum 1).
+	MemoryEntries int
+	// Dir roots the disk tier; "" disables it (memory-only store).
+	Dir string
+	// MaxBytes caps the disk tier (0 = store.DefaultDiskMaxBytes).
+	MaxBytes int64
+}
+
+// Stats snapshots a Store's counters and occupancy. Hits/DiskHits/Misses
+// advance only through Account.
+type Stats struct {
+	Hits      uint64 // memory-tier hits
+	DiskHits  uint64
+	Misses    uint64
+	Evictions uint64 // memory-tier evictions
+	Entries   int    // memory-tier entries
+	Capacity  int    // memory-tier bound
+	Disk      DiskStats
+}
+
+// Store is the tiered result store. Create with Open; it is safe for
+// concurrent use.
+type Store struct {
+	disk *Disk // nil = memory only
+
+	mu        sync.Mutex
+	mem       *LRU[[]byte]
+	cap       int
+	hits      uint64
+	diskHits  uint64
+	misses    uint64
+	evictions uint64
+}
+
+// Open builds a Store from opts, creating the disk tier's directory when
+// one is configured.
+func Open(opts Options) (*Store, error) {
+	capacity := opts.MemoryEntries
+	if capacity == 0 {
+		capacity = DefaultMemoryEntries
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &Store{mem: NewLRU[[]byte](), cap: capacity}
+	if opts.Dir != "" {
+		d, err := OpenDisk(opts.Dir, opts.MaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = d
+	}
+	return s, nil
+}
+
+// HasDisk reports whether a disk tier is configured.
+func (s *Store) HasDisk() bool { return s.disk != nil }
+
+// Get returns the bytes under key and the tier that held them; a disk hit
+// is promoted into the memory tier. Counters are untouched — callers that
+// serve the result record it via Account. Callers must not mutate the
+// returned slice.
+func (s *Store) Get(key string) ([]byte, Origin) {
+	s.mu.Lock()
+	if val, ok := s.mem.Get(key); ok {
+		s.mu.Unlock()
+		return val, OriginMemory
+	}
+	s.mu.Unlock()
+	if s.disk == nil {
+		return nil, OriginMiss
+	}
+	val, ok := s.disk.Get(key)
+	if !ok {
+		return nil, OriginMiss
+	}
+	s.mu.Lock()
+	s.putMemLocked(key, val)
+	s.mu.Unlock()
+	return val, OriginDisk
+}
+
+// Put stores val under key in the memory tier and writes it through to
+// the disk tier when one is configured. Disk write failures are absorbed:
+// the memory tier still serves the entry, and the disk simply stays cold
+// for that key.
+func (s *Store) Put(key string, val []byte) {
+	s.mu.Lock()
+	s.putMemLocked(key, val)
+	s.mu.Unlock()
+	if s.disk != nil {
+		s.disk.Put(key, val)
+	}
+}
+
+func (s *Store) putMemLocked(key string, val []byte) {
+	s.mem.Put(key, val)
+	for s.mem.Len() > s.cap {
+		if _, _, ok := s.mem.EvictOldest(nil); !ok {
+			break
+		}
+		s.evictions++
+	}
+}
+
+// Account records served work: hits responses served from the memory
+// tier, diskHits from the disk tier, misses ones that had to be computed.
+func (s *Store) Account(hits, diskHits, misses uint64) {
+	s.mu.Lock()
+	s.hits += hits
+	s.diskHits += diskHits
+	s.misses += misses
+	s.mu.Unlock()
+}
+
+// AccountGet is Account for one Get outcome.
+func (s *Store) AccountGet(o Origin) {
+	switch o {
+	case OriginMemory:
+		s.Account(1, 0, 0)
+	case OriginDisk:
+		s.Account(0, 1, 0)
+	default:
+		s.Account(0, 0, 1)
+	}
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Hits:      s.hits,
+		DiskHits:  s.diskHits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Entries:   s.mem.Len(),
+		Capacity:  s.cap,
+	}
+	s.mu.Unlock()
+	if s.disk != nil {
+		st.Disk = s.disk.Stats()
+	}
+	return st
+}

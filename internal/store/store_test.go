@@ -1,0 +1,153 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreMemoryOnly(t *testing.T) {
+	s := openStore(t, Options{MemoryEntries: 4})
+	if s.HasDisk() {
+		t.Fatal("disk tier without a dir")
+	}
+	if _, o := s.Get("a"); o != OriginMiss {
+		t.Fatalf("origin %v on empty store", o)
+	}
+	s.Put("a", []byte("A"))
+	v, o := s.Get("a")
+	if o != OriginMemory || !bytes.Equal(v, []byte("A")) {
+		t.Fatalf("Get a = %q, %v", v, o)
+	}
+	// Get alone never counts: handlers account served work explicitly, so
+	// probes on rejected requests don't skew the rates.
+	if st := s.Stats(); st.Hits != 0 || st.DiskHits != 0 || st.Misses != 0 {
+		t.Fatalf("stats %+v, want counters untouched by Get", st)
+	}
+	s.Account(1, 0, 2)
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 2 misses / 1 entry", st)
+	}
+}
+
+func TestStoreMemoryEviction(t *testing.T) {
+	s := openStore(t, Options{MemoryEntries: 2})
+	s.Put("a", []byte("A"))
+	s.Put("b", []byte("B"))
+	s.Get("a")              // refresh a: b is now the LRU entry
+	s.Put("c", []byte("C")) // evicts b
+	if _, o := s.Get("b"); o != OriginMiss {
+		t.Fatal("b survived, want it evicted as LRU")
+	}
+	if _, o := s.Get("a"); o != OriginMemory {
+		t.Fatal("a was evicted despite being recently used")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestStoreTiered(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Options{MemoryEntries: 1, Dir: dir})
+	if !s.HasDisk() {
+		t.Fatal("no disk tier")
+	}
+	s.Put("a", []byte("A")) // both tiers
+	s.Put("b", []byte("B")) // evicts a from memory; disk keeps it
+	v, o := s.Get("a")
+	if o != OriginDisk || !bytes.Equal(v, []byte("A")) {
+		t.Fatalf("Get a = %q, %v, want disk hit", v, o)
+	}
+	// The disk hit promoted a into memory.
+	if _, o := s.Get("a"); o != OriginMemory {
+		t.Fatalf("origin %v after promotion, want memory", o)
+	}
+	s.AccountGet(OriginDisk)
+	s.AccountGet(OriginMemory)
+	s.AccountGet(OriginMiss)
+	st := s.Stats()
+	if st.Hits != 1 || st.DiskHits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Disk.Entries != 2 {
+		t.Fatalf("disk entries %d, want 2", st.Disk.Entries)
+	}
+}
+
+// A store reopened on the same directory — a restarted daemon — answers
+// from disk what the previous process computed.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openStore(t, Options{Dir: dir})
+	s1.Put("job", []byte("result bytes"))
+
+	s2 := openStore(t, Options{Dir: dir})
+	v, o := s2.Get("job")
+	if o != OriginDisk || !bytes.Equal(v, []byte("result bytes")) {
+		t.Fatalf("after restart: %q, %v, want disk hit", v, o)
+	}
+}
+
+// Corrupting the backing file degrades to a miss; a fresh Put repairs it.
+func TestStoreCorruptEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Options{MemoryEntries: 1, Dir: dir})
+	s.Put("job", []byte("good"))
+	s.Put("spill", []byte("x")) // push job out of the memory tier
+
+	path := filepath.Join(dir, fileName("job"))
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, o := s.Get("job"); o != OriginMiss {
+		t.Fatal("corrupt entry served")
+	}
+	if st := s.Stats(); st.Disk.Corrupt != 1 {
+		t.Fatalf("stats %+v, want 1 corrupt", st)
+	}
+	s.Put("job", []byte("recomputed"))
+	s.Put("spill", []byte("x"))
+	if v, o := s.Get("job"); o != OriginDisk || !bytes.Equal(v, []byte("recomputed")) {
+		t.Fatalf("after recompute: %q, %v", v, o)
+	}
+}
+
+// TestStoreConcurrent hammers a tiered store from many goroutines; under
+// -race this is the package's data-race gate.
+func TestStoreConcurrent(t *testing.T) {
+	s := openStore(t, Options{MemoryEntries: 16, Dir: t.TempDir()})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				s.Put(key, []byte(key))
+				if v, o := s.Get(key); o != OriginMiss && !bytes.Equal(v, []byte(key)) {
+					t.Errorf("key %s returned %q", key, v)
+				}
+				s.AccountGet(OriginMemory)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Entries > 16 {
+		t.Fatalf("memory tier exceeded capacity: %+v", st)
+	}
+}
