@@ -77,6 +77,23 @@ smoke_insts=20000
 "$tmp/svwsim" -json -config ssq+svw -bench gcc,twolf -insts "$smoke_insts" >>"$tmp/want.json"
 cmp "$tmp/got.json" "$tmp/want.json"
 
+# Observability smoke: the daemon must expose Prometheus text with the
+# request histograms, per-stage timings and gate occupancy series.
+"$tmp/svwload" -metrics -url "http://$addr" >"$tmp/svwd_metrics.txt"
+grep -q '^svw_http_request_seconds_bucket' "$tmp/svwd_metrics.txt"
+grep -q '^svw_http_requests_total{code="200",endpoint="/v1/run"}' "$tmp/svwd_metrics.txt"
+grep -q '^svw_stage_seconds_bucket{stage="engine_run"' "$tmp/svwd_metrics.txt"
+grep -q '^svw_gate_in_use' "$tmp/svwd_metrics.txt"
+grep -q '^svw_store_requests_total{tier="miss"}' "$tmp/svwd_metrics.txt"
+
+# Deadline smoke: a hopeless budget must surface as counted 504s in the
+# report, not a fatal error (exit 0 with the deadline line present). The
+# 8-job sweep exceeds the daemon's 4 workers, so some jobs are still
+# queued when the 1ms budget fires — those sweeps come back 504.
+"$tmp/svwload" -url "http://$addr" -c 2 -n 2 -deadline 1ms \
+    -configs ssq,nlq,rle,ssq+svw -benches gcc,twolf -insts 500000 >"$tmp/deadline.out"
+grep -q 'deadline exceeded (504)' "$tmp/deadline.out"
+
 # Graceful drain: SIGTERM must stop the daemon cleanly.
 kill -TERM "$svwd_pid"
 wait "$svwd_pid"
@@ -145,6 +162,14 @@ ctl=$(sed -n 's/^svwctl: listening on //p' "$tmp/ctl.out")
 "$tmp/svwsim" -json -config ssq -bench gcc -insts "$smoke_insts" >"$tmp/ctl_want.json"
 "$tmp/svwsim" -json -config ssq,ssq+svw -bench gcc,twolf -insts "$smoke_insts" >>"$tmp/ctl_want.json"
 cmp "$tmp/ctl_got.json" "$tmp/ctl_want.json"
+
+# Coordinator observability smoke: svwctl serves the shared request
+# histograms plus its per-backend dispatch series.
+"$tmp/svwload" -metrics -url "http://$ctl" >"$tmp/ctl_metrics.txt"
+grep -q '^svw_http_request_seconds_bucket' "$tmp/ctl_metrics.txt"
+grep -q '^svwctl_backend_in_flight' "$tmp/ctl_metrics.txt"
+grep -q '^svwctl_backend_healthy' "$tmp/ctl_metrics.txt"
+grep -q '^svwctl_jobs_total' "$tmp/ctl_metrics.txt"
 
 # Graceful drain for the whole fabric.
 kill -TERM "$ctl_pid"

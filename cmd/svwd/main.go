@@ -26,11 +26,34 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"svwsim/internal/server"
 )
+
+// parseClientWeights parses "name=weight,name=weight" into the fair-gate
+// share map. An empty string means no weights (one global gate).
+func parseClientWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("want name=weight, got %q", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("weight for %q must be a positive integer, got %q", name, val)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7411", "listen address (port 0 = pick a free port)")
@@ -50,18 +73,32 @@ func main() {
 	grace := flag.Duration("grace", time.Second,
 		"delay between advertising 503 on healthz and closing the listener")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+	clientWeights := flag.String("client-weights", "",
+		"weighted fair admission shares as name=weight pairs, comma-separated "+
+			"(e.g. bulk=1,interactive=4); clients name themselves via the "+
+			"X-Svw-Client header (empty = one global gate)")
+	defaultWeight := flag.Int("client-weight-default", 1,
+		"share weight for clients not named in -client-weights")
 	flag.Parse()
 
+	weights, err := parseClientWeights(*clientWeights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svwd: -client-weights: %v\n", err)
+		os.Exit(2)
+	}
+
 	s, err := server.New(server.Options{
-		Workers:           *workers,
-		MaxConcurrentJobs: *maxJobs,
-		CacheEntries:      *cacheEntries,
-		StoreDir:          *storeDir,
-		StoreMaxBytes:     *storeMaxBytes,
-		MaxBodyBytes:      *maxBody,
-		MaxSweepJobs:      *maxSweep,
-		JobTimeout:        *timeout,
-		EngineMemoCap:     *memoCap,
+		Workers:             *workers,
+		MaxConcurrentJobs:   *maxJobs,
+		CacheEntries:        *cacheEntries,
+		StoreDir:            *storeDir,
+		StoreMaxBytes:       *storeMaxBytes,
+		MaxBodyBytes:        *maxBody,
+		MaxSweepJobs:        *maxSweep,
+		JobTimeout:          *timeout,
+		EngineMemoCap:       *memoCap,
+		ClientWeights:       weights,
+		DefaultClientWeight: *defaultWeight,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svwd: %v\n", err)

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseClientWeights(t *testing.T) {
+	weights, err := parseClientWeights("bulk=1, interactive=4,batch=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"bulk": 1, "interactive": 4, "batch": 2}
+	if len(weights) != len(want) {
+		t.Fatalf("got %v, want %v", weights, want)
+	}
+	for name, w := range want {
+		if weights[name] != w {
+			t.Errorf("%s: weight %d, want %d", name, weights[name], w)
+		}
+	}
+	if w, err := parseClientWeights(""); err != nil || w != nil {
+		t.Errorf("empty spec: got %v, %v; want nil, nil", w, err)
+	}
+	for _, bad := range []string{"bulk", "bulk=", "bulk=0", "bulk=-1", "=3", "bulk=x"} {
+		if _, err := parseClientWeights(bad); err == nil {
+			t.Errorf("spec %q: no error", bad)
+		}
+	}
+}

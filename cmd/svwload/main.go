@@ -28,9 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,17 +49,24 @@ func main() {
 	insts := flag.Uint64("insts", 30_000, "committed instructions per job")
 	smoke := flag.Bool("smoke", false, "one /v1/run + one /v1/sweep, bodies to stdout")
 	stats := flag.Bool("stats", false, "print the raw /v1/stats body and exit")
+	metrics := flag.Bool("metrics", false, "print the raw /metrics exposition and exit")
+	deadline := flag.Duration("deadline", 0,
+		"per-request deadline sent as the X-Svw-Deadline-Ms header (0 = none); "+
+			"504s are counted in the report, not fatal")
 	flag.Parse()
 
 	l := &loader{
-		base:    strings.TrimRight(*url, "/"),
-		client:  &http.Client{Timeout: 5 * time.Minute},
-		configs: strings.Split(*configs, ","),
-		benches: strings.Split(*benches, ","),
-		insts:   *insts,
+		base:     strings.TrimRight(*url, "/"),
+		client:   &http.Client{Timeout: 5 * time.Minute},
+		configs:  strings.Split(*configs, ","),
+		benches:  strings.Split(*benches, ","),
+		insts:    *insts,
+		deadline: *deadline,
 	}
 	var err error
 	switch {
+	case *metrics:
+		err = l.printMetrics()
 	case *stats:
 		err = l.printStats()
 	case *smoke:
@@ -72,21 +81,35 @@ func main() {
 }
 
 type loader struct {
-	base    string
-	client  *http.Client
-	configs []string
-	benches []string
-	insts   uint64
+	base     string
+	client   *http.Client
+	configs  []string
+	benches  []string
+	insts    uint64
+	deadline time.Duration
 }
 
 // post sends a JSON body and returns the response body, reporting non-2xx
-// statuses as errors (except 429, which the caller handles).
+// statuses as errors (except 429 and 504, which the caller handles). A
+// configured -deadline rides along as the X-Svw-Deadline-Ms header.
 func (l *loader) post(path string, req any) (status int, body []byte, err error) {
 	b, err := json.Marshal(req)
 	if err != nil {
 		return 0, nil, err
 	}
-	resp, err := l.client.Post(l.base+path, "application/json", bytes.NewReader(b))
+	hreq, err := http.NewRequest(http.MethodPost, l.base+path, bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if l.deadline > 0 {
+		ms := l.deadline.Milliseconds()
+		if ms < 1 {
+			ms = 1 // the header's floor: sub-millisecond budgets round up
+		}
+		hreq.Header.Set(api.DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
+	resp, err := l.client.Do(hreq)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -179,7 +202,47 @@ func (l *loader) printStats() error {
 	return nil
 }
 
+// printMetrics dumps the service's Prometheus exposition verbatim (what a
+// scraper would ingest; ci.sh greps it for the expected series).
+func (l *loader) printMetrics() error {
+	resp, err := l.client.Get(l.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: HTTP %d: %s", resp.StatusCode, body)
+	}
+	os.Stdout.Write(body)
+	return nil
+}
+
 // --- load ----------------------------------------------------------------
+
+// percentile returns the nearest-rank percentile of an ascending-sorted
+// sample: the smallest value with at least p·n of the sample at or below
+// it (rank ⌈p·n⌉, 1-based). Truncating toward zero instead — the old
+// int(p·(n-1)) — systematically picked too low a rank: the p99 of 50
+// samples read the 49th value, reporting the second-worst latency as the
+// tail.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
 
 // Stats snapshots decode into the shared wire types (internal/api): the
 // same structs svwd and svwctl marshal, so the reporter reads exactly
@@ -199,6 +262,7 @@ func (l *loader) runLoad(clients, iters int) error {
 		mu        sync.Mutex
 		latencies []time.Duration
 		rejected  int
+		timedOut  int
 		wg        sync.WaitGroup
 		errOnce   sync.Once
 		firstErr  error
@@ -222,6 +286,14 @@ func (l *loader) runLoad(clients, iters int) error {
 						mu.Unlock()
 						time.Sleep(5 * time.Millisecond)
 						continue // retry; the iteration isn't counted yet
+					}
+					if status == http.StatusGatewayTimeout {
+						// The request's own -deadline budget expired: an
+						// expected outcome under load, counted, not fatal.
+						mu.Lock()
+						timedOut++
+						mu.Unlock()
+						break
 					}
 					if status != http.StatusOK {
 						errOnce.Do(func() {
@@ -249,13 +321,7 @@ func (l *loader) runLoad(clients, iters int) error {
 	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		idx := int(p * float64(len(latencies)-1))
-		return latencies[idx]
-	}
+	pct := func(p float64) time.Duration { return percentile(latencies, p) }
 	n := len(latencies)
 	hits := after.Cache.Hits - before.Cache.Hits
 	diskHits := after.Cache.DiskHits - before.Cache.DiskHits
@@ -267,7 +333,12 @@ func (l *loader) runLoad(clients, iters int) error {
 
 	fmt.Printf("svwload: %d clients x %d sweeps (%d jobs each), insts=%d\n",
 		clients, iters, jobsPerSweep, l.insts)
-	fmt.Printf("  requests      %d ok, %d rejected (429) in %v\n", n, rejected, elapsed.Round(time.Millisecond))
+	if l.deadline > 0 {
+		fmt.Printf("  requests      %d ok, %d rejected (429), %d deadline exceeded (504) in %v\n",
+			n, rejected, timedOut, elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("  requests      %d ok, %d rejected (429) in %v\n", n, rejected, elapsed.Round(time.Millisecond))
+	}
 	fmt.Printf("  throughput    %.1f sweeps/s, %.1f jobs/s\n",
 		float64(n)/elapsed.Seconds(), float64(n*jobsPerSweep)/elapsed.Seconds())
 	fmt.Printf("  latency       p50 %v  p90 %v  p99 %v  max %v\n",

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileNearestRank pins the nearest-rank definition (rank ⌈p·n⌉)
+// on distributions where the old truncating index was provably wrong.
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	ramp := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = ms(i + 1) // 1ms, 2ms, ..., n ms
+		}
+		return s
+	}
+
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   time.Duration
+	}{
+		{"empty", nil, 0.99, 0},
+		{"single", ramp(1), 0.50, ms(1)},
+		{"p0 clamps to the minimum", ramp(10), 0, ms(1)},
+		// p50 of 4 samples: rank ⌈2⌉ = 2nd value. The old code read
+		// int(0.5·3) = index 1 too — but only by accident of rounding.
+		{"p50 of 4", ramp(4), 0.50, ms(2)},
+		// p50 of 5 samples: rank 3, the true median.
+		{"p50 of 5", ramp(5), 0.50, ms(3)},
+		// p90 of 50: rank 45. The old index int(0.9·49) = 44 read the
+		// 45th... the off-by-one cancels only sometimes; p99 below doesn't.
+		{"p90 of 50", ramp(50), 0.90, ms(45)},
+		// p99 of 50: rank ⌈49.5⌉ = 50 — the maximum. The old code read
+		// int(0.99·49) = index 48, the 49th value: the second-worst
+		// latency reported as the tail.
+		{"p99 of 50", ramp(50), 0.99, ms(50)},
+		{"p99 of 100", ramp(100), 0.99, ms(99)},
+		{"p100 is the max", ramp(50), 1.0, ms(50)},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: percentile(p=%v) = %v, want %v", c.name, c.p, got, c.want)
+		}
+	}
+}

@@ -13,9 +13,14 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/store"
@@ -37,6 +42,19 @@ const (
 	CacheDisk   = "disk"
 	CacheMiss   = "miss"
 )
+
+// DeadlineHeader carries the client's latency budget in whole
+// milliseconds. Both services derive the request context with that
+// timeout, so the budget propagates through admission and into the
+// engine (queued-but-unstarted jobs cancel cleanly); an exceeded budget
+// is answered with HTTP 504 and an ErrorResponse body.
+const DeadlineHeader = "X-Svw-Deadline-Ms"
+
+// ClientHeader names the requesting tenant for fair admission. When the
+// server runs with per-client weights, each tenant is admitted against
+// its own share of the gate; requests without the header are attributed
+// to their remote host.
+const ClientHeader = "X-Svw-Client"
 
 // RunRequest is the body of POST /v1/run: one (config, bench, insts) job.
 type RunRequest struct {
@@ -226,6 +244,10 @@ type ClusterBackendStats struct {
 	JobsOK    uint64 `json:"jobs_ok"`
 	CacheHits uint64 `json:"cache_hits"`
 	DiskHits  uint64 `json:"disk_hits"`
+	// HealthFlaps counts health-state transitions (healthy <-> unhealthy)
+	// the coordinator has observed for this backend — a flapping backend
+	// has a high count with few lasting errors.
+	HealthFlaps uint64 `json:"health_flaps"`
 }
 
 // SweepEvent is the data payload of one SSE "result" event during
@@ -260,6 +282,57 @@ type SweepDone struct {
 	DiskHits    int `json:"disk_hits"`
 	CacheMisses int `json:"cache_misses"`
 	Errors      int `json:"errors"`
+}
+
+// --- request helpers -----------------------------------------------------
+
+// DecodeBody parses the request body into v under maxBytes, writing the
+// error response itself and reporting whether decoding succeeded. Both
+// services decode through it, so clients see one behavior: unknown
+// fields, oversized bodies and trailing content after the JSON object
+// (`{"config":"x"} junk`) are all rejected.
+func DecodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			WriteError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		WriteError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	// A second decode must see a clean EOF; anything else is trailing
+	// content the first decode silently stopped in front of.
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		WriteError(w, http.StatusBadRequest,
+			"invalid request body: trailing data after JSON object")
+		return false
+	}
+	return true
+}
+
+// RequestContext derives the handler's context from the request,
+// applying the DeadlineHeader budget when present. On a malformed
+// header it writes the 400 itself and reports ok=false. cancel must be
+// called (it is a no-op when no deadline was set).
+func RequestContext(w http.ResponseWriter, r *http.Request) (ctx context.Context, cancel context.CancelFunc, ok bool) {
+	ctx = r.Context()
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return ctx, func() {}, true
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		WriteError(w, http.StatusBadRequest,
+			"invalid %s header %q: want a positive integer of milliseconds", DeadlineHeader, h)
+		return nil, nil, false
+	}
+	ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, true
 }
 
 // --- encoding helpers ----------------------------------------------------

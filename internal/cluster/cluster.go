@@ -104,6 +104,7 @@ type backend struct {
 	jobsOK    uint64
 	cacheHits uint64
 	diskHits  uint64
+	flaps     uint64 // health-state transitions
 }
 
 func (b *backend) isHealthy() bool {
@@ -113,9 +114,14 @@ func (b *backend) isHealthy() bool {
 }
 
 // setHealth flips the backend's health state (err annotates an unhealthy
-// transition for stats/debugging).
+// transition for stats/debugging). State changes count as flaps, so a
+// backend oscillating between marks is visible even when every probe of
+// the moment happens to succeed.
 func (b *backend) setHealth(healthy bool, err error) {
 	b.mu.Lock()
+	if healthy != b.healthy {
+		b.flaps++
+	}
 	b.healthy = healthy
 	b.lastErr = err
 	b.mu.Unlock()
@@ -160,14 +166,15 @@ func (b *backend) stats() api.ClusterBackendStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return api.ClusterBackendStats{
-		URL:       b.url,
-		Healthy:   b.healthy,
-		InFlight:  b.inFlight,
-		Requests:  b.requests,
-		Errors:    b.errors,
-		JobsOK:    b.jobsOK,
-		CacheHits: b.cacheHits,
-		DiskHits:  b.diskHits,
+		URL:         b.url,
+		Healthy:     b.healthy,
+		InFlight:    b.inFlight,
+		Requests:    b.requests,
+		Errors:      b.errors,
+		JobsOK:      b.jobsOK,
+		CacheHits:   b.cacheHits,
+		DiskHits:    b.diskHits,
+		HealthFlaps: b.flaps,
 	}
 }
 
@@ -177,6 +184,7 @@ type Coordinator struct {
 	backends     []*backend
 	client       *http.Client
 	store        *store.Store // nil without Options.StoreDir
+	metrics      *clusterMetrics
 	maxAttempts  int
 	hedgeAfter   time.Duration
 	maxBody      int64
@@ -255,6 +263,7 @@ func New(opts Options) (*Coordinator, error) {
 			healthy: true,
 		})
 	}
+	c.metrics = newClusterMetrics(c)
 	return c, nil
 }
 
@@ -275,16 +284,21 @@ func (c *Coordinator) healthyCount() int {
 }
 
 // Handler returns the fabric's routing handler, suitable for http.Server.
-// The surface mirrors internal/server's exactly.
+// The surface mirrors internal/server's exactly, including the
+// instrumented routes and the Prometheus scrape on GET /metrics.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", c.handleHealthz)
-	mux.HandleFunc("GET /v1/configs", c.handleConfigs)
-	mux.HandleFunc("GET /v1/benches", c.handleBenches)
-	mux.HandleFunc("GET /v1/stats", c.handleStats)
-	mux.HandleFunc("POST /v1/run", c.handleRun)
-	mux.HandleFunc("POST /v1/sweep", c.handleSweep)
-	mux.HandleFunc("GET /v1/studies/{study}", c.handleStudy)
+	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
+		mux.Handle(pattern, c.metrics.http.Wrap(endpoint, fn))
+	}
+	handle("GET /v1/healthz", "/v1/healthz", c.handleHealthz)
+	handle("GET /v1/configs", "/v1/configs", c.handleConfigs)
+	handle("GET /v1/benches", "/v1/benches", c.handleBenches)
+	handle("GET /v1/stats", "/v1/stats", c.handleStats)
+	handle("POST /v1/run", "/v1/run", c.handleRun)
+	handle("POST /v1/sweep", "/v1/sweep", c.handleSweep)
+	handle("GET /v1/studies/{study}", "/v1/studies", c.handleStudy)
+	mux.Handle("GET /metrics", c.metrics.reg.Handler())
 	return mux
 }
 

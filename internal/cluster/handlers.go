@@ -19,26 +19,23 @@ import (
 // limit, writing the error response itself — the same contract and
 // messages as svwd's decoder, so clients see one behavior.
 func (c *Coordinator) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, c.maxBody)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			api.WriteError(w, http.StatusRequestEntityTooLarge,
-				"request body exceeds %d bytes", tooLarge.Limit)
-			return false
-		}
-		api.WriteError(w, http.StatusBadRequest, "invalid request body: %v", err)
-		return false
-	}
-	return true
+	return api.DecodeBody(w, r, c.maxBody, v)
 }
 
-// clientGone reports whether err is the request context ending — the
-// client disconnected, so there is no one to write an error to.
-func clientGone(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+// writeOutcomeError maps a failed dispatch onto the client response:
+// nothing when the client itself is gone, 504 when the request's declared
+// deadline budget expired before the fabric could answer, and the
+// dispatch mapping (429 on pool saturation, 502 otherwise) for the rest.
+func writeOutcomeError(w http.ResponseWriter, r *http.Request, out outcome) {
+	if r.Context().Err() != nil {
+		return // client disconnected: no one to answer
+	}
+	if errors.Is(out.err, context.DeadlineExceeded) {
+		api.WriteError(w, http.StatusGatewayTimeout,
+			"dispatch: deadline exceeded (%s budget)", api.DeadlineHeader)
+		return
+	}
+	writeDispatchError(w, out)
 }
 
 // writeDispatchError maps a failed dispatch onto the client response:
@@ -139,6 +136,11 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !c.decodeBody(w, r, &req) {
 		return
 	}
+	ctx, cancel, ok := api.RequestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	cfg, ok := sim.ConfigByName(req.Config)
 	if !ok {
 		api.WriteError(w, http.StatusBadRequest, "unknown config %q", req.Config)
@@ -161,13 +163,10 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusInternalServerError, "encoding job: %v", err)
 		return
 	}
-	out := c.dispatchJob(r.Context(), key, body)
+	out := c.dispatchJob(ctx, key, body)
 	c.addJob(out.err != nil)
 	if out.err != nil {
-		if clientGone(out.err) {
-			return
-		}
-		writeDispatchError(w, out)
+		writeOutcomeError(w, r, out)
 		return
 	}
 	if out.status == http.StatusOK {
@@ -246,6 +245,11 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !c.decodeBody(w, r, &req) {
 		return
 	}
+	ctx, cancel, ok := api.RequestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	jobs, ok := c.planSweep(w, &req)
 	if !ok {
 		return
@@ -261,7 +265,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		done[i] = make(chan struct{})
 		go func(i int) {
 			defer close(done[i])
-			outcomes[i] = c.dispatchJob(r.Context(), jobs[i].key, jobs[i].body)
+			outcomes[i] = c.dispatchJob(ctx, jobs[i].key, jobs[i].body)
 			if outcomes[i].err == nil && outcomes[i].status != http.StatusOK {
 				// A non-200 terminal response is a failed cell from the
 				// sweep's point of view.
@@ -289,7 +293,12 @@ func (c *Coordinator) bufferSweep(w http.ResponseWriter, r *http.Request, jobs [
 	var body []byte
 	for i := range jobs {
 		if err := outcomes[i].err; err != nil {
-			if clientGone(err) {
+			if r.Context().Err() != nil {
+				return
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				api.WriteError(w, http.StatusGatewayTimeout,
+					"sweep: deadline exceeded (%s budget)", api.DeadlineHeader)
 				return
 			}
 			if outcomes[i].status == http.StatusTooManyRequests {
@@ -362,6 +371,11 @@ func (c *Coordinator) streamSweep(w http.ResponseWriter, jobs []sweepJob, outcom
 // backend's study cache. Validation and computation stay in the backend;
 // the response (including 4xx validation errors) is forwarded verbatim.
 func (c *Coordinator) handleStudy(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, ok := api.RequestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	study := r.PathValue("study")
 	path := "/v1/studies/" + study
 	key := "study|" + study
@@ -369,12 +383,9 @@ func (c *Coordinator) handleStudy(w http.ResponseWriter, r *http.Request) {
 		path += "?" + r.URL.RawQuery
 		key += "|" + r.URL.RawQuery
 	}
-	out := c.dispatch(r.Context(), key, http.MethodGet, path, nil)
+	out := c.dispatch(ctx, key, http.MethodGet, path, nil)
 	if out.err != nil {
-		if clientGone(out.err) {
-			return
-		}
-		writeDispatchError(w, out)
+		writeOutcomeError(w, r, out)
 		return
 	}
 	api.WriteBody(w, out.status, out.body)

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"svwsim/internal/metrics"
+)
+
+// clusterMetrics is svwctl's scrape surface (GET /metrics): the shared
+// per-endpoint HTTP series plus func-backed views over the coordinator's
+// own dispatch counters and the per-backend breakdown — retries, hedges
+// and health flaps per backend URL, so a dashboard sees which member of
+// the fabric is misbehaving without parsing /v1/stats JSON.
+type clusterMetrics struct {
+	reg  *metrics.Registry
+	http *metrics.HTTP
+}
+
+// newClusterMetrics builds the registry over a fully constructed pool.
+func newClusterMetrics(c *Coordinator) *clusterMetrics {
+	reg := metrics.NewRegistry()
+	m := &clusterMetrics{reg: reg, http: metrics.NewHTTP(reg)}
+
+	coord := func(name, help string, fn func() uint64) {
+		reg.CounterFunc(name, help, fn)
+	}
+	locked := func(read func() uint64) func() uint64 {
+		return func() uint64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return read()
+		}
+	}
+	coord("svwctl_runs_total", "Client /v1/run requests.", locked(func() uint64 { return c.runs }))
+	coord("svwctl_sweeps_total", "Client /v1/sweep requests.", locked(func() uint64 { return c.sweeps }))
+	coord("svwctl_jobs_total", "Client jobs completed (each counted once).",
+		locked(func() uint64 { return c.jobs }))
+	coord("svwctl_job_errors_total", "Client jobs that failed terminally.",
+		locked(func() uint64 { return c.jobErrors }))
+	coord("svwctl_retries_total", "Forwarding attempts beyond each walk's first.",
+		locked(func() uint64 { return c.retries }))
+	coord("svwctl_hedges_total", "Speculative duplicate attempts launched for stragglers.",
+		locked(func() uint64 { return c.hedges }))
+	coord("svwctl_hedge_wins_total", "Hedged attempts whose response was used.",
+		locked(func() uint64 { return c.hedgeWins }))
+	reg.GaugeFunc("svwctl_backends_healthy", "Backends currently presumed healthy.",
+		func() float64 { return float64(c.healthyCount()) })
+
+	for _, b := range c.backends {
+		b := b
+		l := metrics.Label{Key: "backend", Value: b.url}
+		reg.CounterFunc("svwctl_backend_requests_total",
+			"Requests forwarded to the backend, including retries and hedges.",
+			func() uint64 { return b.stats().Requests }, l)
+		reg.CounterFunc("svwctl_backend_errors_total",
+			"Forwarded requests that failed (transport errors and 5xx).",
+			func() uint64 { return b.stats().Errors }, l)
+		reg.GaugeFunc("svwctl_backend_in_flight",
+			"Coordinator requests currently in flight to the backend.",
+			func() float64 { return float64(b.stats().InFlight) }, l)
+		reg.GaugeFunc("svwctl_backend_healthy",
+			"Whether the backend is currently presumed healthy (0/1).",
+			func() float64 {
+				if b.isHealthy() {
+					return 1
+				}
+				return 0
+			}, l)
+		reg.CounterFunc("svwctl_backend_health_flaps_total",
+			"Health-state transitions observed for the backend.",
+			func() uint64 { return b.stats().HealthFlaps }, l)
+		reg.CounterFunc("svwctl_backend_jobs_ok_total",
+			"Jobs whose winning response came from the backend.",
+			func() uint64 { return b.stats().JobsOK }, l)
+		reg.CounterFunc("svwctl_backend_cache_hits_total",
+			"Winning responses the backend served from its memory tier.",
+			func() uint64 { return b.stats().CacheHits }, l)
+		reg.CounterFunc("svwctl_backend_disk_hits_total",
+			"Winning responses the backend served from its disk tier.",
+			func() uint64 { return b.stats().DiskHits }, l)
+	}
+	return m
+}

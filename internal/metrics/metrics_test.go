@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"svwsim/internal/raceflag"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+func TestCounterAndGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("svw_test_total", "A test counter.", Label{Key: "kind", Value: "a"})
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("svw_test_depth", "A test gauge.")
+	g.Set(7)
+	g.Add(-2)
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP svw_test_total A test counter.\n# TYPE svw_test_total counter\n",
+		`svw_test_total{kind="a"} 3` + "\n",
+		"# TYPE svw_test_depth gauge\n",
+		"svw_test_depth 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDedupesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("svw_dup_total", "h", Label{Key: "x", Value: "1"})
+	b := r.Counter("svw_dup_total", "h", Label{Key: "x", Value: "1"})
+	if a != b {
+		t.Fatal("same name+labels produced two counters")
+	}
+	a.Inc()
+	if got := strings.Count(render(r), "svw_dup_total{"); got != 1 {
+		t.Fatalf("%d series rendered, want 1", got)
+	}
+}
+
+func TestHistogramBucketsAreCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("svw_lat_seconds", "h", []float64{0.001, 0.01, 0.1},
+		Label{Key: "stage", Value: "x"})
+	h.Observe(500 * time.Microsecond) // <= 0.001
+	h.Observe(1 * time.Millisecond)   // boundary: still <= 0.001
+	h.Observe(5 * time.Millisecond)   // <= 0.01
+	h.Observe(2 * time.Second)        // +Inf only
+
+	out := render(r)
+	for _, want := range []string{
+		"# TYPE svw_lat_seconds histogram\n",
+		`svw_lat_seconds_bucket{stage="x",le="0.001"} 2` + "\n",
+		`svw_lat_seconds_bucket{stage="x",le="0.01"} 3` + "\n",
+		`svw_lat_seconds_bucket{stage="x",le="0.1"} 3` + "\n",
+		`svw_lat_seconds_bucket{stage="x",le="+Inf"} 4` + "\n",
+		`svw_lat_seconds_count{stage="x"} 4` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count %d, want 4", h.Count())
+	}
+	if !strings.Contains(out, `svw_lat_seconds_sum{stage="x"} 2.0065`) {
+		t.Errorf("sum not rendered in seconds:\n%s", out)
+	}
+}
+
+func TestFuncMetricsSampleAtScrape(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.CounterFunc("svw_fn_total", "h", func() uint64 { return n })
+	r.GaugeFunc("svw_fn_depth", "h", func() float64 { return float64(n) / 2 })
+	n = 9
+	out := render(r)
+	if !strings.Contains(out, "svw_fn_total 9\n") || !strings.Contains(out, "svw_fn_depth 4.5\n") {
+		t.Fatalf("func metrics not sampled at scrape:\n%s", out)
+	}
+}
+
+func TestLabelEscapingAndOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("svw_esc_total", "h",
+		Label{Key: "z", Value: `a"b\c`}, Label{Key: "a", Value: "x"}).Inc()
+	out := render(r)
+	if !strings.Contains(out, `svw_esc_total{a="x",z="a\"b\\c"} 1`) {
+		t.Fatalf("labels not sorted/escaped:\n%s", out)
+	}
+}
+
+func TestHTTPWrapCountsAndTimes(t *testing.T) {
+	r := NewRegistry()
+	h := NewHTTP(r)
+	ok := h.Wrap("/v1/ok", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("hi")) // implicit 200
+	}))
+	bad := h.Wrap("/v1/bad", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	for i := 0; i < 3; i++ {
+		w := httptest.NewRecorder()
+		ok.ServeHTTP(w, httptest.NewRequest("GET", "/v1/ok", nil))
+	}
+	w := httptest.NewRecorder()
+	bad.ServeHTTP(w, httptest.NewRequest("GET", "/v1/bad", nil))
+
+	out := render(r)
+	for _, want := range []string{
+		`svw_http_requests_total{code="200",endpoint="/v1/ok"} 3`,
+		`svw_http_requests_total{code="418",endpoint="/v1/bad"} 1`,
+		`svw_http_request_seconds_count{endpoint="/v1/ok"} 3`,
+		`svw_http_request_seconds_bucket{endpoint="/v1/ok",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPWrapPreservesFlusher(t *testing.T) {
+	r := NewRegistry()
+	h := NewHTTP(r)
+	var flushable bool
+	wrapped := h.Wrap("/v1/sse", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, flushable = w.(http.Flusher)
+	}))
+	wrapped.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/sse", nil))
+	if !flushable {
+		t.Fatal("instrumented writer lost http.Flusher (SSE would 500)")
+	}
+}
+
+// The hot-path primitives must not allocate: they sit on every request.
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation perturbs allocation counts")
+	}
+	r := NewRegistry()
+	c := r.Counter("svw_alloc_total", "h")
+	g := r.Gauge("svw_alloc_depth", "h")
+	h := r.Histogram("svw_alloc_seconds", "h", LatencyBuckets())
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(3 * time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %.1f times per op, want 0", n)
+	}
+}

@@ -12,30 +12,92 @@ import (
 // HTTP 429 instead of queueing unboundedly behind the worker pool.
 // Cache-served requests never touch the gate, so a saturated daemon still
 // answers repeated (cached) traffic.
+//
+// With per-client weights configured (setWeights), admission is also fair:
+// each client is capped at a static proportional share of the gate,
+// limit(c) = max(1, cap·w(c)/W) where W is the default weight plus the sum
+// of configured weights. Because every share is strictly below the full
+// capacity, a saturating bulk tenant always leaves headroom for the other
+// tenants' shares — interactive traffic cannot be starved. Without
+// weights the gate behaves exactly as the single global gate always has.
 type gate struct {
 	mu       sync.Mutex
 	cap      int // <= 0: unlimited
 	inUse    int
 	rejected uint64
+
+	// Fairness state; totalWeight == 0 means no weights configured.
+	weights       map[string]int
+	defaultWeight int
+	totalWeight   int
+	perClient     map[string]int
 }
 
 func newGate(capacity int) *gate { return &gate{cap: capacity} }
 
-// tryAcquire reserves n units and returns a release closure, or reports
-// saturation. A request wider than the whole gate (a huge sweep) is not
-// unadmittable: it is admitted alone, on an idle gate only, and its full
-// weight is recorded — in_use then honestly exceeds capacity until it
-// releases, and nothing else is admitted alongside it.
-func (g *gate) tryAcquire(n int) (release func(), ok bool) {
+// setWeights enables weighted fair admission. Non-positive weights are
+// clamped to 1; defaultWeight covers clients not named in weights. Call
+// before serving (the gate takes no lock here).
+func (g *gate) setWeights(weights map[string]int, defaultWeight int) {
+	if len(weights) == 0 {
+		return
+	}
+	if defaultWeight < 1 {
+		defaultWeight = 1
+	}
+	g.weights = make(map[string]int, len(weights))
+	g.defaultWeight = defaultWeight
+	g.totalWeight = defaultWeight
+	for name, w := range weights {
+		if w < 1 {
+			w = 1
+		}
+		g.weights[name] = w
+		g.totalWeight += w
+	}
+	g.perClient = make(map[string]int)
+}
+
+// limitFor returns client's static share of the gate.
+func (g *gate) limitFor(client string) int {
+	w, ok := g.weights[client]
+	if !ok {
+		w = g.defaultWeight
+	}
+	l := g.cap * w / g.totalWeight
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// tryAcquire reserves n units for client and returns a release closure,
+// or reports saturation. A request wider than the whole gate (a huge
+// sweep) is not unadmittable: it is admitted alone, on an idle gate only,
+// and its full weight is recorded — in_use then honestly exceeds capacity
+// until it releases, and nothing else is admitted alongside it. The same
+// rule applies per client when fairness is on: a request wider than the
+// client's share is admitted only while that client holds nothing.
+func (g *gate) tryAcquire(client string, n int) (release func(), ok bool) {
 	if n < 1 {
 		n = 1
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	fair := g.cap > 0 && g.totalWeight > 0
 	if g.cap > 0 {
 		saturated := g.inUse+n > g.cap
 		if n > g.cap {
 			saturated = g.inUse > 0
+		}
+		if !saturated && fair {
+			limit := g.limitFor(client)
+			used := g.perClient[client]
+			over := used+n > limit
+			if n > limit {
+				over = used > 0
+			}
+			saturated = over
 		}
 		if saturated {
 			g.rejected++
@@ -43,14 +105,29 @@ func (g *gate) tryAcquire(n int) (release func(), ok bool) {
 		}
 	}
 	g.inUse += n
+	if fair {
+		g.perClient[client] += n
+	}
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			g.mu.Lock()
 			g.inUse -= n
+			if fair {
+				if g.perClient[client] -= n; g.perClient[client] <= 0 {
+					delete(g.perClient, client)
+				}
+			}
 			g.mu.Unlock()
 		})
 	}, true
+}
+
+// clientInUse returns how many units client currently holds.
+func (g *gate) clientInUse(client string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.perClient[client]
 }
 
 // stats snapshots the counters.

@@ -7,11 +7,11 @@ import (
 
 func TestGateSaturationAndRelease(t *testing.T) {
 	g := newGate(3)
-	rel1, ok := g.tryAcquire(2)
+	rel1, ok := g.tryAcquire("", 2)
 	if !ok {
 		t.Fatal("acquire 2/3 refused")
 	}
-	if _, ok := g.tryAcquire(2); ok {
+	if _, ok := g.tryAcquire("", 2); ok {
 		t.Fatal("acquire 2 more on a 3-gate with 2 in use succeeded")
 	}
 	if st := g.stats(); st.Rejected != 1 || st.InUse != 2 {
@@ -22,7 +22,7 @@ func TestGateSaturationAndRelease(t *testing.T) {
 	if st := g.stats(); st.InUse != 0 {
 		t.Fatalf("in use %d after release, want 0", st.InUse)
 	}
-	if _, ok := g.tryAcquire(3); !ok {
+	if _, ok := g.tryAcquire("", 3); !ok {
 		t.Fatal("full-width acquire refused on an idle gate")
 	}
 }
@@ -31,14 +31,14 @@ func TestGateSaturationAndRelease(t *testing.T) {
 // only, with its full weight recorded.
 func TestGateOversizedRequest(t *testing.T) {
 	g := newGate(2)
-	rel, ok := g.tryAcquire(100)
+	rel, ok := g.tryAcquire("", 100)
 	if !ok {
 		t.Fatal("oversized acquire refused on an idle gate")
 	}
 	if st := g.stats(); st.InUse != 100 {
 		t.Fatalf("in use %d, want the full weight 100", st.InUse)
 	}
-	if _, ok := g.tryAcquire(1); ok {
+	if _, ok := g.tryAcquire("", 1); ok {
 		t.Fatal("acquire succeeded alongside an oversized request")
 	}
 	rel()
@@ -46,8 +46,8 @@ func TestGateOversizedRequest(t *testing.T) {
 		t.Fatalf("in use %d after release, want 0", st.InUse)
 	}
 	// Not idle: even the oversized request is refused.
-	relSmall, _ := g.tryAcquire(1)
-	if _, ok := g.tryAcquire(100); ok {
+	relSmall, _ := g.tryAcquire("", 1)
+	if _, ok := g.tryAcquire("", 100); ok {
 		t.Fatal("oversized acquire admitted onto a busy gate")
 	}
 	relSmall()
@@ -56,9 +56,79 @@ func TestGateOversizedRequest(t *testing.T) {
 func TestGateUnlimited(t *testing.T) {
 	g := newGate(0)
 	for i := 0; i < 100; i++ {
-		if _, ok := g.tryAcquire(1000); !ok {
+		if _, ok := g.tryAcquire("", 1000); !ok {
 			t.Fatal("unlimited gate refused")
 		}
+	}
+}
+
+// With weights configured each client is capped at its static share
+// (max(1, cap·w/W)); the global capacity still bounds the aggregate.
+func TestGateWeightedShares(t *testing.T) {
+	g := newGate(10)
+	// W = 2 (default) + 4 + 4 = 10: bulk and fast get 4 units each,
+	// anonymous clients 2.
+	g.setWeights(map[string]int{"bulk": 4, "fast": 4}, 2)
+
+	var rels []func()
+	for i := 0; i < 4; i++ {
+		rel, ok := g.tryAcquire("bulk", 1)
+		if !ok {
+			t.Fatalf("bulk acquire %d refused below its share", i)
+		}
+		rels = append(rels, rel)
+	}
+	if _, ok := g.tryAcquire("bulk", 1); ok {
+		t.Fatal("bulk admitted past its 4-unit share")
+	}
+	// A saturated bulk tenant leaves the other shares untouched.
+	relFast, ok := g.tryAcquire("fast", 4)
+	if !ok {
+		t.Fatal("fast refused while within its own share")
+	}
+	rels = append(rels, relFast)
+	relAnon, ok := g.tryAcquire("anon", 2)
+	if !ok {
+		t.Fatal("default-weight client refused within its share")
+	}
+	rels = append(rels, relAnon)
+	// Aggregate is now at the global cap; everyone is refused.
+	if _, ok := g.tryAcquire("other", 1); ok {
+		t.Fatal("acquire admitted past the global capacity")
+	}
+	for _, rel := range rels {
+		rel()
+	}
+	if st := g.stats(); st.InUse != 0 {
+		t.Fatalf("in use %d after all releases, want 0", st.InUse)
+	}
+}
+
+// A request wider than a client's share mirrors the global oversize rule
+// within the share: admitted only while that client holds nothing.
+func TestGateWeightedOversizedRequest(t *testing.T) {
+	g := newGate(4)
+	g.setWeights(map[string]int{"a": 1}, 1) // W = 2: every share is 2
+	rel, ok := g.tryAcquire("a", 3)         // wider than a's share, within cap
+	if !ok {
+		t.Fatal("share-oversized acquire refused for an idle client")
+	}
+	if _, ok := g.tryAcquire("a", 1); ok {
+		t.Fatal("acquire admitted alongside a share-oversized request")
+	}
+	// Other clients still fit under the global cap...
+	relB, ok := g.tryAcquire("b", 1)
+	if !ok {
+		t.Fatal("other client refused with global headroom left")
+	}
+	// ...until it is exhausted.
+	if _, ok := g.tryAcquire("c", 1); ok {
+		t.Fatal("acquire admitted past the global capacity")
+	}
+	relB()
+	rel()
+	if st := g.stats(); st.InUse != 0 {
+		t.Fatalf("in use %d after release, want 0", st.InUse)
 	}
 }
 
@@ -70,7 +140,7 @@ func TestGateConcurrent(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				if rel, ok := g.tryAcquire(1); ok {
+				if rel, ok := g.tryAcquire("", 1); ok {
 					rel()
 				}
 			}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -29,24 +30,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	api.WriteError(w, status, format, args...)
 }
 
-// decodeBody parses the request body into v under the server's size limit.
-// It writes the error response itself and reports whether decoding
-// succeeded.
+// decodeBody parses the request body into v under the server's size limit
+// via the shared decoder (api.DecodeBody), which also rejects trailing
+// content after the JSON object. It writes the error response itself and
+// reports whether decoding succeeded.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				"request body exceeds %d bytes", tooLarge.Limit)
-			return false
-		}
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
-		return false
-	}
-	return true
+	return api.DecodeBody(w, r, s.maxBody, v)
 }
 
 // marshalResult encodes an engine result exactly as `svwsim -json` does
@@ -56,10 +45,32 @@ func marshalResult(res engine.Result) ([]byte, error) {
 	return api.MarshalResult(res)
 }
 
-// clientGone reports whether err is the request context ending — the client
-// disconnected, so there is no one to write an error to.
-func clientGone(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+// clientID names the requesting tenant for fair admission: the
+// ClientHeader when present, the remote host otherwise.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get(api.ClientHeader); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// writeEngineError maps a failed engine run onto the client response:
+// nothing when the client itself is gone (no one left to write to), 504
+// when the request's own deadline budget (api.DeadlineHeader) expired,
+// 500 otherwise.
+func writeEngineError(w http.ResponseWriter, r *http.Request, err error, what string) {
+	if r.Context().Err() != nil {
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout,
+			"%s: deadline exceeded (%s budget)", what, api.DeadlineHeader)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%s: %v", what, err)
 }
 
 // rejectSaturated writes the 429 admission response.
@@ -111,6 +122,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	ctx, cancel, ok := api.RequestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	cfg, ok := sim.ConfigByName(req.Config)
 	if !ok {
 		writeError(w, http.StatusBadRequest, "unknown config %q", req.Config)
@@ -122,41 +138,47 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := engine.Fingerprint(cfg, req.Bench, req.Insts)
-	if body, origin := s.store.Get(key); origin != store.OriginMiss {
+	t0 := time.Now()
+	body, origin := s.store.Get(key)
+	s.metrics.storeProbe.Observe(time.Since(t0))
+	if origin != store.OriginMiss {
 		s.store.AccountGet(origin)
 		w.Header().Set(api.CacheHeader, origin.String())
 		writeBody(w, http.StatusOK, body)
 		return
 	}
 	w.Header().Set(api.CacheHeader, api.CacheMiss)
-	release, ok := s.gate.tryAcquire(1)
+	t0 = time.Now()
+	release, ok := s.gate.tryAcquire(clientID(r), 1)
+	s.metrics.gateWait.Observe(time.Since(t0))
 	if !ok {
 		rejectSaturated(w)
 		return
 	}
 	defer release()
-	// A miss is counted once admitted, not at probe time: a rejected
-	// request neither serves nor computes anything.
-	s.store.Account(0, 0, 1)
 
-	rs, err := s.eng.RunContext(r.Context(), []engine.Job{{
+	t0 = time.Now()
+	rs, err := s.eng.RunContext(ctx, []engine.Job{{
 		Study: "svwd-run", Label: cfg.Name, Config: cfg,
 		Bench: req.Bench, Insts: req.Insts,
 	}}, nil)
+	s.metrics.engineRun.Observe(time.Since(t0))
 	if err != nil {
-		if clientGone(err) {
-			return
-		}
-		writeError(w, http.StatusInternalServerError, "run failed: %v", err)
+		writeEngineError(w, r, err, "run failed")
 		return
 	}
-	body, err := marshalResult(rs[0].Result)
+	t0 = time.Now()
+	body, err = marshalResult(rs[0].Result)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
 		return
 	}
 	s.store.Put(key, body)
+	// The miss is counted only now that a result was actually computed and
+	// is being served — a rejected, cancelled or failed run skews no rates.
+	s.store.Account(0, 0, 1)
 	writeBody(w, http.StatusOK, body)
+	s.metrics.encode.Observe(time.Since(t0))
 }
 
 // --- /v1/sweep -----------------------------------------------------------
@@ -205,6 +227,7 @@ func (s *Server) planSweep(w http.ResponseWriter, req *SweepRequest) (*sweepPlan
 	}
 	p.cached = make([][]byte, len(p.jobs))
 	p.origin = make([]store.Origin, len(p.jobs))
+	t0 := time.Now()
 	for i, key := range p.keys {
 		if body, origin := s.store.Get(key); origin != store.OriginMiss {
 			p.cached[i] = body
@@ -216,6 +239,7 @@ func (s *Server) planSweep(w http.ResponseWriter, req *SweepRequest) (*sweepPlan
 			p.sub = append(p.sub, p.jobs[i])
 		}
 	}
+	s.metrics.storeProbe.Observe(time.Since(t0))
 	return p, true
 }
 
@@ -224,39 +248,47 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	ctx, cancel, ok := api.RequestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	p, ok := s.planSweep(w, &req)
 	if !ok {
 		return
 	}
 	if len(p.sub) > 0 {
-		release, ok := s.gate.tryAcquire(len(p.sub))
+		t0 := time.Now()
+		release, ok := s.gate.tryAcquire(clientID(r), len(p.sub))
+		s.metrics.gateWait.Observe(time.Since(t0))
 		if !ok {
 			rejectSaturated(w)
 			return
 		}
 		defer release()
 	}
-	// Admitted (or fully cached): now the sweep's store outcome counts.
-	s.store.Account(uint64(len(p.jobs)-len(p.sub)-p.disk), uint64(p.disk), uint64(len(p.sub)))
+	// Store accounting happens as results are actually served (per event
+	// when streaming, on the completed body otherwise) — a sweep that
+	// fails or loses its client after admission inflates no counters.
 	if api.WantsSSE(r) {
-		s.streamSweep(w, r, p)
+		s.streamSweep(ctx, w, r, p)
 		return
 	}
-	s.bufferSweep(w, r, p)
+	s.bufferSweep(ctx, w, r, p)
 }
 
 // bufferSweep runs the uncached jobs, then writes the whole sweep as a
 // sequence of indented result objects in job-index order — byte-identical
 // to the equivalent multi-job `svwsim -json` invocation.
-func (s *Server) bufferSweep(w http.ResponseWriter, r *http.Request, p *sweepPlan) {
-	rs, err := s.eng.RunContext(r.Context(), p.sub, nil)
+func (s *Server) bufferSweep(ctx context.Context, w http.ResponseWriter, r *http.Request, p *sweepPlan) {
+	t0 := time.Now()
+	rs, err := s.eng.RunContext(ctx, p.sub, nil)
+	s.metrics.engineRun.Observe(time.Since(t0))
 	if err != nil {
-		if clientGone(err) {
-			return
-		}
-		writeError(w, http.StatusInternalServerError, "sweep failed: %v", err)
+		writeEngineError(w, r, err, "sweep failed")
 		return
 	}
+	t0 = time.Now()
 	var body []byte
 	sub := 0
 	for i := range p.jobs {
@@ -273,7 +305,10 @@ func (s *Server) bufferSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 		body = append(body, b...)
 		sub++
 	}
+	// Served in full: only now does the sweep's store outcome count.
+	s.store.Account(uint64(len(p.jobs)-len(p.sub)-p.disk), uint64(p.disk), uint64(len(p.sub)))
 	writeBody(w, http.StatusOK, body)
+	s.metrics.encode.Observe(time.Since(t0))
 }
 
 // streamSweep emits one SSE "result" event per job in job-index order while
@@ -281,7 +316,7 @@ func (s *Server) bufferSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 // emitted from the LRU; uncached jobs are emitted as the engine's
 // progress callback delivers them (already in sub-index order, which is
 // monotone in job-index order, so the merge needs no reordering).
-func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPlan) {
+func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, r *http.Request, p *sweepPlan) {
 	stream, err := api.NewSSE(w)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -293,14 +328,18 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 	// sends never block, even if the client is slow or gone.
 	results := make(chan engine.JobResult, len(p.sub))
 	done := make(chan error, 1)
+	t0 := time.Now()
 	go func() {
-		_, err := s.eng.RunContext(r.Context(), p.sub, func(jr engine.JobResult) {
+		_, err := s.eng.RunContext(ctx, p.sub, func(jr engine.JobResult) {
 			results <- jr
 		})
+		s.metrics.engineRun.Observe(time.Since(t0))
 		done <- err
 	}()
 
+	engineDone := false
 	summary := SweepDone{Jobs: len(p.jobs)}
+	sub := 0
 	for i := range p.jobs {
 		ev := SweepEvent{
 			Index:  i,
@@ -314,9 +353,22 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 			summary.CacheHits++
 			if p.origin[i] == store.OriginDisk {
 				summary.DiskHits++
+				s.store.Account(0, 1, 0)
+			} else {
+				s.store.Account(1, 0, 0)
 			}
 		} else {
-			jr := <-results
+			jr, ok := s.nextSweepResult(ctx, results, done, &engineDone, sub)
+			sub++
+			if !ok {
+				// The engine wound down — or the request context ended —
+				// without delivering this job: there is nothing left to
+				// stream and (with the context gone) no one to stream it
+				// to. Bail out instead of waiting on results that will
+				// never come; the truncated stream has no "done" event, so
+				// a live client can tell the sweep did not complete.
+				return
+			}
 			summary.CacheMisses++
 			ev.Memoized = jr.Memoized
 			if jr.Err != nil {
@@ -325,6 +377,7 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 			} else if body, err := marshalResult(jr.Result); err == nil {
 				s.store.Put(p.keys[i], body)
 				ev.Result = json.RawMessage(body)
+				s.store.Account(0, 0, 1) // computed and served: a real miss
 			} else {
 				ev.Error = err.Error()
 				summary.Errors++
@@ -332,8 +385,61 @@ func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, p *sweepPla
 		}
 		stream.Event("result", i, ev)
 	}
-	<-done // engine finished; all sends drained above
+	if !engineDone {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return
+		}
+	}
 	stream.Event("done", len(p.jobs), summary)
+}
+
+// nextSweepResult receives the next uncached job's result for
+// streamSweep. want is the job's engine sub-index; anything delivered for
+// an earlier index is stale and discarded (emission is monotone, so a
+// result below want can never be the one this call is for). ok=false
+// means the engine finished — or the request context ended — without
+// delivering the job, and the handler must bail out rather than block on
+// a result that will never arrive.
+func (s *Server) nextSweepResult(ctx context.Context, results <-chan engine.JobResult, done <-chan error, engineDone *bool, want int) (engine.JobResult, bool) {
+	for {
+		// Drain delivered results before consulting done or the context:
+		// every send precedes the engine's done signal, so a finished
+		// engine can still have undrained results buffered.
+		select {
+		case jr := <-results:
+			if jr.Index < want {
+				continue
+			}
+			return jr, true
+		default:
+		}
+		if *engineDone {
+			return engine.JobResult{}, false
+		}
+		select {
+		case jr := <-results:
+			if jr.Index < want {
+				continue
+			}
+			return jr, true
+		case <-done:
+			*engineDone = true
+		case <-ctx.Done():
+			// Client gone or deadline hit: one last non-blocking look,
+			// then give up instead of riding out the engine's stragglers.
+			select {
+			case jr := <-results:
+				if jr.Index < want {
+					continue
+				}
+				return jr, true
+			default:
+				return engine.JobResult{}, false
+			}
+		}
+	}
 }
 
 // --- /v1/studies/{study} -------------------------------------------------
@@ -406,6 +512,11 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ctx, cancel, ok := api.RequestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 
 	// Resolve the study up front so weight (engine jobs) and the result
 	// builder are known before touching cache or gate.
@@ -468,33 +579,41 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := p.key(study)
-	if body, origin := s.store.Get(key); origin != store.OriginMiss {
+	t0 := time.Now()
+	body, origin := s.store.Get(key)
+	s.metrics.storeProbe.Observe(time.Since(t0))
+	if origin != store.OriginMiss {
 		s.store.AccountGet(origin)
 		writeBody(w, http.StatusOK, body)
 		return
 	}
-	release, ok := s.gate.tryAcquire(weight)
+	t0 = time.Now()
+	release, ok := s.gate.tryAcquire(clientID(r), weight)
+	s.metrics.gateWait.Observe(time.Since(t0))
 	if !ok {
 		rejectSaturated(w)
 		return
 	}
 	defer release()
-	s.store.Account(0, 0, 1)
 
-	v, err := run(r.Context())
+	t0 = time.Now()
+	v, err := run(ctx)
+	s.metrics.engineRun.Observe(time.Since(t0))
 	if err != nil {
-		if clientGone(err) {
-			return
-		}
-		writeError(w, http.StatusInternalServerError, "study failed: %v", err)
+		writeEngineError(w, r, err, "study failed")
 		return
 	}
-	body, err := json.MarshalIndent(v, "", "  ")
+	t0 = time.Now()
+	body, err = json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding study: %v", err)
 		return
 	}
 	body = append(body, '\n')
 	s.store.Put(key, body)
+	// Computed and served: count the miss only now (rejections and
+	// failures above never reach this line).
+	s.store.Account(0, 0, 1)
 	writeBody(w, http.StatusOK, body)
+	s.metrics.encode.Observe(time.Since(t0))
 }

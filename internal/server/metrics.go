@@ -1,0 +1,91 @@
+package server
+
+import (
+	"sort"
+
+	"svwsim/internal/api"
+	"svwsim/internal/metrics"
+)
+
+// serverMetrics is svwd's scrape surface (GET /metrics): the per-stage
+// latency histograms the handlers feed directly, plus func-backed views
+// over the store, gate and engine counters the daemon already keeps —
+// one source of truth, two read paths (/v1/stats JSON and Prometheus
+// text).
+type serverMetrics struct {
+	reg  *metrics.Registry
+	http *metrics.HTTP
+
+	// Per-stage latency: where a request's time actually goes. store_probe
+	// covers store lookups, gate_wait the admission acquire, engine_run
+	// the simulation work, encode result marshalling + write-out.
+	storeProbe *metrics.Histogram
+	gateWait   *metrics.Histogram
+	engineRun  *metrics.Histogram
+	encode     *metrics.Histogram
+}
+
+// newServerMetrics builds the registry over a fully constructed Server.
+// clientWeights (may be nil) names the tenants that get per-client gate
+// occupancy gauges.
+func newServerMetrics(s *Server, clientWeights map[string]int) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{reg: reg, http: metrics.NewHTTP(reg)}
+
+	stage := func(name string) *metrics.Histogram {
+		return reg.Histogram("svw_stage_seconds",
+			"Time spent per request-serving stage.", metrics.LatencyBuckets(),
+			metrics.Label{Key: "stage", Value: name})
+	}
+	m.storeProbe = stage("store_probe")
+	m.gateWait = stage("gate_wait")
+	m.engineRun = stage("engine_run")
+	m.encode = stage("encode")
+
+	reg.GaugeFunc("svw_gate_in_use", "Admission gate units currently held.",
+		func() float64 { return float64(s.gate.stats().InUse) })
+	reg.GaugeFunc("svw_gate_capacity", "Admission gate capacity (0 = unlimited).",
+		func() float64 { return float64(s.gate.stats().Capacity) })
+	reg.CounterFunc("svw_gate_rejected_total", "Requests refused with HTTP 429.",
+		func() uint64 { return s.gate.stats().Rejected })
+
+	// Per-tenant occupancy for the configured (named) clients, so a
+	// dashboard shows which tenant is eating its share. Sorted for a
+	// deterministic scrape order.
+	names := make([]string, 0, len(clientWeights))
+	for name := range clientWeights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		name := name
+		reg.GaugeFunc("svw_gate_client_in_use",
+			"Admission gate units held per configured client.",
+			func() float64 { return float64(s.gate.clientInUse(name)) },
+			metrics.Label{Key: "client", Value: name})
+	}
+
+	tier := func(name string, fn func() uint64) {
+		reg.CounterFunc("svw_store_requests_total",
+			"Served results by store tier (miss = freshly computed).", fn,
+			metrics.Label{Key: "tier", Value: name})
+	}
+	tier(api.CacheMemory, func() uint64 { return s.store.Stats().Hits })
+	tier(api.CacheDisk, func() uint64 { return s.store.Stats().DiskHits })
+	tier(api.CacheMiss, func() uint64 { return s.store.Stats().Misses })
+	reg.GaugeFunc("svw_store_entries", "Result store memory-tier entries.",
+		func() float64 { return float64(s.store.Stats().Entries) })
+	reg.GaugeFunc("svw_store_disk_bytes", "Result store disk-tier bytes.",
+		func() float64 { return float64(s.store.Stats().Disk.Bytes) })
+	reg.CounterFunc("svw_store_evictions_total", "Result store memory-tier evictions.",
+		func() uint64 { return s.store.Stats().Evictions })
+
+	reg.CounterFunc("svw_engine_memo_hits_total", "Engine memo-table hits.",
+		func() uint64 { return s.eng.Memo().Hits })
+	reg.CounterFunc("svw_engine_memo_misses_total", "Engine memo-table misses (executions).",
+		func() uint64 { return s.eng.Memo().Misses })
+	reg.GaugeFunc("svw_engine_memo_entries", "Engine memo-table entries.",
+		func() float64 { return float64(s.eng.MemoSize()) })
+
+	return m
+}

@@ -81,6 +81,16 @@ type Options struct {
 	// cache above it is always bounded; this additionally bounds the
 	// engine-level table a long-lived daemon accumulates.
 	EngineMemoCap int
+	// ClientWeights enables weighted fair admission: per-client shares of
+	// the gate, keyed by the api.ClientHeader name (requests without the
+	// header are attributed to their remote host). Each client is capped
+	// at max(1, cap·w/W) gate units, W being DefaultClientWeight plus the
+	// sum of configured weights, so no tenant can starve the others.
+	// Empty = the single global gate (the previous behavior).
+	ClientWeights map[string]int
+	// DefaultClientWeight is the share weight of clients not named in
+	// ClientWeights (0 = 1). Ignored when ClientWeights is empty.
+	DefaultClientWeight int
 }
 
 // Server is the svwd HTTP service: one shared engine plus the store and
@@ -89,6 +99,7 @@ type Server struct {
 	eng          *engine.Engine
 	store        *store.Store
 	gate         *gate
+	metrics      *serverMetrics
 	maxBody      int64
 	maxSweepJobs int
 	start        time.Time
@@ -128,14 +139,18 @@ func New(opts Options) (*Server, error) {
 	eng := engine.New(opts.Workers)
 	eng.SetTimeout(opts.JobTimeout)
 	eng.SetMemoCap(opts.EngineMemoCap)
-	return &Server{
+	g := newGate(maxJobs)
+	g.setWeights(opts.ClientWeights, opts.DefaultClientWeight)
+	s := &Server{
 		eng:          eng,
 		store:        st,
-		gate:         newGate(maxJobs),
+		gate:         g,
 		maxBody:      maxBody,
 		maxSweepJobs: maxSweep,
 		start:        time.Now(),
-	}, nil
+	}
+	s.metrics = newServerMetrics(s, opts.ClientWeights)
+	return s, nil
 }
 
 // Engine returns the server's shared engine (for embedding svwd-style
@@ -149,14 +164,20 @@ func (s *Server) Engine() *engine.Engine { return s.eng }
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Handler returns the service's routing handler, suitable for http.Server.
+// Every /v1 route is instrumented with the shared request counter and
+// latency histogram; the registry itself is served on GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/configs", s.handleConfigs)
-	mux.HandleFunc("GET /v1/benches", s.handleBenches)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/studies/{study}", s.handleStudy)
+	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
+		mux.Handle(pattern, s.metrics.http.Wrap(endpoint, fn))
+	}
+	handle("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	handle("GET /v1/configs", "/v1/configs", s.handleConfigs)
+	handle("GET /v1/benches", "/v1/benches", s.handleBenches)
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("POST /v1/run", "/v1/run", s.handleRun)
+	handle("POST /v1/sweep", "/v1/sweep", s.handleSweep)
+	handle("GET /v1/studies/{study}", "/v1/studies", s.handleStudy)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	return mux
 }

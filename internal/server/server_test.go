@@ -178,7 +178,7 @@ func TestSaturationReturns429ButServesCache(t *testing.T) {
 		t.Fatalf("warmup HTTP %d", w.Code)
 	}
 	// Occupy the whole gate, as two long-running requests would.
-	release, ok := s.gate.tryAcquire(2)
+	release, ok := s.gate.tryAcquire("", 2)
 	if !ok {
 		t.Fatal("could not occupy gate")
 	}
