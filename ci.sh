@@ -139,9 +139,9 @@ trap 'rm -rf "$tmp"' EXIT
 # invisible to clients.
 go build -o "$tmp" ./cmd/svwctl
 
-"$tmp/svwd" -addr 127.0.0.1:0 -j 2 -grace 0 >"$tmp/b1.out" 2>"$tmp/b1.err" &
+"$tmp/svwd" -addr 127.0.0.1:0 -j 2 -grace 0 -slow-ms 0 >"$tmp/b1.out" 2>"$tmp/b1.err" &
 b1_pid=$!
-"$tmp/svwd" -addr 127.0.0.1:0 -j 2 -grace 0 >"$tmp/b2.out" 2>"$tmp/b2.err" &
+"$tmp/svwd" -addr 127.0.0.1:0 -j 2 -grace 0 -slow-ms 0 >"$tmp/b2.out" 2>"$tmp/b2.err" &
 b2_pid=$!
 trap 'kill "$b1_pid" "$b2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
@@ -150,7 +150,7 @@ wait_listening "$tmp/b2.out" "svwd backend 2" "$tmp/b2.err"
 b1=$(sed -n 's/^svwd: listening on //p' "$tmp/b1.out")
 b2=$(sed -n 's/^svwd: listening on //p' "$tmp/b2.out")
 
-"$tmp/svwctl" -addr 127.0.0.1:0 -grace 0 \
+"$tmp/svwctl" -addr 127.0.0.1:0 -grace 0 -slow-ms 0 \
     -backends "http://$b1,http://$b2" >"$tmp/ctl.out" 2>"$tmp/ctl.err" &
 ctl_pid=$!
 trap 'kill "$ctl_pid" "$b1_pid" "$b2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
@@ -170,6 +170,20 @@ grep -q '^svw_http_request_seconds_bucket' "$tmp/ctl_metrics.txt"
 grep -q '^svwctl_backend_in_flight' "$tmp/ctl_metrics.txt"
 grep -q '^svwctl_backend_healthy' "$tmp/ctl_metrics.txt"
 grep -q '^svwctl_jobs_total' "$tmp/ctl_metrics.txt"
+
+# Trace smoke: all three daemons ran with -slow-ms 0, so every traced
+# request logged a slow_request line and bumped the slow counter. The
+# slowest coordinator trace's ID must also appear on one of the backends'
+# /debug/traces — the same request, correlated end to end.
+"$tmp/svwload" -trace-top 5 -url "http://$ctl" >"$tmp/ctl_traces.out"
+grep -q '^  dispatch ' "$tmp/ctl_traces.out"
+tid=$(sed -n 's/^trace id=\([^ ]*\) .*/\1/p' "$tmp/ctl_traces.out" | head -1)
+test -n "$tid"
+"$tmp/svwload" -trace-top 64 -url "http://$b1" >"$tmp/backend_traces.out"
+"$tmp/svwload" -trace-top 64 -url "http://$b2" >>"$tmp/backend_traces.out"
+grep -q "trace id=$tid" "$tmp/backend_traces.out"
+grep -q '"msg":"slow_request"' "$tmp/ctl.err"
+grep -q 'svw_slow_requests_total{endpoint="/v1/sweep"} [1-9]' "$tmp/ctl_metrics.txt"
 
 # Graceful drain for the whole fabric.
 kill -TERM "$ctl_pid"

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"svwsim/internal/cluster"
+	"svwsim/internal/debugserver"
 )
 
 func main() {
@@ -57,6 +58,15 @@ func main() {
 	grace := flag.Duration("grace", time.Second,
 		"delay between advertising 503 on healthz and closing the listener")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+	slowMS := flag.Int64("slow-ms", -1,
+		"log traced requests slower than this many milliseconds as one JSON "+
+			"line with the full span tree (0 = log every traced request, "+
+			"negative = off)")
+	traceBuf := flag.Int("trace-buf", 0,
+		"completed request traces kept for GET /debug/traces (0 = 256)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); "+
+			"empty = off; never exposed on the serving port")
 	flag.Parse()
 
 	var urls []string
@@ -74,6 +84,9 @@ func main() {
 		MaxSweepJobs:       *maxSweep,
 		StoreDir:           *storeDir,
 		StoreMaxBytes:      *storeMaxBytes,
+		TraceBufferSize:    *traceBuf,
+		SlowLogEnabled:     *slowMS >= 0,
+		SlowLogThreshold:   time.Duration(*slowMS) * time.Millisecond,
 	})
 	if err != nil {
 		hint := ""
@@ -82,6 +95,15 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "svwctl: %v%s\n", err, hint)
 		os.Exit(1)
+	}
+
+	if *debugAddr != "" {
+		dln, err := debugserver.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svwctl: -debug-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("svwctl: pprof on %s\n", dln.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"svwsim/internal/debugserver"
 	"svwsim/internal/server"
 )
 
@@ -79,6 +80,15 @@ func main() {
 			"X-Svw-Client header (empty = one global gate)")
 	defaultWeight := flag.Int("client-weight-default", 1,
 		"share weight for clients not named in -client-weights")
+	slowMS := flag.Int64("slow-ms", -1,
+		"log traced requests slower than this many milliseconds as one JSON "+
+			"line with the full span tree (0 = log every traced request, "+
+			"negative = off)")
+	traceBuf := flag.Int("trace-buf", 0,
+		"completed request traces kept for GET /debug/traces (0 = 256)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); "+
+			"empty = off; never exposed on the serving port")
 	flag.Parse()
 
 	weights, err := parseClientWeights(*clientWeights)
@@ -99,10 +109,22 @@ func main() {
 		EngineMemoCap:       *memoCap,
 		ClientWeights:       weights,
 		DefaultClientWeight: *defaultWeight,
+		TraceBufferSize:     *traceBuf,
+		SlowLogEnabled:      *slowMS >= 0,
+		SlowLogThreshold:    time.Duration(*slowMS) * time.Millisecond,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svwd: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *debugAddr != "" {
+		dln, err := debugserver.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svwd: -debug-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("svwd: pprof on %s\n", dln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"svwsim/internal/api"
+	"svwsim/internal/trace"
 )
 
 func main() {
@@ -53,6 +54,10 @@ func main() {
 	deadline := flag.Duration("deadline", 0,
 		"per-request deadline sent as the X-Svw-Deadline-Ms header (0 = none); "+
 			"504s are counted in the report, not fatal")
+	traceTop := flag.Int("trace-top", 0,
+		"after the run, fetch GET /debug/traces and print the N slowest "+
+			"traces (0 = off); alone (no -smoke/-stats/-metrics/load), just "+
+			"fetch and print")
 	flag.Parse()
 
 	l := &loader{
@@ -63,6 +68,17 @@ func main() {
 		insts:    *insts,
 		deadline: *deadline,
 	}
+	// -trace-top alone reports on whatever the service's ring already
+	// holds; combined with a driving mode (or any load-shaping flag) it
+	// reports after that run.
+	loadish := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "c", "n", "configs", "benches", "insts", "deadline":
+			loadish = true
+		}
+	})
+
 	var err error
 	switch {
 	case *metrics:
@@ -71,8 +87,12 @@ func main() {
 		err = l.printStats()
 	case *smoke:
 		err = l.runSmoke()
+	case *traceTop > 0 && !loadish:
 	default:
 		err = l.runLoad(*clients, *iters)
+	}
+	if err == nil && *traceTop > 0 {
+		err = l.printTraces(*traceTop)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svwload: %v\n", err)
@@ -91,7 +111,9 @@ type loader struct {
 
 // post sends a JSON body and returns the response body, reporting non-2xx
 // statuses as errors (except 429 and 504, which the caller handles). A
-// configured -deadline rides along as the X-Svw-Deadline-Ms header.
+// configured -deadline rides along as the X-Svw-Deadline-Ms header, and
+// every request carries a fresh client-chosen trace ID so a slow request
+// in the report can be looked up on /debug/traces by ID.
 func (l *loader) post(path string, req any) (status int, body []byte, err error) {
 	b, err := json.Marshal(req)
 	if err != nil {
@@ -102,6 +124,7 @@ func (l *loader) post(path string, req any) (status int, body []byte, err error)
 		return 0, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(api.TraceHeader, trace.NewID())
 	if l.deadline > 0 {
 		ms := l.deadline.Milliseconds()
 		if ms < 1 {
@@ -219,6 +242,58 @@ func (l *loader) printMetrics() error {
 	}
 	os.Stdout.Write(body)
 	return nil
+}
+
+// --- traces --------------------------------------------------------------
+
+// printTraces fetches GET /debug/traces and prints the n slowest traces,
+// one header line per trace (grep-friendly: "trace id=... dur=...")
+// followed by its spans indented as a tree timeline.
+func (l *loader) printTraces(n int) error {
+	var resp api.TracesResponse
+	if err := l.get("/debug/traces", &resp); err != nil {
+		return fmt.Errorf("traces: %w", err)
+	}
+	traces := resp.Traces
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].DurUS > traces[j].DurUS })
+	if len(traces) > n {
+		traces = traces[:n]
+	}
+	fmt.Printf("svwload: %d slowest of %d buffered traces\n", len(traces), len(resp.Traces))
+	for _, t := range traces {
+		fmt.Printf("trace id=%s endpoint=%s dur=%s spans=%d\n",
+			t.TraceID, t.Endpoint, time.Duration(t.DurUS)*time.Microsecond, len(t.Spans))
+		printSpanTree(t.Spans, -1, 1)
+	}
+	return nil
+}
+
+// printSpanTree prints parent's children at the given indent depth,
+// recursing in recorded order (spans carry parent indices, so the flat
+// slice is re-nested here for display).
+func printSpanTree(spans []api.SpanJSON, parent, depth int) {
+	for i, sp := range spans {
+		if sp.Parent != parent {
+			continue
+		}
+		var attrs strings.Builder
+		for _, k := range sortedAttrKeys(sp.Attrs) {
+			fmt.Fprintf(&attrs, " %s=%s", k, sp.Attrs[k])
+		}
+		fmt.Printf("%s%s +%s %s%s\n", strings.Repeat("  ", depth), sp.Name,
+			time.Duration(sp.StartUS)*time.Microsecond,
+			time.Duration(sp.DurUS)*time.Microsecond, attrs.String())
+		printSpanTree(spans, i, depth+1)
+	}
+}
+
+func sortedAttrKeys(attrs map[string]string) []string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // --- load ----------------------------------------------------------------

@@ -24,6 +24,7 @@ import (
 
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/store"
+	"svwsim/internal/trace"
 )
 
 // CacheHeader is set on /v1/run responses to say which store tier served
@@ -55,6 +56,27 @@ const DeadlineHeader = "X-Svw-Deadline-Ms"
 // its own share of the gate; requests without the header are attributed
 // to their remote host.
 const ClientHeader = "X-Svw-Client"
+
+// TraceHeader carries the request's trace ID across every layer seam:
+// generated at the first traced edge when the client did not send one,
+// echoed on the response, and forwarded verbatim by the coordinator to
+// its backends — so one ID looks a request up on the coordinator's and a
+// backend's GET /debug/traces alike. (The constant lives in
+// internal/trace, below this package; re-exported here with the rest of
+// the wire contract.)
+const TraceHeader = trace.Header
+
+// TracesResponse is the body of GET /debug/traces (without ?id=): the
+// daemon's completed-trace ring, most recent first. With ?id= the body is
+// a single trace.TraceJSON instead. Re-exported from internal/trace so
+// svwload decodes exactly what the daemons serve.
+type TracesResponse = trace.TracesResponse
+
+// TraceJSON and SpanJSON are one trace and one span on that wire.
+type (
+	TraceJSON = trace.TraceJSON
+	SpanJSON  = trace.SpanJSON
+)
 
 // RunRequest is the body of POST /v1/run: one (config, bench, insts) job.
 type RunRequest struct {

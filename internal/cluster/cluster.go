@@ -38,6 +38,7 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,7 @@ import (
 
 	"svwsim/internal/api"
 	"svwsim/internal/store"
+	"svwsim/internal/trace"
 )
 
 // Defaults for Options zero values.
@@ -88,6 +90,22 @@ type Options struct {
 	// StoreMaxBytes caps the store's disk tier
 	// (0 = store.DefaultDiskMaxBytes).
 	StoreMaxBytes int64
+	// TraceBufferSize is how many completed request traces GET
+	// /debug/traces keeps (0 = trace.DefaultRingSize). The job-bearing
+	// endpoints (/v1/run, /v1/sweep, /v1/studies) are traced; the trace ID
+	// is forwarded to backends on every attempt, so one ID correlates the
+	// coordinator's dispatch spans with each backend's stage spans.
+	TraceBufferSize int
+	// SlowLogEnabled turns on structured slow-request logging: a traced
+	// request slower than SlowLogThreshold emits one JSON line (with its
+	// full span tree) and bumps svw_slow_requests_total{endpoint}. Off by
+	// default.
+	SlowLogEnabled bool
+	// SlowLogThreshold is the slow-request bar; zero logs every traced
+	// request.
+	SlowLogThreshold time.Duration
+	// SlowLogWriter receives slow-request lines (nil = os.Stderr).
+	SlowLogWriter io.Writer
 }
 
 // backend is one svwd instance in the pool.
@@ -185,6 +203,7 @@ type Coordinator struct {
 	client       *http.Client
 	store        *store.Store // nil without Options.StoreDir
 	metrics      *clusterMetrics
+	tracer       *trace.Tracer
 	maxAttempts  int
 	hedgeAfter   time.Duration
 	maxBody      int64
@@ -246,6 +265,7 @@ func New(opts Options) (*Coordinator, error) {
 	c := &Coordinator{
 		client:       client,
 		store:        st,
+		tracer:       trace.NewTracer(opts.TraceBufferSize),
 		maxAttempts:  maxAttempts,
 		hedgeAfter:   opts.HedgeAfter,
 		maxBody:      maxBody,
@@ -264,6 +284,13 @@ func New(opts Options) (*Coordinator, error) {
 		})
 	}
 	c.metrics = newClusterMetrics(c)
+	if opts.SlowLogEnabled {
+		c.tracer.Slow = &trace.SlowLog{
+			Threshold: opts.SlowLogThreshold,
+			W:         opts.SlowLogWriter,
+			OnSlow:    c.metrics.onSlow,
+		}
+	}
 	return c, nil
 }
 
@@ -291,14 +318,20 @@ func (c *Coordinator) Handler() http.Handler {
 	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
 		mux.Handle(pattern, c.metrics.http.Wrap(endpoint, fn))
 	}
+	// traced routes open a request trace inside the metrics wrapper, so
+	// the recorded spans cover exactly what the latency histogram times.
+	traced := func(pattern, endpoint string, fn http.HandlerFunc) {
+		mux.Handle(pattern, c.metrics.http.Wrap(endpoint, c.tracer.Wrap(endpoint, fn)))
+	}
 	handle("GET /v1/healthz", "/v1/healthz", c.handleHealthz)
 	handle("GET /v1/configs", "/v1/configs", c.handleConfigs)
 	handle("GET /v1/benches", "/v1/benches", c.handleBenches)
 	handle("GET /v1/stats", "/v1/stats", c.handleStats)
-	handle("POST /v1/run", "/v1/run", c.handleRun)
-	handle("POST /v1/sweep", "/v1/sweep", c.handleSweep)
-	handle("GET /v1/studies/{study}", "/v1/studies", c.handleStudy)
+	traced("POST /v1/run", "/v1/run", c.handleRun)
+	traced("POST /v1/sweep", "/v1/sweep", c.handleSweep)
+	traced("GET /v1/studies/{study}", "/v1/studies", c.handleStudy)
 	mux.Handle("GET /metrics", c.metrics.reg.Handler())
+	mux.Handle("GET /debug/traces", c.tracer.TracesHandler())
 	return mux
 }
 

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"svwsim/internal/api"
 	"svwsim/internal/store"
+	"svwsim/internal/trace"
 )
 
 // outcome is the result of dispatching one request into the pool.
@@ -39,21 +41,29 @@ func (o *outcome) cached() bool {
 // across backends, optionally hedged. It is the single entry point the
 // handlers use, so every path gets identical failover behavior, and it
 // performs the winning-response bookkeeping exactly once per call.
+//
+// A traced request gets one "dispatch" span per call, annotated
+// synchronously (before dispatch returns) with the winning backend, which
+// walk won a hedge race and which was abandoned; each backend attempt is
+// a child "attempt" span.
 func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, reqBody []byte) outcome {
+	dsp := trace.FromContext(ctx).Start("dispatch")
+	dsp.SetAttr("path", path)
 	// One attempts budget per job, shared between the primary walk and a
 	// hedge, so MaxAttempts bounds the job's total backend traffic even
 	// when both walks are live.
 	var budget atomic.Int64
 	if c.hedgeAfter <= 0 || len(c.backends) < 2 {
-		out := c.forward(ctx, key, 0, method, path, reqBody, &budget)
+		out := c.forward(ctx, dsp, "primary", key, 0, method, path, reqBody, &budget)
 		c.noteOutcome(out)
+		finishDispatch(dsp, out, false)
 		return out
 	}
 
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reap the losing attempt
 	results := make(chan outcome, 2)
-	go func() { results <- c.forward(hctx, key, 0, method, path, reqBody, &budget) }()
+	go func() { results <- c.forward(hctx, dsp, "primary", key, 0, method, path, reqBody, &budget) }()
 
 	timer := time.NewTimer(c.hedgeAfter)
 	defer timer.Stop()
@@ -65,6 +75,7 @@ func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, re
 			outstanding--
 			if out.err == nil {
 				c.noteOutcome(out)
+				finishDispatch(dsp, out, hedged)
 				return out
 			}
 			if outstanding > 0 {
@@ -75,6 +86,7 @@ func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, re
 				out = *firstFail // both failed: report the earlier failure
 			}
 			c.noteOutcome(out)
+			finishDispatch(dsp, out, hedged)
 			return out
 		case <-timer.C:
 			if hedged {
@@ -82,17 +94,46 @@ func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, re
 			}
 			hedged = true
 			c.addHedge()
+			dsp.SetAttr("hedged", "true")
 			outstanding++
 			go func() {
 				// Offset 1 starts the candidate walk at the key's
 				// second-ranked backend, so the hedge never duplicates
 				// work onto the straggling primary first.
-				out := c.forward(hctx, key, 1, method, path, reqBody, &budget)
+				out := c.forward(hctx, dsp, "hedge", key, 1, method, path, reqBody, &budget)
 				out.hedged = true
 				results <- out
 			}()
 		}
 	}
+}
+
+// finishDispatch closes a dispatch span with the outcome's synchronous
+// annotations: the winning backend, and — when a hedge was launched —
+// which walk won and which was abandoned. The abandoned walk's own
+// "attempt" span observes its cancellation asynchronously and may land
+// after the request completes; the "abandoned" attribute here is the
+// deterministic marker written before dispatch returns.
+func finishDispatch(dsp trace.Span, out outcome, hedged bool) {
+	if !dsp.Active() {
+		return
+	}
+	if out.b != nil {
+		dsp.SetAttr("backend", out.b.url)
+	}
+	if hedged && out.err == nil {
+		if out.hedged {
+			dsp.SetAttr("winner", "hedge")
+			dsp.SetAttr("abandoned", "primary")
+		} else {
+			dsp.SetAttr("winner", "primary")
+			dsp.SetAttr("abandoned", "hedge")
+		}
+	}
+	if out.err != nil {
+		dsp.SetAttr("error", out.err.Error())
+	}
+	dsp.End()
 }
 
 // noteOutcome records a dispatch's final outcome on the winning backend
@@ -123,7 +164,11 @@ func (c *Coordinator) dispatchJob(ctx context.Context, key string, reqBody []byt
 		return out
 	}
 	if out.err != nil && ctx.Err() == nil {
-		if body, origin := c.store.Get(key); origin != store.OriginMiss {
+		sp := trace.FromContext(ctx).Start("store_fallback")
+		body, origin := c.store.Get(key)
+		sp.SetAttr("tier", origin.String())
+		sp.End()
+		if origin != store.OriginMiss {
 			c.store.AccountGet(origin)
 			return outcome{
 				status: http.StatusOK,
@@ -144,8 +189,10 @@ func (c *Coordinator) dispatchJob(ctx context.Context, key string, reqBody []byt
 // marked unhealthy (unless none are healthy); pass 1 fails open and
 // tries everyone, so a pool whose marks are all stale can still recover.
 // Attempts beyond each walk's first count as retries (a hedge's first
-// attempt is accounted as the hedge, not a retry).
-func (c *Coordinator) forward(ctx context.Context, key string, offset int, method, path string, reqBody []byte, budget *atomic.Int64) outcome {
+// attempt is accounted as the hedge, not a retry). dsp is the dispatch
+// span the walk's "attempt" spans parent under (inert when untraced);
+// walk names the walk on those spans ("primary" or "hedge").
+func (c *Coordinator) forward(ctx context.Context, dsp trace.Span, walk, key string, offset int, method, path string, reqBody []byte, budget *atomic.Int64) outcome {
 	order := rank(c.backends, key)
 	n := len(order)
 	walkAttempts := 0
@@ -168,7 +215,15 @@ func (c *Coordinator) forward(ctx context.Context, key string, offset int, metho
 			if walkAttempts > 1 {
 				c.addRetry()
 			}
-			out, retryable := c.attempt(ctx, b, method, path, reqBody)
+			sp := dsp.Child("attempt")
+			if sp.Active() {
+				sp.SetAttr("backend", b.url)
+				sp.SetAttr("walk", walk)
+				if walkAttempts > 1 {
+					sp.SetAttr("retry", strconv.Itoa(walkAttempts-1))
+				}
+			}
+			out, retryable := c.attempt(ctx, sp, b, method, path, reqBody)
 			if !retryable {
 				return out
 			}
@@ -192,11 +247,29 @@ func (c *Coordinator) forward(ctx context.Context, key string, offset int, metho
 // another backend: transport errors and 5xx (which also mark the backend
 // unhealthy) and 429 saturation (which does not — a busy backend is not a
 // sick one) are; success and other 4xx are terminal.
-func (c *Coordinator) attempt(ctx context.Context, b *backend, method, path string, reqBody []byte) (outcome, bool) {
+//
+// sp is the walk's "attempt" span (inert when untraced): the backend
+// request carries the trace ID header, so the backend's own trace shares
+// this request's ID, and the span is closed with a status or outcome
+// attribute on every exit. An attempt cancelled because the other hedge
+// walk won — or the client went away — is marked outcome=abandoned; for
+// a losing hedge that marking happens when its transport call observes
+// the cancellation, possibly after the request has already completed.
+func (c *Coordinator) attempt(ctx context.Context, sp trace.Span, b *backend, method, path string, reqBody []byte) (outcome, bool) {
+	fail := func(o outcome, retryable bool, outcomeAttr string) (outcome, bool) {
+		if sp.Active() {
+			sp.SetAttr("outcome", outcomeAttr)
+			if o.err != nil {
+				sp.SetAttr("error", o.err.Error())
+			}
+		}
+		sp.End()
+		return o, retryable
+	}
 	select {
 	case b.sem <- struct{}{}:
 	case <-ctx.Done():
-		return outcome{err: ctx.Err()}, false
+		return fail(outcome{err: ctx.Err()}, false, "abandoned")
 	}
 	defer func() { <-b.sem }()
 
@@ -206,10 +279,15 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, method, path stri
 	}
 	req, err := http.NewRequestWithContext(ctx, method, b.url+path, body)
 	if err != nil {
-		return outcome{err: err}, false
+		return fail(outcome{err: err}, false, "error")
 	}
 	if len(reqBody) > 0 {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := trace.FromContext(ctx).ID(); id != "" {
+		// One ID names the request on every layer: the backend opens its
+		// own trace under the same ID, correlated via /debug/traces.
+		req.Header.Set(trace.Header, id)
 	}
 
 	b.noteStart()
@@ -219,45 +297,52 @@ func (c *Coordinator) attempt(ctx context.Context, b *backend, method, path stri
 			// The client (or a winning hedge) went away; say nothing about
 			// the backend's health.
 			b.noteEnd(false)
-			return outcome{err: ctx.Err()}, false
+			return fail(outcome{err: ctx.Err()}, false, "abandoned")
 		}
 		b.setHealth(false, err)
 		b.noteEnd(true)
-		return outcome{b: b, err: fmt.Errorf("%s: %w", b.url, err)}, true
+		return fail(outcome{b: b, err: fmt.Errorf("%s: %w", b.url, err)}, true, "error")
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(resp.Body)
 	if err != nil {
 		if ctx.Err() != nil {
 			b.noteEnd(false)
-			return outcome{err: ctx.Err()}, false
+			return fail(outcome{err: ctx.Err()}, false, "abandoned")
 		}
 		b.setHealth(false, err)
 		b.noteEnd(true)
-		return outcome{b: b, err: fmt.Errorf("%s: reading response: %w", b.url, err)}, true
+		return fail(outcome{b: b, err: fmt.Errorf("%s: reading response: %w", b.url, err)}, true, "error")
 	}
 
+	sp.SetAttr("status", strconv.Itoa(resp.StatusCode))
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		b.setHealth(true, nil)
 		b.noteEnd(false)
+		if origin := resp.Header.Get(api.CacheHeader); origin != "" {
+			sp.SetAttr("tier", origin)
+		}
+		sp.End()
 		return outcome{
 			b: b, status: resp.StatusCode, body: respBody,
 			origin: resp.Header.Get(api.CacheHeader),
 		}, false
 	case resp.StatusCode == http.StatusTooManyRequests:
 		b.noteEnd(false)
-		return outcome{b: b, status: resp.StatusCode,
-			err: fmt.Errorf("%s: saturated (HTTP 429)", b.url)}, true
+		return fail(outcome{b: b, status: resp.StatusCode,
+			err: fmt.Errorf("%s: saturated (HTTP 429)", b.url)}, true, "saturated")
 	case resp.StatusCode >= 500:
 		b.setHealth(false, fmt.Errorf("HTTP %d", resp.StatusCode))
 		b.noteEnd(true)
-		return outcome{b: b, status: resp.StatusCode,
-			err: fmt.Errorf("%s: HTTP %d", b.url, resp.StatusCode)}, true
+		return fail(outcome{b: b, status: resp.StatusCode,
+			err: fmt.Errorf("%s: HTTP %d", b.url, resp.StatusCode)}, true, "error")
 	default:
 		// Other 4xx: the backend rejected the request itself — propagate
 		// its body verbatim rather than guessing at another backend.
 		b.noteEnd(false)
+		sp.SetAttr("outcome", "rejected")
+		sp.End()
 		return outcome{b: b, status: resp.StatusCode, body: respBody}, false
 	}
 }

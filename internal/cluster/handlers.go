@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"svwsim/internal/api"
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
+	"svwsim/internal/trace"
 	"svwsim/internal/workload"
 )
 
@@ -275,18 +277,24 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 
+	tr := trace.FromContext(ctx)
 	if api.WantsSSE(r) {
-		c.streamSweep(w, jobs, outcomes, done)
+		c.streamSweep(w, tr, jobs, outcomes, done)
 		return
 	}
-	c.bufferSweep(w, r, jobs, outcomes, done)
+	c.bufferSweep(w, r, tr, jobs, outcomes, done)
 }
 
 // bufferSweep waits for every cell and writes the whole sweep as a
 // sequence of indented result objects in job-index order — byte-identical
 // to the equivalent multi-job `svwsim -json` invocation, however many
 // backends computed it.
-func (c *Coordinator) bufferSweep(w http.ResponseWriter, r *http.Request, jobs []sweepJob, outcomes []outcome, done []chan struct{}) {
+func (c *Coordinator) bufferSweep(w http.ResponseWriter, r *http.Request, tr *trace.Trace, jobs []sweepJob, outcomes []outcome, done []chan struct{}) {
+	// The merge span covers waiting for the fan-out plus reassembly; its
+	// duration is the sweep's critical path after dispatch began.
+	sp := tr.Start("merge")
+	defer sp.End()
+	sp.SetAttr("jobs", strconv.Itoa(len(jobs)))
 	for i := range done {
 		<-done[i]
 	}
@@ -323,12 +331,13 @@ func (c *Coordinator) bufferSweep(w http.ResponseWriter, r *http.Request, jobs [
 // results land, then a "done" summary. Events carry the serving backend's
 // URL and whether its LRU answered, so a watching client sees the fabric's
 // cache affinity live.
-func (c *Coordinator) streamSweep(w http.ResponseWriter, jobs []sweepJob, outcomes []outcome, done []chan struct{}) {
+func (c *Coordinator) streamSweep(w http.ResponseWriter, tr *trace.Trace, jobs []sweepJob, outcomes []outcome, done []chan struct{}) {
 	stream, err := api.NewSSE(w)
 	if err != nil {
 		api.WriteError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	sp := tr.Start("merge")
 	summary := api.SweepDone{Jobs: len(jobs)}
 	for i := range jobs {
 		<-done[i]
@@ -361,6 +370,12 @@ func (c *Coordinator) streamSweep(w http.ResponseWriter, jobs []sweepJob, outcom
 		}
 		stream.Event("result", i, ev)
 	}
+	if sp.Active() {
+		sp.SetAttr("jobs", strconv.Itoa(len(jobs)))
+		sp.SetAttr("cache_hits", strconv.Itoa(summary.CacheHits))
+		sp.SetAttr("errors", strconv.Itoa(summary.Errors))
+	}
+	sp.End()
 	stream.Event("done", len(jobs), summary)
 }
 

@@ -12,12 +12,32 @@ import (
 type clusterMetrics struct {
 	reg  *metrics.Registry
 	http *metrics.HTTP
+
+	// slow counts requests past the -slow-ms threshold per traced
+	// endpoint (the trace subsystem's OnSlow hook feeds it).
+	slow map[string]*metrics.Counter
+}
+
+// onSlow bumps svw_slow_requests_total for one slow-logged request.
+func (m *clusterMetrics) onSlow(endpoint string) {
+	if c, ok := m.slow[endpoint]; ok {
+		c.Inc()
+	}
 }
 
 // newClusterMetrics builds the registry over a fully constructed pool.
 func newClusterMetrics(c *Coordinator) *clusterMetrics {
 	reg := metrics.NewRegistry()
 	m := &clusterMetrics{reg: reg, http: metrics.NewHTTP(reg)}
+
+	// Registered eagerly for the traced endpoints so the series scrape as
+	// 0 before the first slow request, like every other counter here.
+	m.slow = make(map[string]*metrics.Counter)
+	for _, ep := range []string{"/v1/run", "/v1/sweep", "/v1/studies"} {
+		m.slow[ep] = reg.Counter("svw_slow_requests_total",
+			"Requests slower than the -slow-ms threshold, by endpoint.",
+			metrics.Label{Key: "endpoint", Value: ep})
+	}
 
 	coord := func(name, help string, fn func() uint64) {
 		reg.CounterFunc(name, help, fn)

@@ -1,0 +1,45 @@
+// Package debugserver serves Go's net/http/pprof profiling endpoints on
+// a dedicated listener, kept off the serving mux on purpose: profiling
+// handlers are unauthenticated and can be expensive (a CPU profile
+// blocks for its whole sample window), so they bind to an operator-only
+// address — typically localhost — that production traffic never reaches.
+//
+// Both daemons wire it behind the -debug-addr flag; empty disables it.
+package debugserver
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns a mux serving the standard pprof surface under
+// /debug/pprof/. The handlers are registered on an explicit mux so the
+// debug surface lives entirely on its own listener; the daemons never
+// serve http.DefaultServeMux (which net/http/pprof's import also
+// populates as an init side effect), so nothing leaks onto a serving
+// port.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves the pprof surface until the listener
+// fails (usually: the process exits). It returns the bound listener —
+// addr may end in :0 — or an error when the address cannot be bound;
+// serving itself proceeds on a background goroutine, errors discarded,
+// because a dying debug listener must never take the daemon with it.
+func Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

@@ -1,0 +1,39 @@
+package debugserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesPprofIndex(t *testing.T) {
+	w := httptest.NewRecorder()
+	Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("pprof index: HTTP %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "goroutine") {
+		t.Fatalf("pprof index missing profile listing:\n%s", w.Body.String())
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	ln, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cmdline: HTTP %d", resp.StatusCode)
+	}
+	if b, _ := io.ReadAll(resp.Body); len(b) == 0 {
+		t.Fatal("empty cmdline response")
+	}
+}

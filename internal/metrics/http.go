@@ -31,16 +31,31 @@ func NewHTTP(reg *Registry) *HTTP {
 }
 
 // Wrap instruments next under the given endpoint label: one latency
-// observation and one (endpoint, code) count per request.
+// observation and one (endpoint, code) count per request — on every
+// exit path. Accounting runs in a defer so a panicking handler (which
+// net/http recovers above us, invisibly to a non-deferred call) is still
+// counted: as 500 when it died before writing anything, as whatever it
+// managed to write otherwise. The panic is re-raised so net/http's
+// connection teardown (including http.ErrAbortHandler) is unchanged.
 func (h *HTTP) Wrap(endpoint string, next http.Handler) http.Handler {
 	hist := h.reg.Histogram(httpLatencyName, httpLatencyHelp, LatencyBuckets(),
 		Label{Key: "endpoint", Value: endpoint})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		t0 := time.Now()
+		defer func() {
+			hist.Observe(time.Since(t0))
+			code := sw.status()
+			if p := recover(); p != nil {
+				if sw.code == 0 {
+					code = http.StatusInternalServerError
+				}
+				h.codeCounter(endpoint, code).Inc()
+				panic(p)
+			}
+			h.codeCounter(endpoint, code).Inc()
+		}()
 		next.ServeHTTP(sw, r)
-		hist.Observe(time.Since(t0))
-		h.codeCounter(endpoint, sw.status()).Inc()
 	})
 }
 

@@ -15,6 +15,7 @@ import (
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/store"
+	"svwsim/internal/trace"
 	"svwsim/internal/workload"
 )
 
@@ -137,9 +138,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := trace.FromContext(ctx)
 	key := engine.Fingerprint(cfg, req.Bench, req.Insts)
 	t0 := time.Now()
+	sp := tr.Start("store_probe")
 	body, origin := s.store.Get(key)
+	sp.SetAttr("tier", origin.String())
+	sp.End()
 	s.metrics.storeProbe.Observe(time.Since(t0))
 	if origin != store.OriginMiss {
 		s.store.AccountGet(origin)
@@ -149,7 +154,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(api.CacheHeader, api.CacheMiss)
 	t0 = time.Now()
+	sp = tr.Start("gate_wait")
 	release, ok := s.gate.tryAcquire(clientID(r), 1)
+	sp.End()
 	s.metrics.gateWait.Observe(time.Since(t0))
 	if !ok {
 		rejectSaturated(w)
@@ -158,18 +165,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	t0 = time.Now()
+	sp = tr.Start("engine_run")
 	rs, err := s.eng.RunContext(ctx, []engine.Job{{
 		Study: "svwd-run", Label: cfg.Name, Config: cfg,
 		Bench: req.Bench, Insts: req.Insts,
 	}}, nil)
+	sp.End()
 	s.metrics.engineRun.Observe(time.Since(t0))
 	if err != nil {
 		writeEngineError(w, r, err, "run failed")
 		return
 	}
 	t0 = time.Now()
+	sp = tr.Start("encode")
 	body, err = marshalResult(rs[0].Result)
 	if err != nil {
+		sp.End()
 		writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
 		return
 	}
@@ -178,6 +189,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// is being served — a rejected, cancelled or failed run skews no rates.
 	s.store.Account(0, 0, 1)
 	writeBody(w, http.StatusOK, body)
+	sp.End()
 	s.metrics.encode.Observe(time.Since(t0))
 }
 
@@ -195,8 +207,9 @@ type sweepPlan struct {
 
 // planSweep validates the request, flattens the matrix config-major (the
 // `svwsim -config a,b -bench x,y` order) and probes the store for every
-// job. It writes the error response itself on failure.
-func (s *Server) planSweep(w http.ResponseWriter, req *SweepRequest) (*sweepPlan, bool) {
+// job. One store_probe span covers the whole probe loop, annotated with
+// the per-tier tallies. It writes the error response itself on failure.
+func (s *Server) planSweep(w http.ResponseWriter, tr *trace.Trace, req *SweepRequest) (*sweepPlan, bool) {
 	if len(req.Configs) == 0 || len(req.Benches) == 0 {
 		writeError(w, http.StatusBadRequest, "sweep matrix is empty: need configs and benches")
 		return nil, false
@@ -228,6 +241,7 @@ func (s *Server) planSweep(w http.ResponseWriter, req *SweepRequest) (*sweepPlan
 	p.cached = make([][]byte, len(p.jobs))
 	p.origin = make([]store.Origin, len(p.jobs))
 	t0 := time.Now()
+	sp := tr.Start("store_probe")
 	for i, key := range p.keys {
 		if body, origin := s.store.Get(key); origin != store.OriginMiss {
 			p.cached[i] = body
@@ -239,6 +253,14 @@ func (s *Server) planSweep(w http.ResponseWriter, req *SweepRequest) (*sweepPlan
 			p.sub = append(p.sub, p.jobs[i])
 		}
 	}
+	if sp.Active() {
+		hits := len(p.jobs) - len(p.sub)
+		sp.SetAttr("jobs", strconv.Itoa(len(p.jobs)))
+		sp.SetAttr("hits", strconv.Itoa(hits))
+		sp.SetAttr("disk_hits", strconv.Itoa(p.disk))
+		sp.SetAttr("misses", strconv.Itoa(len(p.sub)))
+	}
+	sp.End()
 	s.metrics.storeProbe.Observe(time.Since(t0))
 	return p, true
 }
@@ -253,13 +275,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	p, ok := s.planSweep(w, &req)
+	tr := trace.FromContext(ctx)
+	p, ok := s.planSweep(w, tr, &req)
 	if !ok {
 		return
 	}
 	if len(p.sub) > 0 {
 		t0 := time.Now()
+		sp := tr.Start("gate_wait")
 		release, ok := s.gate.tryAcquire(clientID(r), len(p.sub))
+		sp.End()
 		s.metrics.gateWait.Observe(time.Since(t0))
 		if !ok {
 			rejectSaturated(w)
@@ -281,14 +306,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // sequence of indented result objects in job-index order — byte-identical
 // to the equivalent multi-job `svwsim -json` invocation.
 func (s *Server) bufferSweep(ctx context.Context, w http.ResponseWriter, r *http.Request, p *sweepPlan) {
+	tr := trace.FromContext(ctx)
 	t0 := time.Now()
+	sp := tr.Start("engine_run")
 	rs, err := s.eng.RunContext(ctx, p.sub, nil)
+	sp.End()
 	s.metrics.engineRun.Observe(time.Since(t0))
 	if err != nil {
 		writeEngineError(w, r, err, "sweep failed")
 		return
 	}
 	t0 = time.Now()
+	sp = tr.Start("encode")
+	defer sp.End()
 	var body []byte
 	sub := 0
 	for i := range p.jobs {
@@ -329,10 +359,12 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, r *http
 	results := make(chan engine.JobResult, len(p.sub))
 	done := make(chan error, 1)
 	t0 := time.Now()
+	sp := trace.FromContext(ctx).Start("engine_run")
 	go func() {
 		_, err := s.eng.RunContext(ctx, p.sub, func(jr engine.JobResult) {
 			results <- jr
 		})
+		sp.End()
 		s.metrics.engineRun.Observe(time.Since(t0))
 		done <- err
 	}()
@@ -578,9 +610,13 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := trace.FromContext(ctx)
 	key := p.key(study)
 	t0 := time.Now()
+	sp := tr.Start("store_probe")
 	body, origin := s.store.Get(key)
+	sp.SetAttr("tier", origin.String())
+	sp.End()
 	s.metrics.storeProbe.Observe(time.Since(t0))
 	if origin != store.OriginMiss {
 		s.store.AccountGet(origin)
@@ -588,7 +624,9 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 = time.Now()
+	sp = tr.Start("gate_wait")
 	release, ok := s.gate.tryAcquire(clientID(r), weight)
+	sp.End()
 	s.metrics.gateWait.Observe(time.Since(t0))
 	if !ok {
 		rejectSaturated(w)
@@ -597,13 +635,17 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	t0 = time.Now()
+	sp = tr.Start("engine_run")
 	v, err := run(ctx)
+	sp.End()
 	s.metrics.engineRun.Observe(time.Since(t0))
 	if err != nil {
 		writeEngineError(w, r, err, "study failed")
 		return
 	}
 	t0 = time.Now()
+	sp = tr.Start("encode")
+	defer sp.End()
 	body, err = json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding study: %v", err)

@@ -23,6 +23,17 @@ type serverMetrics struct {
 	gateWait   *metrics.Histogram
 	engineRun  *metrics.Histogram
 	encode     *metrics.Histogram
+
+	// slow counts requests past the -slow-ms threshold per traced
+	// endpoint (the trace subsystem's OnSlow hook feeds it).
+	slow map[string]*metrics.Counter
+}
+
+// onSlow bumps svw_slow_requests_total for one slow-logged request.
+func (m *serverMetrics) onSlow(endpoint string) {
+	if c, ok := m.slow[endpoint]; ok {
+		c.Inc()
+	}
 }
 
 // newServerMetrics builds the registry over a fully constructed Server.
@@ -41,6 +52,15 @@ func newServerMetrics(s *Server, clientWeights map[string]int) *serverMetrics {
 	m.gateWait = stage("gate_wait")
 	m.engineRun = stage("engine_run")
 	m.encode = stage("encode")
+
+	// Registered eagerly for the traced endpoints so the series scrape as
+	// 0 before the first slow request, like every other counter here.
+	m.slow = make(map[string]*metrics.Counter)
+	for _, ep := range []string{"/v1/run", "/v1/sweep", "/v1/studies"} {
+		m.slow[ep] = reg.Counter("svw_slow_requests_total",
+			"Requests slower than the -slow-ms threshold, by endpoint.",
+			metrics.Label{Key: "endpoint", Value: ep})
+	}
 
 	reg.GaugeFunc("svw_gate_in_use", "Admission gate units currently held.",
 		func() float64 { return float64(s.gate.stats().InUse) })

@@ -33,12 +33,14 @@
 package server
 
 import (
+	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/store"
+	"svwsim/internal/trace"
 )
 
 // Defaults for Options zero values.
@@ -91,6 +93,22 @@ type Options struct {
 	// DefaultClientWeight is the share weight of clients not named in
 	// ClientWeights (0 = 1). Ignored when ClientWeights is empty.
 	DefaultClientWeight int
+	// TraceBufferSize is how many completed request traces GET
+	// /debug/traces keeps (0 = trace.DefaultRingSize). The job-bearing
+	// endpoints (/v1/run, /v1/sweep, /v1/studies) are always traced;
+	// registry and health endpoints are not, so probes cannot flush
+	// interesting traces out of the ring.
+	TraceBufferSize int
+	// SlowLogEnabled turns on structured slow-request logging: a traced
+	// request slower than SlowLogThreshold emits one JSON line (with its
+	// full span tree) and bumps svw_slow_requests_total{endpoint}. Off by
+	// default.
+	SlowLogEnabled bool
+	// SlowLogThreshold is the slow-request bar; zero logs every traced
+	// request (what the CI smoke stage runs with).
+	SlowLogThreshold time.Duration
+	// SlowLogWriter receives slow-request lines (nil = os.Stderr).
+	SlowLogWriter io.Writer
 }
 
 // Server is the svwd HTTP service: one shared engine plus the store and
@@ -100,6 +118,7 @@ type Server struct {
 	store        *store.Store
 	gate         *gate
 	metrics      *serverMetrics
+	tracer       *trace.Tracer
 	maxBody      int64
 	maxSweepJobs int
 	start        time.Time
@@ -145,11 +164,19 @@ func New(opts Options) (*Server, error) {
 		eng:          eng,
 		store:        st,
 		gate:         g,
+		tracer:       trace.NewTracer(opts.TraceBufferSize),
 		maxBody:      maxBody,
 		maxSweepJobs: maxSweep,
 		start:        time.Now(),
 	}
 	s.metrics = newServerMetrics(s, opts.ClientWeights)
+	if opts.SlowLogEnabled {
+		s.tracer.Slow = &trace.SlowLog{
+			Threshold: opts.SlowLogThreshold,
+			W:         opts.SlowLogWriter,
+			OnSlow:    s.metrics.onSlow,
+		}
+	}
 	return s, nil
 }
 
@@ -165,19 +192,27 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Handler returns the service's routing handler, suitable for http.Server.
 // Every /v1 route is instrumented with the shared request counter and
-// latency histogram; the registry itself is served on GET /metrics.
+// latency histogram; the job-bearing routes (run, sweep, studies) are
+// additionally traced, with the completed-trace ring on GET /debug/traces
+// and the metrics registry on GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
 		mux.Handle(pattern, s.metrics.http.Wrap(endpoint, fn))
 	}
+	// traced routes open a request trace inside the metrics wrapper, so
+	// the recorded spans cover exactly what the latency histogram times.
+	traced := func(pattern, endpoint string, fn http.HandlerFunc) {
+		mux.Handle(pattern, s.metrics.http.Wrap(endpoint, s.tracer.Wrap(endpoint, fn)))
+	}
 	handle("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
 	handle("GET /v1/configs", "/v1/configs", s.handleConfigs)
 	handle("GET /v1/benches", "/v1/benches", s.handleBenches)
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)
-	handle("POST /v1/run", "/v1/run", s.handleRun)
-	handle("POST /v1/sweep", "/v1/sweep", s.handleSweep)
-	handle("GET /v1/studies/{study}", "/v1/studies", s.handleStudy)
+	traced("POST /v1/run", "/v1/run", s.handleRun)
+	traced("POST /v1/sweep", "/v1/sweep", s.handleSweep)
+	traced("GET /v1/studies/{study}", "/v1/studies", s.handleStudy)
 	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	mux.Handle("GET /debug/traces", s.tracer.TracesHandler())
 	return mux
 }

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"svwsim/internal/api"
+	"svwsim/internal/trace"
+)
+
+// fetchTrace looks one trace up on the server's /debug/traces by ID.
+func fetchTrace(t *testing.T, s *Server, id string) api.TraceJSON {
+	t.Helper()
+	w := do(s, http.MethodGet, "/debug/traces?id="+id, "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /debug/traces?id=%s: HTTP %d: %s", id, w.Code, w.Body.String())
+	}
+	var tj api.TraceJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &tj); err != nil {
+		t.Fatalf("decoding trace: %v", err)
+	}
+	return tj
+}
+
+func spanNames(tj api.TraceJSON) map[string]int {
+	names := make(map[string]int)
+	for _, sp := range tj.Spans {
+		names[sp.Name]++
+	}
+	return names
+}
+
+func findSpan(tj api.TraceJSON, name string) (api.SpanJSON, bool) {
+	for _, sp := range tj.Spans {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return api.SpanJSON{}, false
+}
+
+func TestRunTraceIDGeneratedAndEchoed(t *testing.T) {
+	s := newTestServer(Options{})
+	body := fmt.Sprintf(`{"config":"ssq","bench":"gcc","insts":%d}`, testInsts)
+	w := do(s, http.MethodPost, "/v1/run", body, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("run: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	id := w.Header().Get(api.TraceHeader)
+	if !trace.ValidID(id) {
+		t.Fatalf("no generated trace ID on response: %q", id)
+	}
+	tj := fetchTrace(t, s, id)
+	if tj.Endpoint != "/v1/run" || !tj.Done {
+		t.Fatalf("trace wrong: endpoint=%s done=%v", tj.Endpoint, tj.Done)
+	}
+}
+
+func TestRunTraceSpansCoverStages(t *testing.T) {
+	s := newTestServer(Options{})
+	body := fmt.Sprintf(`{"config":"ssq","bench":"gcc","insts":%d}`, testInsts)
+	hdr := map[string]string{api.TraceHeader: "run-trace-1"}
+	w := do(s, http.MethodPost, "/v1/run", body, hdr)
+	if w.Code != http.StatusOK {
+		t.Fatalf("run: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get(api.TraceHeader); got != "run-trace-1" {
+		t.Fatalf("client ID not echoed: %q", got)
+	}
+	tj := fetchTrace(t, s, "run-trace-1")
+	names := spanNames(tj)
+	for _, want := range []string{"store_probe", "gate_wait", "engine_run", "encode", "engine_job"} {
+		if names[want] == 0 {
+			t.Fatalf("missing %s span; have %v", want, names)
+		}
+	}
+	// A cold store: the probe missed, the engine job is a memo miss.
+	if sp, _ := findSpan(tj, "store_probe"); sp.Attrs["tier"] != "miss" {
+		t.Fatalf("store_probe tier = %q, want miss", sp.Attrs["tier"])
+	}
+	if sp, _ := findSpan(tj, "engine_job"); sp.Attrs["memo"] != "miss" {
+		t.Fatalf("engine_job memo = %q, want miss", sp.Attrs["memo"])
+	}
+
+	// Same job again: the store serves it — memory-tier probe, no engine.
+	hdr[api.TraceHeader] = "run-trace-2"
+	if w := do(s, http.MethodPost, "/v1/run", body, hdr); w.Code != http.StatusOK {
+		t.Fatalf("cached run: HTTP %d", w.Code)
+	}
+	tj = fetchTrace(t, s, "run-trace-2")
+	if sp, ok := findSpan(tj, "store_probe"); !ok || sp.Attrs["tier"] != "memory" {
+		t.Fatalf("cached store_probe tier = %v", sp.Attrs)
+	}
+	if names := spanNames(tj); names["engine_run"] != 0 {
+		t.Fatalf("cache hit still ran the engine: %v", names)
+	}
+}
+
+func TestSweepTraceSpans(t *testing.T) {
+	s := newTestServer(Options{})
+	body := fmt.Sprintf(`{"configs":["ssq","ssq+svw"],"benches":["gcc"],"insts":%d}`, testInsts)
+	hdr := map[string]string{api.TraceHeader: "sweep-trace-1"}
+	w := do(s, http.MethodPost, "/v1/sweep", body, hdr)
+	if w.Code != http.StatusOK {
+		t.Fatalf("sweep: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	tj := fetchTrace(t, s, "sweep-trace-1")
+	names := spanNames(tj)
+	for _, want := range []string{"store_probe", "gate_wait", "engine_run", "encode"} {
+		if names[want] != 1 {
+			t.Fatalf("span %s count = %d, want 1 (have %v)", want, names[want], names)
+		}
+	}
+	if names["engine_job"] != 2 {
+		t.Fatalf("engine_job spans = %d, want 2", names["engine_job"])
+	}
+	sp, _ := findSpan(tj, "store_probe")
+	if sp.Attrs["jobs"] != "2" || sp.Attrs["misses"] != "2" {
+		t.Fatalf("store_probe attrs = %v", sp.Attrs)
+	}
+}
+
+func TestSweepSSETraceSpans(t *testing.T) {
+	s := newTestServer(Options{})
+	body := fmt.Sprintf(`{"configs":["ssq"],"benches":["gcc"],"insts":%d}`, testInsts)
+	hdr := map[string]string{
+		api.TraceHeader: "sse-trace-1",
+		"Accept":        "text/event-stream",
+	}
+	w := do(s, http.MethodPost, "/v1/sweep", body, hdr)
+	if w.Code != http.StatusOK {
+		t.Fatalf("SSE sweep: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "event: done") {
+		t.Fatalf("SSE stream truncated: %s", w.Body.String())
+	}
+	tj := fetchTrace(t, s, "sse-trace-1")
+	names := spanNames(tj)
+	if names["store_probe"] != 1 || names["gate_wait"] != 1 || names["engine_run"] != 1 {
+		t.Fatalf("SSE sweep spans: %v", names)
+	}
+}
+
+func TestUntracedEndpointsDontFlushRing(t *testing.T) {
+	s := newTestServer(Options{TraceBufferSize: 2})
+	body := fmt.Sprintf(`{"config":"ssq","bench":"gcc","insts":%d}`, testInsts)
+	hdr := map[string]string{api.TraceHeader: "keep-me"}
+	if w := do(s, http.MethodPost, "/v1/run", body, hdr); w.Code != http.StatusOK {
+		t.Fatalf("run: HTTP %d", w.Code)
+	}
+	// Health probes and registry reads must not occupy ring slots.
+	for i := 0; i < 10; i++ {
+		do(s, http.MethodGet, "/v1/healthz", "", nil)
+		do(s, http.MethodGet, "/v1/configs", "", nil)
+		do(s, http.MethodGet, "/v1/stats", "", nil)
+	}
+	if s.tracer.Ring.Get("keep-me") == nil {
+		t.Fatal("untraced endpoints evicted a traced request from the ring")
+	}
+}
+
+func TestSlowLogAndCounter(t *testing.T) {
+	var buf bytes.Buffer
+	s := newTestServer(Options{
+		SlowLogEnabled:   true,
+		SlowLogThreshold: 0, // log every traced request
+		SlowLogWriter:    &buf,
+	})
+	body := fmt.Sprintf(`{"config":"ssq","bench":"gcc","insts":%d}`, testInsts)
+	hdr := map[string]string{api.TraceHeader: "slow-run-1"}
+	if w := do(s, http.MethodPost, "/v1/run", body, hdr); w.Code != http.StatusOK {
+		t.Fatalf("run: HTTP %d", w.Code)
+	}
+
+	line := buf.String()
+	if strings.Count(line, "\n") != 1 {
+		t.Fatalf("want exactly one log line, got %q", line)
+	}
+	var got struct {
+		Msg      string        `json:"msg"`
+		TraceID  string        `json:"trace_id"`
+		Endpoint string        `json:"endpoint"`
+		Trace    api.TraceJSON `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("slow line not JSON: %v\n%s", err, line)
+	}
+	if got.Msg != "slow_request" || got.TraceID != "slow-run-1" || got.Endpoint != "/v1/run" {
+		t.Fatalf("slow line fields: %+v", got)
+	}
+	if len(got.Trace.Spans) == 0 {
+		t.Fatal("slow line carries no span tree")
+	}
+
+	// The counter on /metrics moved with it.
+	w := do(s, http.MethodGet, "/metrics", "", nil)
+	if !strings.Contains(w.Body.String(), `svw_slow_requests_total{endpoint="/v1/run"} 1`) {
+		t.Fatalf("svw_slow_requests_total not bumped:\n%s", w.Body.String())
+	}
+}
+
+func TestSlowLogDisabledByDefault(t *testing.T) {
+	s := newTestServer(Options{})
+	if s.tracer.Slow != nil {
+		t.Fatal("zero-value Options enabled slow logging")
+	}
+	// The eager counter series still scrapes as 0.
+	w := do(s, http.MethodGet, "/metrics", "", nil)
+	if !strings.Contains(w.Body.String(), `svw_slow_requests_total{endpoint="/v1/run"} 0`) {
+		t.Fatalf("slow counter series not pre-registered:\n%s", w.Body.String())
+	}
+}
+
+func TestSlowLogThresholdFilters(t *testing.T) {
+	var buf bytes.Buffer
+	s := newTestServer(Options{
+		SlowLogEnabled:   true,
+		SlowLogThreshold: time.Hour, // nothing is that slow
+		SlowLogWriter:    &buf,
+	})
+	body := fmt.Sprintf(`{"config":"ssq","bench":"gcc","insts":%d}`, testInsts)
+	if w := do(s, http.MethodPost, "/v1/run", body, nil); w.Code != http.StatusOK {
+		t.Fatalf("run: HTTP %d", w.Code)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("sub-threshold request logged: %q", buf.String())
+	}
+}
+
+func TestStudyTraceSpans(t *testing.T) {
+	s := newTestServer(Options{})
+	hdr := map[string]string{api.TraceHeader: "study-trace-1"}
+	w := do(s, http.MethodGet, "/v1/studies/ssbf?benches=gcc&insts=4000", "", hdr)
+	if w.Code != http.StatusOK {
+		t.Fatalf("study: HTTP %d: %s", w.Code, w.Body.String())
+	}
+	tj := fetchTrace(t, s, "study-trace-1")
+	names := spanNames(tj)
+	for _, want := range []string{"store_probe", "gate_wait", "engine_run", "encode"} {
+		if names[want] == 0 {
+			t.Fatalf("study missing %s span: %v", want, names)
+		}
+	}
+	if tj.Endpoint != "/v1/studies" {
+		t.Fatalf("study endpoint label = %q", tj.Endpoint)
+	}
+}
+
+func TestDebugTracesListsMostRecentFirst(t *testing.T) {
+	s := newTestServer(Options{})
+	body := fmt.Sprintf(`{"config":"ssq","bench":"gcc","insts":%d}`, testInsts)
+	for i := 0; i < 3; i++ {
+		hdr := map[string]string{api.TraceHeader: fmt.Sprintf("order-%d", i)}
+		if w := do(s, http.MethodPost, "/v1/run", body, hdr); w.Code != http.StatusOK {
+			t.Fatalf("run %d: HTTP %d", i, w.Code)
+		}
+	}
+	w := do(s, http.MethodGet, "/debug/traces", "", nil)
+	var resp api.TracesResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding traces: %v", err)
+	}
+	if len(resp.Traces) != 3 || resp.Traces[0].TraceID != "order-2" {
+		t.Fatalf("traces not most-recent-first: %+v", resp.Traces)
+	}
+}

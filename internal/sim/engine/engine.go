@@ -29,11 +29,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"svwsim/internal/pipeline"
 	"svwsim/internal/store"
+	"svwsim/internal/trace"
 )
 
 // Job is one experiment: a machine configuration on a benchmark kernel.
@@ -200,6 +202,11 @@ func (e *Engine) RunContext(ctx context.Context, jobs []Job, progress func(JobRe
 	if n == 0 {
 		return out, nil
 	}
+	// Request tracing rides the context: one span per job (shard, steal,
+	// memo outcome, core reuse), recorded entirely outside the timing
+	// core. With no trace on ctx, tr is nil and every hook below is a
+	// plain nil check — the benchmark path allocates nothing extra.
+	tr := trace.FromContext(ctx)
 	workers := e.Workers(n)
 	if progress == nil {
 		e.mu.Lock()
@@ -257,11 +264,16 @@ func (e *Engine) RunContext(ctx context.Context, jobs []Job, progress func(JobRe
 					// Cancelled before this job started: report without
 					// executing. The loop keeps draining so every slot is
 					// filled and emitted in order.
+					if tr != nil {
+						sp := jobSpan(tr, idx, self, workers, jobs[idx])
+						sp.SetAttr("outcome", "cancelled")
+						sp.End()
+					}
 					out[idx] = JobResult{Index: idx, Job: jobs[idx], Err: err}
 					emit(idx)
 					continue
 				}
-				e.execute(idx, jobs[idx], out, emit, &deliver, rn)
+				e.execute(tr, self, workers, idx, jobs[idx], out, emit, &deliver, rn)
 			}
 		}(w)
 	}
@@ -279,20 +291,44 @@ func (e *Engine) RunContext(ctx context.Context, jobs []Job, progress func(JobRe
 	return out, nil
 }
 
+// jobSpan opens one job's trace span with its placement attributes: the
+// shard the round-robin assignment put the job on, the worker that
+// actually ran it, and whether that took a steal. Called only when a
+// trace is present, so the formatting never runs on untraced sweeps.
+func jobSpan(tr *trace.Trace, idx, worker, workers int, j Job) trace.Span {
+	sp := tr.Start("engine_job")
+	sp.SetAttr("index", strconv.Itoa(idx))
+	sp.SetAttr("config", j.Config.Name)
+	sp.SetAttr("bench", j.Bench)
+	sp.SetAttr("worker", strconv.Itoa(worker))
+	shard := idx % workers
+	sp.SetAttr("shard", strconv.Itoa(shard))
+	if shard != worker {
+		sp.SetAttr("stolen", "true")
+	}
+	return sp
+}
+
 // execute runs one job through the memo table, storing its result in
 // out[idx] and emitting it. A job identical to an execution already in
 // flight is parked as a waiter — the worker returns immediately to take
 // other queued work, and the executing worker delivers the parked result.
-func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
-	deliver *sync.WaitGroup, rn *runner) {
+func (e *Engine) execute(tr *trace.Trace, worker, workers, idx int, j Job,
+	out []JobResult, emit func(int), deliver *sync.WaitGroup, rn *runner) {
+	var sp trace.Span
+	if tr != nil {
+		sp = jobSpan(tr, idx, worker, workers, j)
+	}
 	if j.Config.TraceCommit != nil {
 		// Traced runs exist for their side effects; a memo hit would
 		// silently skip the per-instruction callbacks. Always execute.
+		sp.SetAttr("memo", "bypass")
 		start := time.Now()
 		res, err := e.runWithTimeout(j, rn)
 		out[idx] = JobResult{Index: idx, Job: j, Result: res, Err: err,
 			Elapsed: time.Since(start)}
 		emit(idx)
+		sp.End()
 		return
 	}
 	memoResult := func(res Result, err error) JobResult {
@@ -308,14 +344,20 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 		if ent.complete {
 			res, err := ent.res, ent.err
 			e.mu.Unlock()
+			sp.SetAttr("memo", "hit")
 			out[idx] = memoResult(res, err)
 			emit(idx)
+			sp.End()
 			return
 		}
 		deliver.Add(1)
+		// The waiter's span stays open until the in-flight execution
+		// delivers, so its duration is the time the job spent parked.
+		sp.SetAttr("memo", "waiter")
 		ent.waiters = append(ent.waiters, func(res Result, err error) {
 			out[idx] = memoResult(res, err)
 			emit(idx)
+			sp.End()
 			deliver.Done()
 		})
 		e.mu.Unlock()
@@ -327,6 +369,14 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 	e.evictLocked()
 	e.mu.Unlock()
 
+	if tr != nil {
+		sp.SetAttr("memo", "miss")
+		if rn.core != nil {
+			sp.SetAttr("core", "reset")
+		} else {
+			sp.SetAttr("core", "fresh")
+		}
+	}
 	start := time.Now()
 	res, err := e.runWithTimeout(j, rn)
 	e.mu.Lock()
@@ -340,9 +390,13 @@ func (e *Engine) execute(idx int, j Job, out []JobResult, emit func(int),
 		e.memo.Delete(key)
 	}
 	e.mu.Unlock()
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
 	out[idx] = JobResult{Index: idx, Job: j, Result: res, Err: err,
 		Elapsed: time.Since(start)}
 	emit(idx)
+	sp.End()
 	for _, w := range waiters {
 		w(res, err)
 	}

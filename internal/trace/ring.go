@@ -1,0 +1,70 @@
+package trace
+
+import "sync"
+
+// DefaultRingSize is the completed-trace buffer size when the daemon does
+// not configure one.
+const DefaultRingSize = 256
+
+// Ring is a fixed-size buffer of the most recently completed traces — the
+// backing store of GET /debug/traces. Adding never allocates beyond the
+// fixed slot array; the oldest trace is overwritten once full.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	n    int
+}
+
+// NewRing returns a ring holding up to size traces (<= 0 =
+// DefaultRingSize).
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Ring{buf: make([]*Trace, size)}
+}
+
+// Add records a completed trace, evicting the oldest when full.
+func (r *Ring) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns how many traces the ring currently holds.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Snapshot returns the buffered traces, most recent first.
+func (r *Ring) Snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Get returns the most recent trace with the given ID, or nil.
+func (r *Ring) Get(id string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 1; i <= r.n; i++ {
+		if t := r.buf[(r.next-i+len(r.buf))%len(r.buf)]; t != nil && t.id == id {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewIDAndValidID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if !ValidID(id) {
+			t.Fatalf("NewID produced invalid ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewID repeated %q within 100 draws", id)
+		}
+		seen[id] = true
+	}
+	for _, id := range []string{"abc123", "a-b_C", strings.Repeat("x", maxIDLen)} {
+		if !ValidID(id) {
+			t.Errorf("ValidID(%q) = false, want true", id)
+		}
+	}
+	for _, id := range []string{"", "has space", "semi;colon", `quo"te`,
+		strings.Repeat("x", maxIDLen+1), "new\nline"} {
+		if ValidID(id) {
+			t.Errorf("ValidID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestNewReplacesInvalidID(t *testing.T) {
+	tr := New("not a valid id!", "/v1/run")
+	if !ValidID(tr.ID()) {
+		t.Fatalf("New kept invalid ID: %q", tr.ID())
+	}
+	tr = New("client-chosen-1", "/v1/run")
+	if tr.ID() != "client-chosen-1" {
+		t.Fatalf("New replaced valid ID: got %q", tr.ID())
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Endpoint() != "" || tr.Finish() != 0 {
+		t.Fatal("nil Trace accessors not zero")
+	}
+	sp := tr.Start("anything")
+	if sp.Active() {
+		t.Fatal("span from nil trace reports Active")
+	}
+	// Must not panic.
+	sp.SetAttr("k", "v")
+	sp.End()
+	child := sp.Child("child")
+	child.SetAttr("k", "v")
+	child.End()
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on bare context not nil")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) not nil")
+	}
+}
+
+func TestSpanTreeJSON(t *testing.T) {
+	tr := New("", "/v1/sweep")
+	root := tr.Start("dispatch")
+	root.SetAttr("path", "/v1/run")
+	child := root.Child("attempt")
+	child.SetAttr("backend", "http://b1")
+	child.End()
+	root.End()
+	tr.Start("merge").End()
+	tr.Finish()
+
+	j := tr.JSON()
+	if !j.Done {
+		t.Fatal("finished trace not Done")
+	}
+	if len(j.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(j.Spans))
+	}
+	if j.Spans[0].Name != "dispatch" || j.Spans[0].Parent != -1 {
+		t.Fatalf("root span wrong: %+v", j.Spans[0])
+	}
+	if j.Spans[1].Name != "attempt" || j.Spans[1].Parent != 0 {
+		t.Fatalf("child span wrong: %+v", j.Spans[1])
+	}
+	if j.Spans[1].Attrs["backend"] != "http://b1" {
+		t.Fatalf("child attrs wrong: %v", j.Spans[1].Attrs)
+	}
+	if j.Spans[2].Parent != -1 {
+		t.Fatalf("merge span should be top-level: %+v", j.Spans[2])
+	}
+}
+
+func TestFinishIdempotentAndLateSpans(t *testing.T) {
+	tr := New("", "/v1/run")
+	d1 := tr.Finish()
+	time.Sleep(2 * time.Millisecond)
+	if d2 := tr.Finish(); d2 != d1 {
+		t.Fatalf("second Finish changed duration: %v != %v", d2, d1)
+	}
+	// A straggling span (an abandoned hedge) may land after Finish and
+	// must be kept.
+	sp := tr.Start("attempt")
+	sp.SetAttr("outcome", "abandoned")
+	sp.End()
+	if n := len(tr.JSON().Spans); n != 1 {
+		t.Fatalf("post-Finish span lost: %d spans", n)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New("", "/v1/run")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+}
+
+func TestRingWrapAndGet(t *testing.T) {
+	r := NewRing(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := New(fmt.Sprintf("id-%d", i), "/v1/run")
+		ids = append(ids, tr.ID())
+		r.Add(tr)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(snap))
+	}
+	// Most recent first: id-4, id-3, id-2.
+	for i, want := range []string{"id-4", "id-3", "id-2"} {
+		if snap[i].ID() != want {
+			t.Fatalf("snap[%d] = %s, want %s", i, snap[i].ID(), want)
+		}
+	}
+	if r.Get("id-0") != nil || r.Get("id-1") != nil {
+		t.Fatal("evicted traces still retrievable")
+	}
+	if got := r.Get("id-3"); got == nil || got.ID() != "id-3" {
+		t.Fatalf("Get(id-3) = %v", got)
+	}
+	if r.Get("never-existed") != nil {
+		t.Fatal("Get of unknown ID not nil")
+	}
+	_ = ids
+}
+
+func TestRingDefaultSize(t *testing.T) {
+	if got := len(NewRing(0).buf); got != DefaultRingSize {
+		t.Fatalf("default ring size = %d, want %d", got, DefaultRingSize)
+	}
+}
+
+func TestSlowLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	var slowed []string
+	sl := &SlowLog{
+		Threshold: 5 * time.Millisecond,
+		W:         &buf,
+		OnSlow:    func(ep string) { slowed = append(slowed, ep) },
+	}
+	tr := New("slow-1", "/v1/sweep")
+	tr.Start("engine_run").End()
+	tr.Finish()
+	sl.Log(tr)
+
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("slow log not exactly one line: %q", line)
+	}
+	var got struct {
+		Msg         string    `json:"msg"`
+		TraceID     string    `json:"trace_id"`
+		Endpoint    string    `json:"endpoint"`
+		DurMS       float64   `json:"dur_ms"`
+		ThresholdMS float64   `json:"threshold_ms"`
+		Trace       TraceJSON `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(line), &got); err != nil {
+		t.Fatalf("slow log line not JSON: %v\n%s", err, line)
+	}
+	if got.Msg != "slow_request" || got.TraceID != "slow-1" || got.Endpoint != "/v1/sweep" {
+		t.Fatalf("headline fields wrong: %+v", got)
+	}
+	if got.ThresholdMS != 5 {
+		t.Fatalf("threshold_ms = %v, want 5", got.ThresholdMS)
+	}
+	if len(got.Trace.Spans) != 1 || got.Trace.Spans[0].Name != "engine_run" {
+		t.Fatalf("span tree missing from line: %+v", got.Trace)
+	}
+	if len(slowed) != 1 || slowed[0] != "/v1/sweep" {
+		t.Fatalf("OnSlow hook: %v", slowed)
+	}
+}
+
+func TestNilSlowLogIsInert(t *testing.T) {
+	var sl *SlowLog
+	sl.Log(New("", "/v1/run")) // must not panic
+}
+
+func TestTracerWrap(t *testing.T) {
+	tracer := NewTracer(8)
+	var sawID string
+	h := tracer.Wrap("/v1/run", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := FromContext(r.Context())
+		if tr == nil {
+			t.Error("handler context carries no trace")
+			return
+		}
+		sawID = tr.ID()
+		tr.Start("store_probe").End()
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	// Client-supplied ID is honored and echoed.
+	req := httptest.NewRequest(http.MethodPost, "/v1/run", nil)
+	req.Header.Set(Header, "client-id-9")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if sawID != "client-id-9" {
+		t.Fatalf("handler saw ID %q, want client-id-9", sawID)
+	}
+	if got := rec.Header().Get(Header); got != "client-id-9" {
+		t.Fatalf("response header %s = %q", Header, got)
+	}
+	if tr := tracer.Ring.Get("client-id-9"); tr == nil {
+		t.Fatal("completed trace not in ring")
+	} else if j := tr.JSON(); !j.Done || len(j.Spans) != 1 {
+		t.Fatalf("ring trace wrong: %+v", j)
+	}
+
+	// Absent ID: one is generated, echoed, and buffered.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/run", nil))
+	gen := rec.Header().Get(Header)
+	if !ValidID(gen) {
+		t.Fatalf("generated ID invalid: %q", gen)
+	}
+	if tracer.Ring.Get(gen) == nil {
+		t.Fatal("generated-ID trace not in ring")
+	}
+}
+
+func TestTracerWrapSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := NewTracer(8)
+	tracer.Slow = &SlowLog{Threshold: 0, W: &buf} // 0 = log everything
+	h := tracer.Wrap("/v1/sweep", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/v1/sweep", nil))
+	if !strings.Contains(buf.String(), `"msg":"slow_request"`) {
+		t.Fatalf("threshold-0 request not slow-logged: %q", buf.String())
+	}
+}
+
+func TestTracesHandler(t *testing.T) {
+	tracer := NewTracer(8)
+	h := tracer.Wrap("/v1/run", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		FromContext(r.Context()).Start("engine_run").End()
+	}))
+	for i := 0; i < 3; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", nil)
+		req.Header.Set(Header, fmt.Sprintf("t-%d", i))
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+
+	th := tracer.TracesHandler()
+	rec := httptest.NewRecorder()
+	th.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/traces: %d", rec.Code)
+	}
+	var resp TracesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding traces: %v", err)
+	}
+	if len(resp.Traces) != 3 {
+		t.Fatalf("got %d traces, want 3", len(resp.Traces))
+	}
+	if resp.Traces[0].TraceID != "t-2" {
+		t.Fatalf("most recent first: got %s", resp.Traces[0].TraceID)
+	}
+
+	// ?id= lookup.
+	rec = httptest.NewRecorder()
+	th.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/traces?id=t-1", nil))
+	var one TraceJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+		t.Fatalf("decoding ?id= body: %v", err)
+	}
+	if one.TraceID != "t-1" || len(one.Spans) != 1 {
+		t.Fatalf("?id=t-1 returned %+v", one)
+	}
+
+	// Unknown ID: a JSON 404, untrusted input safely encoded.
+	rec = httptest.NewRecorder()
+	th.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, `/debug/traces?id=no"such`, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown ID: %d, want 404", rec.Code)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("404 body not valid JSON despite hostile ID: %v\n%s", err, rec.Body.String())
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := New("", "/v1/sweep")
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				sp := tr.Start("engine_job")
+				sp.SetAttr("worker", "w")
+				sp.End()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	tr.Finish()
+	if n := len(tr.JSON().Spans); n != 400 {
+		t.Fatalf("got %d spans, want 400", n)
+	}
+}
