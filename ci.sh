@@ -46,7 +46,7 @@ go run ./cmd/benchgate -compare
 # byte-identical to the equivalent svwsim -json invocations.
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-go build -o "$tmp" ./cmd/svwd ./cmd/svwload ./cmd/svwsim
+go build -o "$tmp" ./cmd/svwd ./cmd/svwload ./cmd/svwsim ./cmd/svwstore
 
 # wait_listening <stdout-file> <label> <stderr-file>: block until the
 # daemon prints its listening line (all smoke stages share this).
@@ -134,6 +134,15 @@ kill -TERM "$svwd2_pid"
 wait "$svwd2_pid"
 trap 'rm -rf "$tmp"' EXIT
 
+# Store admin smoke: the directory the warm restart just served from must
+# pass a full offline checksum walk, and a gc under the default cap must
+# find nothing to collect and leave the directory still verifying clean.
+"$tmp/svwstore" ls "$storedir" | grep -q ' entries, '
+"$tmp/svwstore" verify "$storedir"
+"$tmp/svwstore" gc "$storedir" >"$tmp/svwstore_gc.out"
+grep -q '^removed 0 entries' "$tmp/svwstore_gc.out"
+"$tmp/svwstore" verify "$storedir"
+
 # Cluster smoke: svwctl over two svwd children must serve the same run
 # and sweep byte-identically to svwsim -json — the fabric must be
 # invisible to clients.
@@ -184,6 +193,42 @@ test -n "$tid"
 grep -q "trace id=$tid" "$tmp/backend_traces.out"
 grep -q '"msg":"slow_request"' "$tmp/ctl.err"
 grep -q 'svw_slow_requests_total{endpoint="/v1/sweep"} [1-9]' "$tmp/ctl_metrics.txt"
+
+# Membership smoke: a coordinator started on a one-backend -backends-file
+# grows to two under SIGHUP while a sweep is in flight; the straddling
+# sweep and a post-growth sweep must both stay byte-identical to
+# svwsim -json, and the new backend must appear in the pool.
+echo "http://$b1" >"$tmp/backends.txt"
+"$tmp/svwctl" -addr 127.0.0.1:0 -grace 0 \
+    -backends-file "$tmp/backends.txt" >"$tmp/ctl2.out" 2>"$tmp/ctl2.err" &
+ctl2_pid=$!
+trap 'kill "$ctl2_pid" "$ctl_pid" "$b1_pid" "$b2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+wait_listening "$tmp/ctl2.out" "svwctl (membership)" "$tmp/ctl2.err"
+ctl2=$(sed -n 's/^svwctl: listening on //p' "$tmp/ctl2.out")
+
+"$tmp/svwload" -smoke -url "http://$ctl2" \
+    -configs ssq,nlq,rle -benches gcc,twolf -insts "$smoke_insts" >"$tmp/m_got.json" &
+sweep_pid=$!
+echo "http://$b2" >>"$tmp/backends.txt"
+kill -HUP "$ctl2_pid"
+wait "$sweep_pid"
+
+"$tmp/svwsim" -json -config ssq -bench gcc -insts "$smoke_insts" >"$tmp/m_want.json"
+"$tmp/svwsim" -json -config ssq,nlq,rle -bench gcc,twolf -insts "$smoke_insts" >>"$tmp/m_want.json"
+cmp "$tmp/m_got.json" "$tmp/m_want.json"
+
+# The reload must have landed (logged, and the added backend now serves):
+# a second identical sweep over the grown pool must match byte for byte.
+grep -q '^svwctl: reload: +\[' "$tmp/ctl2.err"
+"$tmp/svwload" -stats -url "http://$ctl2" >"$tmp/m_stats.json"
+grep -q "http://$b2" "$tmp/m_stats.json"
+"$tmp/svwload" -smoke -url "http://$ctl2" \
+    -configs ssq,nlq,rle -benches gcc,twolf -insts "$smoke_insts" >"$tmp/m_got2.json"
+cmp "$tmp/m_got2.json" "$tmp/m_want.json"
+
+kill -TERM "$ctl2_pid"
+wait "$ctl2_pid"
+trap 'kill "$ctl_pid" "$b1_pid" "$b2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
 
 # Graceful drain for the whole fabric.
 kill -TERM "$ctl_pid"

@@ -17,6 +17,13 @@
 // once the socket is open and drains gracefully on SIGTERM/SIGINT: the
 // health endpoint flips to 503, in-flight requests get up to -drain to
 // finish, then connections are closed.
+//
+// The backend pool is dynamic: SIGHUP re-reads -backends-file (one URL
+// per line, # comments) and reconciles the pool to the union of -backends
+// and the file — new members are added and probed, absent ones drain out.
+// With -debug-addr set, the same reconciliation is reachable over HTTP as
+// GET/POST /admin/backends on the debug listener (never the serving
+// port).
 package main
 
 import (
@@ -36,9 +43,45 @@ import (
 	"svwsim/internal/debugserver"
 )
 
+// backendSet is the desired pool: the union of the -backends flag and the
+// -backends-file contents (one URL per line; blank lines and # comments
+// skipped), deduplicated, order preserved. Both startup and each SIGHUP
+// reload compute the set the same way.
+func backendSet(flagURLs, file string) ([]string, error) {
+	var raw []string
+	raw = append(raw, strings.Split(flagURLs, ",")...)
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("-backends-file: %v", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			raw = append(raw, line)
+		}
+	}
+	var urls []string
+	seen := make(map[string]bool)
+	for _, u := range raw {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		urls = append(urls, u)
+	}
+	return urls, nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7410", "listen address (port 0 = pick a free port)")
-	backends := flag.String("backends", "", "comma-separated svwd base URLs (required)")
+	backends := flag.String("backends", "", "comma-separated svwd base URLs")
+	backendsFile := flag.String("backends-file", "",
+		"file of svwd base URLs (one per line, # comments); re-read on SIGHUP "+
+			"and reconciled with -backends, so the pool grows and shrinks "+
+			"without a restart")
 	conc := flag.Int("backend-conc", cluster.DefaultBackendConcurrency,
 		"max in-flight requests per backend")
 	attempts := flag.Int("max-attempts", 0,
@@ -69,11 +112,10 @@ func main() {
 			"empty = off; never exposed on the serving port")
 	flag.Parse()
 
-	var urls []string
-	for _, u := range strings.Split(*backends, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, strings.TrimRight(u, "/"))
-		}
+	urls, err := backendSet(*backends, *backendsFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svwctl: %v\n", err)
+		os.Exit(1)
 	}
 	c, err := cluster.New(cluster.Options{
 		Backends:           urls,
@@ -91,14 +133,17 @@ func main() {
 	if err != nil {
 		hint := ""
 		if len(urls) == 0 {
-			hint = " (use -backends url1,url2)"
+			hint = " (use -backends url1,url2 or -backends-file)"
 		}
 		fmt.Fprintf(os.Stderr, "svwctl: %v%s\n", err, hint)
 		os.Exit(1)
 	}
 
 	if *debugAddr != "" {
-		dln, err := debugserver.Serve(*debugAddr)
+		// The membership admin endpoint shares the operator-only debug
+		// listener with pprof; it must never mount on the serving port.
+		dln, err := debugserver.Serve(*debugAddr,
+			debugserver.Mount{Pattern: "/admin/backends", Handler: c.AdminHandler()})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svwctl: -debug-addr: %v\n", err)
 			os.Exit(1)
@@ -116,6 +161,28 @@ func main() {
 	if *healthEvery > 0 {
 		go c.HealthLoop(ctx, *healthEvery)
 	}
+
+	// SIGHUP reload: reconcile the pool to the current -backends ∪
+	// -backends-file set. Removed members drain (in-flight jobs finish on
+	// the snapshot they ranked under); added ones are probed immediately.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			want, err := backendSet(*backends, *backendsFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "svwctl: reload: %v\n", err)
+				continue
+			}
+			added, removed, err := c.SetBackends(want)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "svwctl: reload: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "svwctl: reload: +%v -%v (%d/%d healthy)\n",
+				added, removed, c.ProbeAll(ctx), len(c.Backends()))
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

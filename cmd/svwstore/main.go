@@ -1,0 +1,182 @@
+// Command svwstore administers a result store disk tier (internal/store)
+// offline: the checksummed *.svw entry files svwd, svwctl and svwsim keep
+// under their -store-dir. Every command starts from a full directory
+// re-scan, so it sees everything present — including entries written by
+// other daemons sharing the directory, which a live tier's own GC never
+// indexes and therefore never collects.
+//
+// Usage:
+//
+//	svwstore ls DIR                       list entries, oldest access first
+//	svwstore verify DIR                   full-checksum walk; non-zero exit
+//	                                      when corrupt or stale-version
+//	                                      entries are found
+//	svwstore verify -delete DIR           ...and delete what fails
+//	svwstore gc [-max-bytes N] DIR        drop temp leftovers, then enforce
+//	                                      the size cap over the whole
+//	                                      directory (default cap 1 GiB)
+//	svwstore prune -older-than DUR DIR    delete entries not accessed for
+//	                                      DUR (e.g. 720h)
+//
+// Run it against a live directory freely: writers land entries by atomic
+// rename, and a daemon whose indexed entry disappears degrades to a miss
+// and a recompute, never an error.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"svwsim/internal/store"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  svwstore ls DIR
+  svwstore verify [-delete] DIR
+  svwstore gc [-max-bytes N] DIR
+  svwstore prune -older-than DUR DIR
+`)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd, args := os.Args[1], os.Args[2:]; cmd {
+	case "ls":
+		err = cmdLS(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "gc":
+		err = cmdGC(args)
+	case "prune":
+		err = cmdPrune(args)
+	case "help", "-h", "-help", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "svwstore: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svwstore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// dirArg extracts the one positional DIR argument after flag parsing.
+func dirArg(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		usage()
+		return "", fmt.Errorf("%s: want exactly one directory argument", fs.Name())
+	}
+	return fs.Arg(0), nil
+}
+
+func cmdLS(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	fs.Parse(args)
+	dir, err := dirArg(fs)
+	if err != nil {
+		return err
+	}
+	entries, err := store.ScanDir(dir)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, e := range entries {
+		total += e.Size
+		key := e.Key
+		if e.Err != nil {
+			key = fmt.Sprintf("<%v>", e.Err)
+		}
+		fmt.Printf("%s  %10d  %s\n", e.ModTime.Format(time.RFC3339), e.Size, key)
+	}
+	fmt.Printf("%d entries, %d bytes\n", len(entries), total)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	del := fs.Bool("delete", false, "delete entries that fail verification")
+	fs.Parse(args)
+	dir, err := dirArg(fs)
+	if err != nil {
+		return err
+	}
+	entries, err := store.ScanDir(dir)
+	if err != nil {
+		return err
+	}
+	var corrupt, stale int
+	for _, e := range entries {
+		if e.Err == nil {
+			continue
+		}
+		kind := "corrupt"
+		if errors.Is(e.Err, store.ErrStaleVersion) {
+			kind = "stale"
+			stale++
+		} else {
+			corrupt++
+		}
+		fmt.Printf("%s: %s: %v\n", kind, e.Name, e.Err)
+		if *del {
+			if err := os.Remove(filepath.Join(dir, e.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("%d entries: %d ok, %d corrupt, %d stale-version\n",
+		len(entries), len(entries)-corrupt-stale, corrupt, stale)
+	if (corrupt > 0 || stale > 0) && !*del {
+		return errors.New("verification failed (rerun with -delete to drop bad entries)")
+	}
+	return nil
+}
+
+func cmdGC(args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	maxBytes := fs.Int64("max-bytes", 0, "size cap to enforce (0 = the 1 GiB default)")
+	fs.Parse(args)
+	dir, err := dirArg(fs)
+	if err != nil {
+		return err
+	}
+	removed, remaining, err := store.GCDir(dir, *maxBytes)
+	for _, e := range removed {
+		fmt.Printf("removed %s (%d bytes, last access %s)\n",
+			e.Name, e.Size, e.ModTime.Format(time.RFC3339))
+	}
+	fmt.Printf("removed %d entries, %d bytes remain\n", len(removed), remaining)
+	return err
+}
+
+func cmdPrune(args []string) error {
+	fs := flag.NewFlagSet("prune", flag.ExitOnError)
+	olderThan := fs.Duration("older-than", 0, "delete entries not accessed for this long (required)")
+	fs.Parse(args)
+	dir, err := dirArg(fs)
+	if err != nil {
+		return err
+	}
+	if *olderThan <= 0 {
+		return errors.New("prune: -older-than must be a positive duration")
+	}
+	removed, err := store.PruneDir(dir, time.Now().Add(-*olderThan))
+	for _, e := range removed {
+		fmt.Printf("removed %s (%d bytes, last access %s)\n",
+			e.Name, e.Size, e.ModTime.Format(time.RFC3339))
+	}
+	fmt.Printf("removed %d entries\n", len(removed))
+	return err
+}

@@ -143,10 +143,18 @@ type StatsResponse struct {
 // DiskHits counts results served from the persistent tier. The Disk*
 // occupancy fields are zero on a store with no disk tier.
 type CacheStats struct {
-	Hits            uint64 `json:"hits"`
-	DiskHits        uint64 `json:"disk_hits"`
-	Misses          uint64 `json:"misses"`
-	Evictions       uint64 `json:"evictions"`
+	Hits      uint64 `json:"hits"`
+	DiskHits  uint64 `json:"disk_hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// PromotionEvictions is the subset of Evictions forced by disk-hit
+	// promotions — reads cannibalizing the memory tier, as opposed to
+	// Put-driven growth.
+	PromotionEvictions uint64 `json:"promotion_evictions"`
+	// Coalesced counts singleflight waits: concurrent requests for a key
+	// already being computed that shared the one in-flight computation
+	// instead of running their own.
+	Coalesced       uint64 `json:"coalesced"`
 	Entries         int    `json:"entries"`
 	Capacity        int    `json:"capacity"`
 	DiskEntries     int    `json:"disk_entries"`
@@ -160,18 +168,20 @@ type CacheStats struct {
 // StoreCacheStats converts a store snapshot to its wire shape.
 func StoreCacheStats(st store.Stats) CacheStats {
 	return CacheStats{
-		Hits:            st.Hits,
-		DiskHits:        st.DiskHits,
-		Misses:          st.Misses,
-		Evictions:       st.Evictions,
-		Entries:         st.Entries,
-		Capacity:        st.Capacity,
-		DiskEntries:     st.Disk.Entries,
-		DiskBytes:       st.Disk.Bytes,
-		DiskMaxBytes:    st.Disk.MaxBytes,
-		DiskEvictions:   st.Disk.Evictions,
-		DiskCorrupt:     st.Disk.Corrupt,
-		DiskWriteErrors: st.Disk.WriteErrors,
+		Hits:               st.Hits,
+		DiskHits:           st.DiskHits,
+		Misses:             st.Misses,
+		Evictions:          st.Evictions,
+		PromotionEvictions: st.PromotionEvictions,
+		Coalesced:          st.Coalesced,
+		Entries:            st.Entries,
+		Capacity:           st.Capacity,
+		DiskEntries:        st.Disk.Entries,
+		DiskBytes:          st.Disk.Bytes,
+		DiskMaxBytes:       st.Disk.MaxBytes,
+		DiskEvictions:      st.Disk.Evictions,
+		DiskCorrupt:        st.Disk.Corrupt,
+		DiskWriteErrors:    st.Disk.WriteErrors,
 	}
 }
 
@@ -183,6 +193,8 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.DiskHits += o.DiskHits
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
+	s.PromotionEvictions += o.PromotionEvictions
+	s.Coalesced += o.Coalesced
 	s.Entries += o.Entries
 	s.Capacity += o.Capacity
 	s.DiskEntries += o.DiskEntries
@@ -270,6 +282,9 @@ type ClusterBackendStats struct {
 	// the coordinator has observed for this backend — a flapping backend
 	// has a high count with few lasting errors.
 	HealthFlaps uint64 `json:"health_flaps"`
+	// LastError is the most recent probe or forwarding error (empty while
+	// the backend is error-free).
+	LastError string `json:"last_error,omitempty"`
 }
 
 // SweepEvent is the data payload of one SSE "result" event during

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"net/http"
+
+	"svwsim/internal/api"
+)
+
+// The membership admin surface. It mounts on the -debug-addr listener
+// next to pprof — an operator-only address — and NEVER on the serving
+// mux: resizing the fabric is an unauthenticated state change, and the
+// serving port is reachable by anything that can submit jobs.
+
+// AdminBackendsRequest is the body of POST /admin/backends: a delta
+// against the current pool. Adds apply before removes, already-present
+// adds and absent removes are no-ops, and a change that would empty the
+// pool is refused with 400.
+type AdminBackendsRequest struct {
+	Add    []string `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+}
+
+// AdminBackendsResponse is the body of GET and POST /admin/backends: what
+// the POST changed (empty for GET) and the resulting pool with each
+// member's live stats.
+type AdminBackendsResponse struct {
+	Added    []string                  `json:"added"`
+	Removed  []string                  `json:"removed"`
+	Backends []api.ClusterBackendStats `json:"backends"`
+}
+
+// AdminHandler returns the membership admin surface:
+//
+//	GET  /admin/backends  current pool with per-backend stats
+//	POST /admin/backends  {"add":[url...],"remove":[url...]}
+//
+// Mount it on the debug listener only (cmd/svwctl wires it behind
+// -debug-addr via debugserver).
+func (c *Coordinator) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /admin/backends", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, c.adminBackendsResponse(nil, nil))
+	})
+	mux.HandleFunc("POST /admin/backends", func(w http.ResponseWriter, r *http.Request) {
+		var req AdminBackendsRequest
+		if !api.DecodeBody(w, r, c.maxBody, &req) {
+			return
+		}
+		if len(req.Add) == 0 && len(req.Remove) == 0 {
+			api.WriteError(w, http.StatusBadRequest, "empty membership change: need add or remove")
+			return
+		}
+		added, removed, err := c.members.reconcile(req.Add, req.Remove)
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		for _, u := range added {
+			c.metrics.ensureBackend(u)
+		}
+		// Probe the changed pool right away so a just-added backend takes
+		// traffic (or is marked down) before the next health tick.
+		c.ProbeAll(r.Context())
+		api.WriteJSON(w, http.StatusOK, c.adminBackendsResponse(added, removed))
+	})
+	return mux
+}
+
+func (c *Coordinator) adminBackendsResponse(added, removed []string) AdminBackendsResponse {
+	resp := AdminBackendsResponse{Added: added, Removed: removed}
+	if resp.Added == nil {
+		resp.Added = []string{}
+	}
+	if resp.Removed == nil {
+		resp.Removed = []string{}
+	}
+	for _, b := range c.members.snapshot() {
+		resp.Backends = append(resp.Backends, b.stats())
+	}
+	return resp
+}

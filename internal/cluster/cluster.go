@@ -183,7 +183,7 @@ func (b *backend) noteWin(origin string) {
 func (b *backend) stats() api.ClusterBackendStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return api.ClusterBackendStats{
+	st := api.ClusterBackendStats{
 		URL:         b.url,
 		Healthy:     b.healthy,
 		InFlight:    b.inFlight,
@@ -194,16 +194,26 @@ func (b *backend) stats() api.ClusterBackendStats {
 		DiskHits:    b.diskHits,
 		HealthFlaps: b.flaps,
 	}
+	if b.lastErr != nil {
+		st.LastError = b.lastErr.Error()
+	}
+	return st
 }
 
 // Coordinator is the svwctl fabric: a stateless router/merger over a pool
-// of svwd backends. Create with New; it is safe for concurrent use.
+// of svwd backends. Create with New; it is safe for concurrent use, and
+// the pool itself is mutable at runtime (membership.go): AddBackend /
+// RemoveBackend / SetBackends, surfaced over AdminHandler and svwctl's
+// SIGHUP reload.
 type Coordinator struct {
-	backends     []*backend
-	client       *http.Client
-	store        *store.Store // nil without Options.StoreDir
-	metrics      *clusterMetrics
-	tracer       *trace.Tracer
+	members membership
+	client  *http.Client
+	store   *store.Store // nil without Options.StoreDir
+	metrics *clusterMetrics
+	tracer  *trace.Tracer
+	// maxAttempts > 0 is the explicit Options value; 0 sizes the budget to
+	// the pool at each dispatch (2 × members, min 2), so the budget tracks
+	// membership changes instead of freezing at the boot-time pool size.
 	maxAttempts  int
 	hedgeAfter   time.Duration
 	maxBody      int64
@@ -233,11 +243,8 @@ func New(opts Options) (*Coordinator, error) {
 		conc = DefaultBackendConcurrency
 	}
 	maxAttempts := opts.MaxAttempts
-	if maxAttempts <= 0 {
-		maxAttempts = 2 * len(opts.Backends)
-	}
-	if maxAttempts < 2 {
-		maxAttempts = 2
+	if maxAttempts < 0 {
+		maxAttempts = 0 // auto: sized to the pool per dispatch
 	}
 	maxBody := opts.MaxBodyBytes
 	if maxBody <= 0 {
@@ -263,6 +270,7 @@ func New(opts Options) (*Coordinator, error) {
 	}
 	seen := make(map[string]bool, len(opts.Backends))
 	c := &Coordinator{
+		members:      membership{conc: conc},
 		client:       client,
 		store:        st,
 		tracer:       trace.NewTracer(opts.TraceBufferSize),
@@ -277,11 +285,9 @@ func New(opts Options) (*Coordinator, error) {
 			return nil, fmt.Errorf("cluster: empty or duplicate backend URL %q", u)
 		}
 		seen[u] = true
-		c.backends = append(c.backends, &backend{
-			url:     u,
-			sem:     make(chan struct{}, conc),
-			healthy: true,
-		})
+	}
+	if _, _, err := c.members.reconcile(opts.Backends, nil); err != nil {
+		return nil, err
 	}
 	c.metrics = newClusterMetrics(c)
 	if opts.SlowLogEnabled {
@@ -301,13 +307,32 @@ func (c *Coordinator) SetDraining(v bool) { c.draining.Store(v) }
 
 // healthyCount returns how many backends are currently presumed healthy.
 func (c *Coordinator) healthyCount() int {
+	return healthyIn(c.members.snapshot())
+}
+
+// healthyIn counts the healthy members of one pool snapshot, so dispatch
+// paths judge health over the same set they rank over.
+func healthyIn(pool []*backend) int {
 	n := 0
-	for _, b := range c.backends {
+	for _, b := range pool {
 		if b.isHealthy() {
 			n++
 		}
 	}
 	return n
+}
+
+// attemptsBudget is the per-job forwarding-attempt bound for a pool of n
+// backends: the explicit Options.MaxAttempts when set, else 2 × n (min 2)
+// computed against the dispatch's own snapshot.
+func (c *Coordinator) attemptsBudget(n int) int {
+	if c.maxAttempts > 0 {
+		return c.maxAttempts
+	}
+	if n < 1 {
+		n = 1
+	}
+	return 2 * n
 }
 
 // Handler returns the fabric's routing handler, suitable for http.Server.
@@ -372,12 +397,13 @@ func (c *Coordinator) clusterStats() api.ClusterStats {
 		HedgeWins: c.hedgeWins,
 	}
 	c.mu.Unlock()
-	st.BackendsTotal = len(c.backends)
+	pool := c.members.snapshot()
+	st.BackendsTotal = len(pool)
 	if c.store != nil {
 		ss := api.StoreCacheStats(c.store.Stats())
 		st.Store = &ss
 	}
-	for _, b := range c.backends {
+	for _, b := range pool {
 		bs := b.stats()
 		if bs.Healthy {
 			st.BackendsHealthy++

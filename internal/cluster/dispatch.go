@@ -49,12 +49,19 @@ func (o *outcome) cached() bool {
 func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, reqBody []byte) outcome {
 	dsp := trace.FromContext(ctx).Start("dispatch")
 	dsp.SetAttr("path", path)
+	// ONE membership snapshot per dispatch: ranking, the retry walk, the
+	// hedge and the health check all see the same pool, so a concurrent
+	// add/remove cannot skip or double-visit a backend mid-job. In-flight
+	// work thus finishes against the set it ranked under; a removed
+	// backend drains instead of vanishing.
+	pool := c.members.snapshot()
 	// One attempts budget per job, shared between the primary walk and a
 	// hedge, so MaxAttempts bounds the job's total backend traffic even
 	// when both walks are live.
 	var budget atomic.Int64
-	if c.hedgeAfter <= 0 || len(c.backends) < 2 {
-		out := c.forward(ctx, dsp, "primary", key, 0, method, path, reqBody, &budget)
+	maxAttempts := c.attemptsBudget(len(pool))
+	if c.hedgeAfter <= 0 || len(pool) < 2 {
+		out := c.forward(ctx, dsp, pool, "primary", key, 0, method, path, reqBody, &budget, maxAttempts)
 		c.noteOutcome(out)
 		finishDispatch(dsp, out, false)
 		return out
@@ -63,7 +70,9 @@ func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, re
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reap the losing attempt
 	results := make(chan outcome, 2)
-	go func() { results <- c.forward(hctx, dsp, "primary", key, 0, method, path, reqBody, &budget) }()
+	go func() {
+		results <- c.forward(hctx, dsp, pool, "primary", key, 0, method, path, reqBody, &budget, maxAttempts)
+	}()
 
 	timer := time.NewTimer(c.hedgeAfter)
 	defer timer.Stop()
@@ -100,7 +109,7 @@ func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, re
 				// Offset 1 starts the candidate walk at the key's
 				// second-ranked backend, so the hedge never duplicates
 				// work onto the straggling primary first.
-				out := c.forward(hctx, dsp, "hedge", key, 1, method, path, reqBody, &budget)
+				out := c.forward(hctx, dsp, pool, "hedge", key, 1, method, path, reqBody, &budget, maxAttempts)
 				out.hedged = true
 				results <- out
 			}()
@@ -155,10 +164,52 @@ func (c *Coordinator) noteOutcome(out outcome) {
 //     store when the result is already on its disk — a previous
 //     write-through, or a CLI sweep that pre-warmed the directory — so a
 //     fabric with every backend down still serves what it has computed;
-//   - a freshly computed result is written through to the store.
+//   - a freshly computed result is written through to the store;
+//   - concurrent identical jobs coalesce on one dispatch (the store's
+//     singleflight): the first caller forwards, the rest wait and share
+//     its bytes instead of multiplying identical work onto the pool.
 //
 // Without Options.StoreDir this is exactly dispatch.
 func (c *Coordinator) dispatchJob(ctx context.Context, key string, reqBody []byte) outcome {
+	if c.store == nil {
+		return c.forwardJob(ctx, key, reqBody)
+	}
+	f, leader := c.store.BeginFlight(key)
+	if !leader {
+		val, err := f.Wait(ctx)
+		if err == nil {
+			// Shared bytes, computed by the coalesced-upon dispatch: no
+			// backend attribution and miss-origin semantics, like any
+			// freshly computed result the coordinator serves itself.
+			return outcome{status: http.StatusOK, body: val}
+		}
+		if ctx.Err() != nil {
+			return outcome{err: ctx.Err()}
+		}
+		// The flight's leader failed. Fall back to a dispatch of our own so
+		// this caller reports its exact outcome (a 429's Retry-After
+		// mapping, a 4xx body) instead of a secondhand error.
+		return c.forwardJob(ctx, key, reqBody)
+	}
+	defer f.Complete(nil, store.ErrFlightAbandoned, false)
+	out := c.forwardJob(ctx, key, reqBody)
+	if out.err == nil && out.status == http.StatusOK {
+		// forwardJob already wrote the result through; the flight only has
+		// to hand the bytes to its waiters.
+		f.Complete(out.body, nil, false)
+	} else {
+		err := out.err
+		if err == nil {
+			err = fmt.Errorf("HTTP %d", out.status)
+		}
+		f.Complete(nil, err, false)
+	}
+	return out
+}
+
+// forwardJob is dispatchJob without the singleflight: one pool dispatch
+// plus the coordinator store's read-fallback and write-through.
+func (c *Coordinator) forwardJob(ctx context.Context, key string, reqBody []byte) outcome {
 	out := c.dispatch(ctx, key, http.MethodPost, "/v1/run", reqBody)
 	if c.store == nil {
 		return out
@@ -183,31 +234,32 @@ func (c *Coordinator) dispatchJob(ctx context.Context, key string, reqBody []byt
 	return out
 }
 
-// forward walks the key's rendezvous candidate order starting at offset,
-// attempting each backend until one yields a terminal response or the
-// job's shared attempts budget runs out. Pass 0 skips backends currently
-// marked unhealthy (unless none are healthy); pass 1 fails open and
-// tries everyone, so a pool whose marks are all stale can still recover.
-// Attempts beyond each walk's first count as retries (a hedge's first
-// attempt is accounted as the hedge, not a retry). dsp is the dispatch
-// span the walk's "attempt" spans parent under (inert when untraced);
-// walk names the walk on those spans ("primary" or "hedge").
-func (c *Coordinator) forward(ctx context.Context, dsp trace.Span, walk, key string, offset int, method, path string, reqBody []byte, budget *atomic.Int64) outcome {
-	order := rank(c.backends, key)
+// forward walks the key's rendezvous candidate order over pool — the
+// dispatch's membership snapshot — starting at offset, attempting each
+// backend until one yields a terminal response or the job's shared
+// attempts budget runs out. Pass 0 skips backends currently marked
+// unhealthy (unless none are); pass 1 fails open and tries everyone, so a
+// pool whose marks are all stale can still recover. Attempts beyond each
+// walk's first count as retries (a hedge's first attempt is accounted as
+// the hedge, not a retry). dsp is the dispatch span the walk's "attempt"
+// spans parent under (inert when untraced); walk names the walk on those
+// spans ("primary" or "hedge").
+func (c *Coordinator) forward(ctx context.Context, dsp trace.Span, pool []*backend, walk, key string, offset int, method, path string, reqBody []byte, budget *atomic.Int64, maxAttempts int) outcome {
+	order := rank(pool, key)
 	n := len(order)
 	walkAttempts := 0
 	last := outcome{err: fmt.Errorf("no backend attempted")}
 	for pass := 0; pass < 2; pass++ {
-		anyHealthy := c.healthyCount() > 0
+		anyHealthy := healthyIn(pool) > 0
 		for i := 0; i < n; i++ {
-			b := c.backends[order[(i+offset)%n]]
+			b := pool[order[(i+offset)%n]]
 			if pass == 0 && anyHealthy && !b.isHealthy() {
 				continue
 			}
 			if err := ctx.Err(); err != nil {
 				return outcome{err: err}
 			}
-			if budget.Add(1) > int64(c.maxAttempts) {
+			if budget.Add(1) > int64(maxAttempts) {
 				budget.Add(-1)
 				return last
 			}
@@ -229,7 +281,7 @@ func (c *Coordinator) forward(ctx context.Context, dsp trace.Span, walk, key str
 			}
 			last = out
 		}
-		if pass == 0 && budget.Load() < int64(c.maxAttempts) {
+		if pass == 0 && budget.Load() < int64(maxAttempts) {
 			// Preferred candidates exhausted: breathe briefly so transient
 			// saturation can drain before the fail-open pass.
 			select {
@@ -303,6 +355,9 @@ func (c *Coordinator) attempt(ctx context.Context, sp trace.Span, b *backend, me
 		b.noteEnd(true)
 		return fail(outcome{b: b, err: fmt.Errorf("%s: %w", b.url, err)}, true, "error")
 	}
+	// ReadAll consumes the body to EOF, so the deferred Close hands the
+	// connection back to the keep-alive pool (unlike a bare Close on an
+	// unread body, which discards it — see drainClose in health.go).
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(resp.Body)
 	if err != nil {

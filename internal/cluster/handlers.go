@@ -56,8 +56,9 @@ func writeDispatchError(w http.ResponseWriter, out outcome) {
 // --- registry / health / stats ------------------------------------------
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	healthy := c.healthyCount()
-	total := len(c.backends)
+	pool := c.members.snapshot()
+	healthy := healthyIn(pool)
+	total := len(pool)
 	status, code := "ok", http.StatusOK
 	switch {
 	case c.draining.Load():
@@ -93,7 +94,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := api.StatsResponse{UptimeS: time.Since(c.start).Seconds()}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for _, b := range c.backends {
+	for _, b := range c.members.snapshot() {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
@@ -104,13 +105,17 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			res, err := c.client.Do(req)
-			if err != nil || res.StatusCode != http.StatusOK {
-				if res != nil {
-					res.Body.Close()
-				}
+			if err != nil {
 				return // unreachable backends contribute nothing to the sums
 			}
-			defer res.Body.Close()
+			// Drain before Close on every exit — a decode stops at the JSON
+			// object and leaves the trailing newline unread, and an
+			// undrained Close discards the keep-alive connection, redialing
+			// each backend on every stats scrape.
+			defer drainClose(res.Body)
+			if res.StatusCode != http.StatusOK {
+				return
+			}
 			var st api.StatsResponse
 			if json.NewDecoder(res.Body).Decode(&st) != nil {
 				return

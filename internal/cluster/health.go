@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -31,7 +33,7 @@ func (c *Coordinator) probe(ctx context.Context, b *backend) bool {
 		b.setHealth(false, err)
 		return false
 	}
-	resp.Body.Close()
+	drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		b.setHealth(false, errHTTPStatus(resp.StatusCode))
 		return false
@@ -40,16 +42,35 @@ func (c *Coordinator) probe(ctx context.Context, b *backend) bool {
 	return true
 }
 
+// drainClose consumes a response body (bounded — a misbehaving server
+// must not hold the probe hostage) before closing it. Closing an undrained
+// body discards the underlying keep-alive connection, so every probe and
+// every proxied stats fetch would redial instead of reusing the pool;
+// reading to EOF first hands the connection back idle.
+func drainClose(rc io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(rc, 64<<10))
+	rc.Close()
+}
+
 type errHTTPStatus int
 
-func (e errHTTPStatus) Error() string { return http.StatusText(int(e)) }
+// Error always carries the numeric code: http.StatusText alone is "" for
+// non-standard codes (a 599 from a middlebox), which used to leave an
+// unhealthy backend with a blank lastErr in /v1/stats.
+func (e errHTTPStatus) Error() string {
+	if text := http.StatusText(int(e)); text != "" {
+		return fmt.Sprintf("HTTP %d %s", int(e), text)
+	}
+	return fmt.Sprintf("HTTP %d", int(e))
+}
 
 // ProbeAll probes every backend once, concurrently, and returns how many
 // are healthy. svwctl calls it at startup so the first requests already
 // see real health marks; tests use it to force deterministic state.
 func (c *Coordinator) ProbeAll(ctx context.Context) int {
+	pool := c.members.snapshot()
 	var wg sync.WaitGroup
-	for _, b := range c.backends {
+	for _, b := range pool {
 		wg.Add(1)
 		go func(b *backend) {
 			defer wg.Done()
@@ -57,7 +78,7 @@ func (c *Coordinator) ProbeAll(ctx context.Context) int {
 		}(b)
 	}
 	wg.Wait()
-	return c.healthyCount()
+	return healthyIn(pool)
 }
 
 // HealthLoop probes the pool every interval until ctx is done. Run it in

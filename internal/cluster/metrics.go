@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"sync"
+
+	"svwsim/internal/api"
 	"svwsim/internal/metrics"
 )
 
@@ -12,10 +15,19 @@ import (
 type clusterMetrics struct {
 	reg  *metrics.Registry
 	http *metrics.HTTP
+	c    *Coordinator
 
 	// slow counts requests past the -slow-ms threshold per traced
 	// endpoint (the trace subsystem's OnSlow hook feeds it).
 	slow map[string]*metrics.Counter
+
+	// seen tracks which backend URLs already have per-backend series. The
+	// pool is mutable, so the series resolve the backend by URL at scrape
+	// time (a removed member scrapes as zeros; re-adding it resumes real
+	// values) — they must not capture *backend pointers, which would pin a
+	// departed member's counters forever.
+	mu   sync.Mutex
+	seen map[string]bool
 }
 
 // onSlow bumps svw_slow_requests_total for one slow-logged request.
@@ -28,7 +40,7 @@ func (m *clusterMetrics) onSlow(endpoint string) {
 // newClusterMetrics builds the registry over a fully constructed pool.
 func newClusterMetrics(c *Coordinator) *clusterMetrics {
 	reg := metrics.NewRegistry()
-	m := &clusterMetrics{reg: reg, http: metrics.NewHTTP(reg)}
+	m := &clusterMetrics{reg: reg, http: metrics.NewHTTP(reg), c: c, seen: make(map[string]bool)}
 
 	// Registered eagerly for the traced endpoints so the series scrape as
 	// 0 before the first slow request, like every other counter here.
@@ -63,39 +75,68 @@ func newClusterMetrics(c *Coordinator) *clusterMetrics {
 		locked(func() uint64 { return c.hedgeWins }))
 	reg.GaugeFunc("svwctl_backends_healthy", "Backends currently presumed healthy.",
 		func() float64 { return float64(c.healthyCount()) })
+	if c.store != nil {
+		reg.CounterFunc("svw_store_coalesced_total",
+			"Singleflight waits: requests that shared an in-flight identical dispatch.",
+			func() uint64 { return c.store.Stats().Coalesced })
+	}
 
-	for _, b := range c.backends {
-		b := b
-		l := metrics.Label{Key: "backend", Value: b.url}
-		reg.CounterFunc("svwctl_backend_requests_total",
-			"Requests forwarded to the backend, including retries and hedges.",
-			func() uint64 { return b.stats().Requests }, l)
-		reg.CounterFunc("svwctl_backend_errors_total",
-			"Forwarded requests that failed (transport errors and 5xx).",
-			func() uint64 { return b.stats().Errors }, l)
-		reg.GaugeFunc("svwctl_backend_in_flight",
-			"Coordinator requests currently in flight to the backend.",
-			func() float64 { return float64(b.stats().InFlight) }, l)
-		reg.GaugeFunc("svwctl_backend_healthy",
-			"Whether the backend is currently presumed healthy (0/1).",
-			func() float64 {
-				if b.isHealthy() {
-					return 1
-				}
-				return 0
-			}, l)
-		reg.CounterFunc("svwctl_backend_health_flaps_total",
-			"Health-state transitions observed for the backend.",
-			func() uint64 { return b.stats().HealthFlaps }, l)
-		reg.CounterFunc("svwctl_backend_jobs_ok_total",
-			"Jobs whose winning response came from the backend.",
-			func() uint64 { return b.stats().JobsOK }, l)
-		reg.CounterFunc("svwctl_backend_cache_hits_total",
-			"Winning responses the backend served from its memory tier.",
-			func() uint64 { return b.stats().CacheHits }, l)
-		reg.CounterFunc("svwctl_backend_disk_hits_total",
-			"Winning responses the backend served from its disk tier.",
-			func() uint64 { return b.stats().DiskHits }, l)
+	for _, b := range c.members.snapshot() {
+		m.ensureBackend(b.url)
 	}
 	return m
+}
+
+// ensureBackend registers the per-backend series for url once. Called for
+// the boot-time pool and from every successful AddBackend; the metrics
+// registry dedups re-registration, and the closures look the member up by
+// URL each scrape so membership churn never leaves them reading a stale
+// pool entry.
+func (m *clusterMetrics) ensureBackend(url string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.seen[url] {
+		return
+	}
+	m.seen[url] = true
+
+	// stats resolves the CURRENT member with this URL at scrape time; a
+	// removed backend reads as the zero value (counter reset — the usual
+	// Prometheus restart semantics) until it rejoins.
+	stats := func() api.ClusterBackendStats {
+		if b := m.c.members.get(url); b != nil {
+			return b.stats()
+		}
+		return api.ClusterBackendStats{}
+	}
+	l := metrics.Label{Key: "backend", Value: url}
+	m.reg.CounterFunc("svwctl_backend_requests_total",
+		"Requests forwarded to the backend, including retries and hedges.",
+		func() uint64 { return stats().Requests }, l)
+	m.reg.CounterFunc("svwctl_backend_errors_total",
+		"Forwarded requests that failed (transport errors and 5xx).",
+		func() uint64 { return stats().Errors }, l)
+	m.reg.GaugeFunc("svwctl_backend_in_flight",
+		"Coordinator requests currently in flight to the backend.",
+		func() float64 { return float64(stats().InFlight) }, l)
+	m.reg.GaugeFunc("svwctl_backend_healthy",
+		"Whether the backend is currently presumed healthy (0/1).",
+		func() float64 {
+			if stats().Healthy {
+				return 1
+			}
+			return 0
+		}, l)
+	m.reg.CounterFunc("svwctl_backend_health_flaps_total",
+		"Health-state transitions observed for the backend.",
+		func() uint64 { return stats().HealthFlaps }, l)
+	m.reg.CounterFunc("svwctl_backend_jobs_ok_total",
+		"Jobs whose winning response came from the backend.",
+		func() uint64 { return stats().JobsOK }, l)
+	m.reg.CounterFunc("svwctl_backend_cache_hits_total",
+		"Winning responses the backend served from its memory tier.",
+		func() uint64 { return stats().CacheHits }, l)
+	m.reg.CounterFunc("svwctl_backend_disk_hits_total",
+		"Winning responses the backend served from its disk tier.",
+		func() uint64 { return stats().DiskHits }, l)
 }

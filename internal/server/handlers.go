@@ -81,6 +81,11 @@ func rejectSaturated(w http.ResponseWriter) {
 		"admission gate saturated: too many concurrent jobs, retry later")
 }
 
+// errGateSaturated carries a tryAcquire refusal out of a singleflight
+// compute closure, so both the refused leader and its coalesced waiters
+// map it back to the 429 response.
+var errGateSaturated = errors.New("admission gate saturated")
+
 // --- registry / health / stats ------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -152,45 +157,62 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, http.StatusOK, body)
 		return
 	}
-	w.Header().Set(api.CacheHeader, api.CacheMiss)
-	t0 = time.Now()
-	sp = tr.Start("gate_wait")
-	release, ok := s.gate.tryAcquire(clientID(r), 1)
-	sp.End()
-	s.metrics.gateWait.Observe(time.Since(t0))
-	if !ok {
-		rejectSaturated(w)
-		return
-	}
-	defer release()
+	// Cold miss: compute under the store's singleflight, so N identical
+	// concurrent requests admit and run the engine once and the other N-1
+	// coalesce on the leader's flight. The gate sits INSIDE the compute
+	// closure — only the leader holds admission units; waiters cost none.
+	body, origin, coalesced, err := s.store.GetOrCompute(ctx, key, func() ([]byte, error) {
+		t0 := time.Now()
+		sp := tr.Start("gate_wait")
+		release, ok := s.gate.tryAcquire(clientID(r), 1)
+		sp.End()
+		s.metrics.gateWait.Observe(time.Since(t0))
+		if !ok {
+			return nil, errGateSaturated
+		}
+		defer release()
 
-	t0 = time.Now()
-	sp = tr.Start("engine_run")
-	rs, err := s.eng.RunContext(ctx, []engine.Job{{
-		Study: "svwd-run", Label: cfg.Name, Config: cfg,
-		Bench: req.Bench, Insts: req.Insts,
-	}}, nil)
-	sp.End()
-	s.metrics.engineRun.Observe(time.Since(t0))
+		t0 = time.Now()
+		sp = tr.Start("engine_run")
+		rs, err := s.eng.RunContext(ctx, []engine.Job{{
+			Study: "svwd-run", Label: cfg.Name, Config: cfg,
+			Bench: req.Bench, Insts: req.Insts,
+		}}, nil)
+		sp.End()
+		s.metrics.engineRun.Observe(time.Since(t0))
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		sp = tr.Start("encode")
+		defer sp.End()
+		defer func() { s.metrics.encode.Observe(time.Since(t0)) }()
+		return marshalResult(rs[0].Result)
+	})
 	if err != nil {
+		if errors.Is(err, errGateSaturated) {
+			rejectSaturated(w)
+			return
+		}
 		writeEngineError(w, r, err, "run failed")
 		return
 	}
-	t0 = time.Now()
-	sp = tr.Start("encode")
-	body, err = marshalResult(rs[0].Result)
-	if err != nil {
-		sp.End()
-		writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
+	if origin != store.OriginMiss {
+		// A completed flight landed in the store between our probe and the
+		// claim: an ordinary cache hit, just discovered late.
+		s.store.AccountGet(origin)
+		w.Header().Set(api.CacheHeader, origin.String())
+		writeBody(w, http.StatusOK, body)
 		return
 	}
-	s.store.Put(key, body)
-	// The miss is counted only now that a result was actually computed and
-	// is being served — a rejected, cancelled or failed run skews no rates.
-	s.store.Account(0, 0, 1)
+	w.Header().Set(api.CacheHeader, api.CacheMiss)
+	if !coalesced {
+		// The miss is counted only now that a result was actually computed
+		// and is being served — a rejected, cancelled or failed run skews no
+		// rates, and coalesced waits count under Coalesced, not Misses.
+		s.store.Account(0, 0, 1)
+	}
 	writeBody(w, http.StatusOK, body)
-	sp.End()
-	s.metrics.encode.Observe(time.Since(t0))
 }
 
 // --- /v1/sweep -----------------------------------------------------------
@@ -201,8 +223,50 @@ type sweepPlan struct {
 	keys   []string
 	cached [][]byte       // cached[i] != nil: job i was served by the store
 	origin []store.Origin // which tier served job i (OriginMiss = computed)
-	sub    []engine.Job   // the uncached jobs, in job-index order
+	sub    []engine.Job   // the uncached jobs this request computes, in job-index order
 	disk   int            // how many cached jobs came from the disk tier
+
+	// Singleflight state (claimFlights). flight[i] != nil: job i is being
+	// computed by a concurrent request and this sweep waits on that flight
+	// instead of re-running the cell. owned is parallel to sub: the flights
+	// this sweep leads and must Complete. foreign counts the non-nil
+	// flight entries.
+	flight  []*store.Flight
+	owned   []*store.Flight
+	foreign int
+}
+
+// claimFlights splits the plan's uncached jobs between this request and
+// concurrent computations of the same keys: for each cell this sweep
+// either becomes the leader (the cell stays in p.sub, with its flight in
+// p.owned) or coalesces on another request's in-flight computation
+// (p.flight[i] set; the cell leaves p.sub). Called only after gate
+// admission, so a 429'd sweep never claims a flight it won't fly.
+func (s *Server) claimFlights(p *sweepPlan) {
+	p.flight = make([]*store.Flight, len(p.jobs))
+	p.sub = p.sub[:0]
+	for i := range p.jobs {
+		if p.cached[i] != nil {
+			continue
+		}
+		f, leader := s.store.BeginFlight(p.keys[i])
+		if leader {
+			p.sub = append(p.sub, p.jobs[i])
+			p.owned = append(p.owned, f)
+		} else {
+			p.flight[i] = f
+			p.foreign++
+		}
+	}
+}
+
+// abandonOwned resolves every still-open owned flight with err so
+// cross-request waiters fail fast instead of hanging; flights already
+// Completed with real results are untouched (Complete is first-wins).
+func (p *sweepPlan) abandonOwned(err error) {
+	for _, f := range p.owned {
+		f.Complete(nil, err, false)
+	}
 }
 
 // planSweep validates the request, flattens the matrix config-major (the
@@ -292,6 +356,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		defer release()
 	}
+	// Admitted: claim the uncached cells' singleflight slots. Cells another
+	// request is already computing drop out of p.sub (this sweep waits on
+	// their flights at emission time); the rest this sweep leads and must
+	// resolve on every exit path — the deferred abandon is the backstop for
+	// panics and early returns, a no-op for flights Completed with results.
+	s.claimFlights(p)
+	defer p.abandonOwned(store.ErrFlightAbandoned)
 	// Store accounting happens as results are actually served (per event
 	// when streaming, on the completed body otherwise) — a sweep that
 	// fails or loses its client after admission inflates no counters.
@@ -313,32 +384,75 @@ func (s *Server) bufferSweep(ctx context.Context, w http.ResponseWriter, r *http
 	sp.End()
 	s.metrics.engineRun.Observe(time.Since(t0))
 	if err != nil {
+		p.abandonOwned(err)
 		writeEngineError(w, r, err, "sweep failed")
 		return
 	}
 	t0 = time.Now()
 	sp = tr.Start("encode")
 	defer sp.End()
-	var body []byte
-	sub := 0
-	for i := range p.jobs {
-		if p.cached[i] != nil {
-			body = append(body, p.cached[i]...)
-			continue
-		}
-		b, err := marshalResult(rs[sub].Result)
+	// Encode and Complete every owned cell BEFORE waiting on any foreign
+	// flight: two sweeps each owning cells the other coalesced on would
+	// otherwise deadlock, each blocked on results the other hasn't
+	// published yet. Complete write-throughs the bytes (the old Put).
+	ownedBody := make([][]byte, len(p.sub))
+	for si := range p.sub {
+		b, err := marshalResult(rs[si].Result)
 		if err != nil {
+			p.abandonOwned(err)
 			writeError(w, http.StatusInternalServerError, "encoding result: %v", err)
 			return
 		}
-		s.store.Put(p.keys[i], b)
-		body = append(body, b...)
-		sub++
+		p.owned[si].Complete(b, nil, true)
+		ownedBody[si] = b
+	}
+	var body []byte
+	sub, misses := 0, len(p.sub)
+	for i := range p.jobs {
+		switch {
+		case p.cached[i] != nil:
+			body = append(body, p.cached[i]...)
+		case p.flight[i] != nil:
+			b, err := s.awaitCell(ctx, p, i, &misses)
+			if err != nil {
+				writeEngineError(w, r, err, "sweep failed")
+				return
+			}
+			body = append(body, b...)
+		default:
+			body = append(body, ownedBody[sub]...)
+			sub++
+		}
 	}
 	// Served in full: only now does the sweep's store outcome count.
-	s.store.Account(uint64(len(p.jobs)-len(p.sub)-p.disk), uint64(p.disk), uint64(len(p.sub)))
+	// Coalesced cells count under Coalesced, not Misses.
+	s.store.Account(uint64(len(p.jobs)-len(p.sub)-p.foreign-p.disk), uint64(p.disk), uint64(misses))
 	writeBody(w, http.StatusOK, body)
 	s.metrics.encode.Observe(time.Since(t0))
+}
+
+// awaitCell resolves job i from the foreign flight it coalesced on. If
+// that flight fails while this request is still live — its leader lost
+// its client or hit its own deadline — the cell is recomputed locally
+// (the engine memo makes a duplicate of finished work cheap) rather than
+// inheriting a failure this request didn't earn; misses is bumped for the
+// recompute, since it is then a real computation served by this request.
+func (s *Server) awaitCell(ctx context.Context, p *sweepPlan, i int, misses *int) ([]byte, error) {
+	b, err := p.flight[i].Wait(ctx)
+	if err == nil || ctx.Err() != nil {
+		return b, err
+	}
+	rs, err := s.eng.RunContext(ctx, []engine.Job{p.jobs[i]}, nil)
+	if err != nil {
+		return nil, err
+	}
+	b, err = marshalResult(rs[0].Result)
+	if err != nil {
+		return nil, err
+	}
+	s.store.Put(p.keys[i], b)
+	*misses++
+	return b, nil
 }
 
 // streamSweep emits one SSE "result" event per job in job-index order while
@@ -355,15 +469,40 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, r *http
 
 	// The progress callback fires under the engine's ordered-emit lock, so
 	// channel sends preserve sub-index order. The buffer holds every result:
-	// sends never block, even if the client is slow or gone.
-	results := make(chan engine.JobResult, len(p.sub))
+	// sends never block, even if the client is slow or gone. Owned flights
+	// are Completed right in the callback — marshalling there too — so a
+	// concurrent sweep coalescing on a cell is released the moment the cell
+	// finishes, not when this sweep's emission loop reaches it.
+	results := make(chan streamedResult, len(p.sub))
 	done := make(chan error, 1)
 	t0 := time.Now()
 	sp := trace.FromContext(ctx).Start("engine_run")
 	go func() {
 		_, err := s.eng.RunContext(ctx, p.sub, func(jr engine.JobResult) {
-			results <- jr
+			sr := streamedResult{jr: jr}
+			switch {
+			case jr.Err != nil:
+				p.owned[jr.Index].Complete(nil, jr.Err, false)
+			default:
+				body, merr := marshalResult(jr.Result)
+				if merr != nil {
+					sr.encodeErr = merr
+					p.owned[jr.Index].Complete(nil, merr, false)
+				} else {
+					sr.body = body
+					p.owned[jr.Index].Complete(body, nil, true)
+				}
+			}
+			results <- sr
 		})
+		// Resolve owned flights the run never delivered (cancelled or
+		// skipped jobs) so cross-request waiters fail fast; a no-op for
+		// flights the callback already Completed.
+		ferr := err
+		if ferr == nil {
+			ferr = store.ErrFlightAbandoned
+		}
+		p.abandonOwned(ferr)
 		sp.End()
 		s.metrics.engineRun.Observe(time.Since(t0))
 		done <- err
@@ -378,7 +517,8 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, r *http
 			Config: p.jobs[i].Config.Name,
 			Bench:  p.jobs[i].Bench,
 		}
-		if p.cached[i] != nil {
+		switch {
+		case p.cached[i] != nil:
 			ev.Cached = true
 			ev.Origin = p.origin[i].String()
 			ev.Result = json.RawMessage(p.cached[i])
@@ -389,8 +529,25 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, r *http
 			} else {
 				s.store.Account(1, 0, 0)
 			}
-		} else {
-			jr, ok := s.nextSweepResult(ctx, results, done, &engineDone, sub)
+		case p.flight[i] != nil:
+			// Coalesced on a concurrent request's computation of this cell.
+			var misses int
+			body, err := s.awaitCell(ctx, p, i, &misses)
+			if ctx.Err() != nil {
+				return
+			}
+			summary.CacheMisses++
+			if err != nil {
+				ev.Error = err.Error()
+				summary.Errors++
+			} else {
+				ev.Result = json.RawMessage(body)
+				if misses > 0 {
+					s.store.Account(0, 0, 1) // fallback recompute: a real miss
+				}
+			}
+		default:
+			sr, ok := s.nextSweepResult(ctx, results, done, &engineDone, sub)
 			sub++
 			if !ok {
 				// The engine wound down — or the request context ended —
@@ -402,17 +559,17 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, r *http
 				return
 			}
 			summary.CacheMisses++
-			ev.Memoized = jr.Memoized
-			if jr.Err != nil {
-				ev.Error = jr.Err.Error()
+			ev.Memoized = sr.jr.Memoized
+			switch {
+			case sr.jr.Err != nil:
+				ev.Error = sr.jr.Err.Error()
 				summary.Errors++
-			} else if body, err := marshalResult(jr.Result); err == nil {
-				s.store.Put(p.keys[i], body)
-				ev.Result = json.RawMessage(body)
+			case sr.encodeErr != nil:
+				ev.Error = sr.encodeErr.Error()
+				summary.Errors++
+			default:
+				ev.Result = json.RawMessage(sr.body)
 				s.store.Account(0, 0, 1) // computed and served: a real miss
-			} else {
-				ev.Error = err.Error()
-				summary.Errors++
 			}
 		}
 		stream.Event("result", i, ev)
@@ -427,48 +584,56 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, r *http
 	stream.Event("done", len(p.jobs), summary)
 }
 
-// nextSweepResult receives the next uncached job's result for
-// streamSweep. want is the job's engine sub-index; anything delivered for
-// an earlier index is stale and discarded (emission is monotone, so a
-// result below want can never be the one this call is for). ok=false
-// means the engine finished — or the request context ended — without
-// delivering the job, and the handler must bail out rather than block on
-// a result that will never arrive.
-func (s *Server) nextSweepResult(ctx context.Context, results <-chan engine.JobResult, done <-chan error, engineDone *bool, want int) (engine.JobResult, bool) {
+// streamedResult is one engine progress delivery, already marshalled (the
+// callback encodes so it can Complete the cell's flight immediately).
+type streamedResult struct {
+	jr        engine.JobResult
+	body      []byte
+	encodeErr error
+}
+
+// nextSweepResult receives the next owned job's result for streamSweep.
+// want is the job's engine sub-index; anything delivered for an earlier
+// index is stale and discarded (emission is monotone, so a result below
+// want can never be the one this call is for). ok=false means the engine
+// finished — or the request context ended — without delivering the job,
+// and the handler must bail out rather than block on a result that will
+// never arrive.
+func (s *Server) nextSweepResult(ctx context.Context, results <-chan streamedResult, done <-chan error, engineDone *bool, want int) (streamedResult, bool) {
 	for {
 		// Drain delivered results before consulting done or the context:
 		// every send precedes the engine's done signal, so a finished
 		// engine can still have undrained results buffered.
 		select {
-		case jr := <-results:
-			if jr.Index < want {
+		case sr := <-results:
+			if sr.jr.Index < want {
 				continue
 			}
-			return jr, true
+			return sr, true
 		default:
 		}
 		if *engineDone {
-			return engine.JobResult{}, false
+			return streamedResult{}, false
 		}
 		select {
-		case jr := <-results:
-			if jr.Index < want {
+		case sr := <-results:
+			if sr.jr.Index < want {
 				continue
 			}
-			return jr, true
+			return sr, true
 		case <-done:
 			*engineDone = true
 		case <-ctx.Done():
 			// Client gone or deadline hit: one last non-blocking look,
 			// then give up instead of riding out the engine's stragglers.
 			select {
-			case jr := <-results:
-				if jr.Index < want {
+			case sr := <-results:
+				if sr.jr.Index < want {
 					continue
 				}
-				return jr, true
+				return sr, true
 			default:
-				return engine.JobResult{}, false
+				return streamedResult{}, false
 			}
 		}
 	}
@@ -623,39 +788,55 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, http.StatusOK, body)
 		return
 	}
-	t0 = time.Now()
-	sp = tr.Start("gate_wait")
-	release, ok := s.gate.tryAcquire(clientID(r), weight)
-	sp.End()
-	s.metrics.gateWait.Observe(time.Since(t0))
-	if !ok {
-		rejectSaturated(w)
-		return
-	}
-	defer release()
+	// Cold miss: same singleflight shape as /v1/run — concurrent identical
+	// study requests admit (weight units) and compute once.
+	body, origin, coalesced, err := s.store.GetOrCompute(ctx, key, func() ([]byte, error) {
+		t0 := time.Now()
+		sp := tr.Start("gate_wait")
+		release, ok := s.gate.tryAcquire(clientID(r), weight)
+		sp.End()
+		s.metrics.gateWait.Observe(time.Since(t0))
+		if !ok {
+			return nil, errGateSaturated
+		}
+		defer release()
 
-	t0 = time.Now()
-	sp = tr.Start("engine_run")
-	v, err := run(ctx)
-	sp.End()
-	s.metrics.engineRun.Observe(time.Since(t0))
+		t0 = time.Now()
+		sp = tr.Start("engine_run")
+		v, err := run(ctx)
+		sp.End()
+		s.metrics.engineRun.Observe(time.Since(t0))
+		if err != nil {
+			return nil, err
+		}
+		t0 = time.Now()
+		sp = tr.Start("encode")
+		defer sp.End()
+		defer func() { s.metrics.encode.Observe(time.Since(t0)) }()
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("encoding study: %v", err)
+		}
+		return append(b, '\n'), nil
+	})
 	if err != nil {
+		if errors.Is(err, errGateSaturated) {
+			rejectSaturated(w)
+			return
+		}
 		writeEngineError(w, r, err, "study failed")
 		return
 	}
-	t0 = time.Now()
-	sp = tr.Start("encode")
-	defer sp.End()
-	body, err = json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "encoding study: %v", err)
+	if origin != store.OriginMiss {
+		s.store.AccountGet(origin)
+		writeBody(w, http.StatusOK, body)
 		return
 	}
-	body = append(body, '\n')
-	s.store.Put(key, body)
-	// Computed and served: count the miss only now (rejections and
-	// failures above never reach this line).
-	s.store.Account(0, 0, 1)
+	if !coalesced {
+		// Computed and served: count the miss only now (rejections and
+		// failures above never reach this line; coalesced waits count
+		// under Coalesced, not Misses).
+		s.store.Account(0, 0, 1)
+	}
 	writeBody(w, http.StatusOK, body)
-	s.metrics.encode.Observe(time.Since(t0))
 }

@@ -99,6 +99,9 @@ func newServerMetrics(s *Server, clientWeights map[string]int) *serverMetrics {
 		func() float64 { return float64(s.store.Stats().Disk.Bytes) })
 	reg.CounterFunc("svw_store_evictions_total", "Result store memory-tier evictions.",
 		func() uint64 { return s.store.Stats().Evictions })
+	reg.CounterFunc("svw_store_coalesced_total",
+		"Singleflight waits: requests that shared an in-flight identical computation.",
+		func() uint64 { return s.store.Stats().Coalesced })
 
 	reg.CounterFunc("svw_engine_memo_hits_total", "Engine memo-table hits.",
 		func() uint64 { return s.eng.Memo().Hits })

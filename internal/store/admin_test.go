@@ -1,0 +1,198 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeRawEntry lands an arbitrary byte blob as an entry file, bypassing
+// Disk.Put, to plant corrupt and stale-version fixtures.
+func writeRawEntry(t *testing.T, dir, name string, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// staleVersionEntry encodes key/val validly, then rewrites the format
+// version (version precedes the CRC check, so the checksum still holds
+// for the parts parseEntry would verify).
+func staleVersionEntry(key string, val []byte) []byte {
+	raw := encodeEntry(key, val)
+	binary.LittleEndian.PutUint32(raw[4:8], diskVersion+7)
+	return raw
+}
+
+func TestScanDirClassifiesEntries(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("good", []byte("value-bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt: a valid entry with a flipped payload byte.
+	raw := encodeEntry("flipped", []byte("payload"))
+	raw[len(raw)-1] ^= 0xff
+	writeRawEntry(t, dir, fileName("flipped"), raw)
+
+	// Stale: well-formed entry from another format version.
+	writeRawEntry(t, dir, fileName("old"), staleVersionEntry("old", []byte("x")))
+
+	// Misfiled: valid bytes at the wrong content address.
+	writeRawEntry(t, dir, fileName("elsewhere"), encodeEntry("misfiled", []byte("y")))
+
+	// Noise ScanDir must skip: a temp leftover and an unrelated file.
+	writeRawEntry(t, dir, diskTmpPrefix+"123", []byte("partial"))
+	writeRawEntry(t, dir, "README.txt", []byte("not an entry"))
+
+	entries, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("ScanDir found %d entries, want 4: %+v", len(entries), entries)
+	}
+	byName := make(map[string]ScanEntry)
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if e := byName[fileName("good")]; e.Err != nil || e.Key != "good" {
+		t.Errorf("good entry: key %q err %v", e.Key, e.Err)
+	}
+	if e := byName[fileName("flipped")]; e.Err == nil || errors.Is(e.Err, ErrStaleVersion) {
+		t.Errorf("corrupt entry classified as %v", e.Err)
+	}
+	if e := byName[fileName("old")]; !errors.Is(e.Err, ErrStaleVersion) {
+		t.Errorf("stale entry classified as %v", e.Err)
+	}
+	if e := byName[fileName("elsewhere")]; e.Err == nil || errors.Is(e.Err, ErrStaleVersion) {
+		t.Errorf("misfiled entry classified as %v", e.Err)
+	}
+}
+
+// TestGCDirSeesOtherWritersEntries is the blind spot the offline GC
+// exists for: two Disk instances share a directory, each under its own
+// budget view, while the directory's true total is over the cap.
+func TestGCDirSeesOtherWritersEntries(t *testing.T) {
+	dir := t.TempDir()
+	val := make([]byte, 1024)
+	now := time.Now()
+	for i, key := range []string{"a", "b", "c", "d"} {
+		d, err := OpenDisk(dir, 1<<30) // generous per-instance budget
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Put(key, val); err != nil {
+			t.Fatal(err)
+		}
+		// Spread access times so the LRU order is deterministic.
+		mt := now.Add(time.Duration(i-4) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, fileName(key)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Leftover temp file from a crashed writer: gc must clear it.
+	writeRawEntry(t, dir, diskTmpPrefix+"999", []byte("junk"))
+
+	entrySize := int64(len(encodeEntry("a", val)))
+	removed, remaining, err := GCDir(dir, 2*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[0].Key != "a" || removed[1].Key != "b" {
+		t.Fatalf("GCDir removed %+v, want oldest two (a, b)", removed)
+	}
+	if remaining != 2*entrySize {
+		t.Errorf("remaining = %d, want %d", remaining, 2*entrySize)
+	}
+	if _, err := os.Stat(filepath.Join(dir, diskTmpPrefix+"999")); !os.IsNotExist(err) {
+		t.Error("gc left the temp file behind")
+	}
+	left, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 || left[0].Key != "c" || left[1].Key != "d" {
+		t.Errorf("surviving entries = %+v, want c and d", left)
+	}
+}
+
+func TestGCDirKeepsNewestEntry(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("only", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	removed, remaining, err := GCDir(dir, 1) // cap below the single entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 || remaining == 0 {
+		t.Errorf("GCDir removed the only entry (removed=%d remaining=%d)", len(removed), remaining)
+	}
+}
+
+func TestPruneDirByAge(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	ages := map[string]time.Duration{"ancient": 48 * time.Hour, "old": 25 * time.Hour, "fresh": time.Hour}
+	for key, age := range ages {
+		if err := d.Put(key, []byte(key)); err != nil {
+			t.Fatal(err)
+		}
+		mt := now.Add(-age)
+		if err := os.Chtimes(filepath.Join(dir, fileName(key)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := PruneDir(dir, now.Add(-24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 || removed[0].Key != "ancient" || removed[1].Key != "old" {
+		t.Fatalf("PruneDir removed %+v, want ancient then old", removed)
+	}
+	left, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 || left[0].Key != "fresh" {
+		t.Errorf("surviving entries = %+v, want fresh only", left)
+	}
+}
+
+// TestParseEntryRoundTrip pins the key-less decode path decodeEntry and
+// ScanDir share.
+func TestParseEntryRoundTrip(t *testing.T) {
+	raw := encodeEntry("some|key", []byte("some value"))
+	key, val, err := parseEntry(raw)
+	if err != nil || key != "some|key" || string(val) != "some value" {
+		t.Fatalf("parseEntry = (%q, %q, %v)", key, val, err)
+	}
+	if _, _, err := parseEntry(raw[:len(raw)-1]); err == nil {
+		t.Error("parseEntry accepted a truncated entry")
+	}
+	crcOff := raw[16] // corrupt the stored checksum
+	raw[16] ^= 0xff
+	if _, _, err := parseEntry(raw); err == nil {
+		t.Error("parseEntry accepted a bad checksum")
+	}
+	raw[16] = crcOff
+	if _, _, err := parseEntry(staleVersionEntry("k", []byte("v"))); !errors.Is(err, ErrStaleVersion) {
+		t.Errorf("stale version classified as %v", err)
+	}
+}

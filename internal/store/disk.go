@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -298,27 +299,41 @@ func encodeEntry(key string, val []byte) []byte {
 	return buf
 }
 
-// decodeEntry validates raw against the format and wantKey, returning the
-// value on success.
-func decodeEntry(raw []byte, wantKey string) ([]byte, bool) {
+// ErrStaleVersion marks a well-formed entry written under a different
+// format version — not corruption, but not servable either (the version
+// is the payload-semantics invalidation knob; see the format comment).
+var ErrStaleVersion = errors.New("store: entry from a different format version")
+
+// parseEntry decodes one on-disk entry without knowing its key in
+// advance, returning the embedded key and value when every integrity
+// check passes. An error wrapping ErrStaleVersion means a valid entry
+// from another schema version; any other error means corruption.
+func parseEntry(raw []byte) (key string, val []byte, err error) {
 	if len(raw) < diskHeaderSize || string(raw[0:4]) != diskMagic {
-		return nil, false
+		return "", nil, errors.New("bad magic or truncated header")
 	}
-	if binary.LittleEndian.Uint32(raw[4:8]) != diskVersion {
-		return nil, false // older/newer schema: ignore, do not guess
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != diskVersion {
+		return "", nil, fmt.Errorf("%w: version %d (want %d)", ErrStaleVersion, v, diskVersion)
 	}
 	keyLen := int64(binary.LittleEndian.Uint32(raw[8:12]))
 	valLen := int64(binary.LittleEndian.Uint32(raw[12:16]))
 	if int64(len(raw)) != diskHeaderSize+keyLen+valLen {
-		return nil, false // truncated or padded
+		return "", nil, errors.New("length mismatch: truncated or padded")
 	}
 	if crc32.ChecksumIEEE(raw[diskHeaderSize:]) != binary.LittleEndian.Uint32(raw[16:20]) {
-		return nil, false
+		return "", nil, errors.New("checksum mismatch")
 	}
-	if string(raw[diskHeaderSize:diskHeaderSize+keyLen]) != wantKey {
-		return nil, false
-	}
-	val := make([]byte, valLen)
+	val = make([]byte, valLen)
 	copy(val, raw[diskHeaderSize+keyLen:])
+	return string(raw[diskHeaderSize : diskHeaderSize+keyLen]), val, nil
+}
+
+// decodeEntry validates raw against the format and wantKey, returning the
+// value on success. Stale-version entries are ignored, not guessed at.
+func decodeEntry(raw []byte, wantKey string) ([]byte, bool) {
+	key, val, err := parseEntry(raw)
+	if err != nil || key != wantKey {
+		return nil, false
+	}
 	return val, true
 }

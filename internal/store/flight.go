@@ -1,0 +1,116 @@
+package store
+
+import (
+	"context"
+	"errors"
+)
+
+// Cold-miss singleflight. N concurrent requests for the same uncached key
+// are the serving layer's dogpile: without coordination each one admits
+// itself, runs the engine, marshals the result and write-throughs the same
+// bytes to disk — N computations and N fsyncs for one answer. A Flight
+// coalesces them: the first caller to claim a key becomes its leader and
+// computes; everyone else waits on the leader's flight and is handed the
+// finished bytes, costing one channel receive instead of a simulation
+// (the recompute-vs-fetch economics of value recomputation applied to the
+// store). Coalesced waits are counted in Stats.Coalesced, surfaced on
+// /v1/stats and as svw_store_coalesced_total.
+
+// ErrFlightAbandoned resolves a flight whose leader exited without
+// completing it (a panic, a lost client) — waiters see this instead of
+// hanging forever.
+var ErrFlightAbandoned = errors.New("store: in-flight computation abandoned")
+
+// Flight is one in-progress computation of a key, shared by its leader
+// (who must Complete it exactly once; later Completes are no-ops) and any
+// number of waiters.
+type Flight struct {
+	s    *Store
+	key  string
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// BeginFlight claims key's in-flight slot. The first caller gets
+// leader=true and MUST eventually call Complete — on success, failure,
+// and every abandonment path — or waiters block until their contexts
+// expire. A later caller gets the existing flight with leader=false (and
+// one Coalesced count) and should Wait on it.
+//
+// BeginFlight does not probe the store; callers coalescing on cached keys
+// should Get first (or use GetOrCompute, which does both).
+func (s *Store) BeginFlight(key string) (*Flight, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		s.coalesced++
+		return f, false
+	}
+	f := &Flight{s: s, key: key, done: make(chan struct{})}
+	s.flights[key] = f
+	return f, true
+}
+
+// Complete resolves the flight: waiters wake with (val, err), and with
+// persist=true a successful value is written through the store's tiers
+// (pass false when val already came out of a store and re-persisting it
+// would be redundant). Only the first Complete counts; the rest are
+// no-ops, so "defer Complete(nil, ErrFlightAbandoned, false)" is a safe
+// leader-side backstop.
+func (f *Flight) Complete(val []byte, err error, persist bool) {
+	s := f.s
+	s.mu.Lock()
+	select {
+	case <-f.done:
+		s.mu.Unlock()
+		return // already completed
+	default:
+	}
+	f.val, f.err = val, err
+	delete(s.flights, f.key)
+	if err == nil && persist {
+		s.putMemLocked(f.key, val, false)
+	}
+	close(f.done)
+	s.mu.Unlock()
+	if err == nil && persist && s.disk != nil {
+		s.disk.Put(f.key, val)
+	}
+}
+
+// Wait blocks until the flight completes or ctx ends, returning the
+// leader's result (or ctx's error).
+func (f *Flight) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// GetOrCompute returns the bytes under key, computing them with fn on a
+// cold miss — at most once across concurrent callers. The probe order is
+// Get's (memory, then disk with promotion); on a miss the first caller
+// runs fn and its result is written through both tiers, while concurrent
+// callers of the same key coalesce on that one computation (coalesced=
+// true, one Stats.Coalesced count each) and share its bytes or its error.
+// Counters other than Coalesced are untouched — callers that serve the
+// result record the outcome with Account, exactly as with Get.
+func (s *Store) GetOrCompute(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, origin Origin, coalesced bool, err error) {
+	if val, origin := s.Get(key); origin != OriginMiss {
+		return val, origin, false, nil
+	}
+	f, leader := s.BeginFlight(key)
+	if !leader {
+		val, err := f.Wait(ctx)
+		return val, OriginMiss, true, err
+	}
+	// Backstop: if fn panics, waiters get ErrFlightAbandoned instead of a
+	// hang. A no-op when the Complete below ran.
+	defer f.Complete(nil, ErrFlightAbandoned, false)
+	val, err = fn()
+	f.Complete(val, err, true)
+	return val, OriginMiss, false, err
+}

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitCoalesced polls until n callers have joined the in-flight
+// computation (Stats().Coalesced == n) so tests can release a blocked
+// leader only after every waiter is actually waiting.
+func waitCoalesced(t *testing.T, s *Store, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.Stats().Coalesced == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced = %d, want %d", s.Stats().Coalesced, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The dogpile contract: N concurrent GetOrCompute calls for one cold key
+// run fn exactly once; the other N-1 coalesce, share the bytes, and are
+// counted.
+func TestGetOrComputeCoalesces(t *testing.T) {
+	const waiters = 7
+	s := openStore(t, Options{MemoryEntries: 4, Dir: t.TempDir()})
+
+	var executions atomic.Int64
+	release := make(chan struct{})
+	fn := func() ([]byte, error) {
+		executions.Add(1)
+		<-release // hold the flight open until every waiter has joined
+		return []byte("computed"), nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([][]byte, 1+waiters)
+	flags := make([]bool, 1+waiters)
+	for i := 0; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			val, origin, coalesced, err := s.GetOrCompute(context.Background(), "key", fn)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			if origin != OriginMiss {
+				t.Errorf("caller %d: origin %v, want miss", i, origin)
+			}
+			results[i], flags[i] = val, coalesced
+		}(i)
+	}
+	waitCoalesced(t, s, waiters)
+	close(release)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1", n)
+	}
+	var coalesced int
+	for i := 0; i <= waiters; i++ {
+		if !bytes.Equal(results[i], []byte("computed")) {
+			t.Fatalf("caller %d got %q", i, results[i])
+		}
+		if flags[i] {
+			coalesced++
+		}
+	}
+	if coalesced != waiters {
+		t.Fatalf("%d callers coalesced, want %d", coalesced, waiters)
+	}
+	if st := s.Stats(); st.Coalesced != waiters {
+		t.Fatalf("Stats.Coalesced = %d, want %d", st.Coalesced, waiters)
+	}
+
+	// One write-through landed the value in both tiers.
+	if _, o := s.Get("key"); o != OriginMemory {
+		t.Fatalf("origin %v after compute, want memory", o)
+	}
+	if v, ok := s.disk.Get("key"); !ok || !bytes.Equal(v, []byte("computed")) {
+		t.Fatalf("disk tier: %q, %v, want the computed bytes", v, ok)
+	}
+}
+
+// A warm key never starts a flight: GetOrCompute is a plain Get.
+func TestGetOrComputeWarmKey(t *testing.T) {
+	s := openStore(t, Options{MemoryEntries: 4})
+	s.Put("key", []byte("warm"))
+	val, origin, coalesced, err := s.GetOrCompute(context.Background(), "key", func() ([]byte, error) {
+		t.Fatal("fn ran on a warm key")
+		return nil, nil
+	})
+	if err != nil || coalesced || origin != OriginMemory || !bytes.Equal(val, []byte("warm")) {
+		t.Fatalf("got %q, %v, coalesced=%v, err=%v", val, origin, coalesced, err)
+	}
+}
+
+// A failing leader fails its waiters too — once, without caching the
+// failure: the next caller recomputes.
+func TestGetOrComputeErrorSharedNotCached(t *testing.T) {
+	s := openStore(t, Options{MemoryEntries: 4})
+	wantErr := errors.New("engine exploded")
+
+	// Two callers race for the flight; whichever leads, both must see the
+	// leader's error.
+	release := make(chan struct{})
+	fn := func() ([]byte, error) {
+		<-release
+		return nil, wantErr
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, _, err := s.GetOrCompute(context.Background(), "key", fn); !errors.Is(err, wantErr) {
+				t.Errorf("err = %v, want %v", err, wantErr)
+			}
+		}()
+	}
+	waitCoalesced(t, s, 1)
+	close(release)
+	wg.Wait()
+	// The failure was not cached: a later caller recomputes and succeeds.
+	val, origin, coalesced, err := s.GetOrCompute(context.Background(), "key", func() ([]byte, error) {
+		return []byte("recovered"), nil
+	})
+	if err != nil || coalesced || origin != OriginMiss || !bytes.Equal(val, []byte("recovered")) {
+		t.Fatalf("recompute: %q, %v, coalesced=%v, err=%v", val, origin, coalesced, err)
+	}
+}
+
+// A leader whose fn panics must not hang its waiters: the deferred
+// backstop resolves the flight with ErrFlightAbandoned.
+func TestGetOrComputePanicReleasesWaiters(t *testing.T) {
+	s := openStore(t, Options{MemoryEntries: 4})
+	release := make(chan struct{})
+	started := make(chan struct{}) // fn only runs in the leader
+	go func() {
+		defer func() { recover() }()
+		s.GetOrCompute(context.Background(), "key", func() ([]byte, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := s.GetOrCompute(context.Background(), "key", func() ([]byte, error) {
+			return []byte("unexpected"), nil
+		})
+		waiterDone <- err
+	}()
+	waitCoalesced(t, s, 1)
+	close(release)
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, ErrFlightAbandoned) {
+			t.Fatalf("waiter err = %v, want ErrFlightAbandoned", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung after leader panic")
+	}
+}
+
+// A waiter's context cancels its wait, not the flight.
+func TestFlightWaitHonorsContext(t *testing.T) {
+	s := openStore(t, Options{MemoryEntries: 4})
+	f, leader := s.BeginFlight("key")
+	if !leader {
+		t.Fatal("first claim was not leader")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait err = %v, want context.Canceled", err)
+	}
+	// The flight is still live; completing it serves later waiters.
+	f.Complete([]byte("late"), nil, true)
+	if v, err := f.Wait(context.Background()); err != nil || !bytes.Equal(v, []byte("late")) {
+		t.Fatalf("Wait after Complete = %q, %v", v, err)
+	}
+}
+
+// Complete is idempotent: only the first resolution counts.
+func TestFlightCompleteIdempotent(t *testing.T) {
+	s := openStore(t, Options{MemoryEntries: 4})
+	f, _ := s.BeginFlight("key")
+	f.Complete([]byte("first"), nil, true)
+	f.Complete([]byte("second"), nil, true)
+	f.Complete(nil, ErrFlightAbandoned, false)
+	if v, err := f.Wait(context.Background()); err != nil || !bytes.Equal(v, []byte("first")) {
+		t.Fatalf("Wait = %q, %v, want the first Complete to win", v, err)
+	}
+	if v, o := s.Get("key"); o != OriginMemory || !bytes.Equal(v, []byte("first")) {
+		t.Fatalf("stored %q, %v", v, o)
+	}
+}
+
+// Completing with persist=false resolves waiters without writing the
+// store — the svwctl fallback path, where the bytes already came from it.
+func TestFlightCompleteNoPersist(t *testing.T) {
+	s := openStore(t, Options{MemoryEntries: 4})
+	f, _ := s.BeginFlight("key")
+	f.Complete([]byte("from-store"), nil, false)
+	if _, o := s.Get("key"); o != OriginMiss {
+		t.Fatalf("origin %v, want persist=false to leave the store alone", o)
+	}
+}

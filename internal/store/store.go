@@ -67,9 +67,18 @@ type Stats struct {
 	Hits      uint64 // memory-tier hits
 	DiskHits  uint64
 	Misses    uint64
-	Evictions uint64 // memory-tier evictions
-	Entries   int    // memory-tier entries
-	Capacity  int    // memory-tier bound
+	Evictions uint64 // memory-tier evictions, promotion-driven included
+	// PromotionEvictions is the subset of Evictions forced by disk-hit
+	// promotions rather than Puts of new results. A high share means the
+	// memory tier is too small for the working set sloshing up from disk —
+	// reads are cannibalizing the hot tier, not growth.
+	PromotionEvictions uint64
+	// Coalesced counts singleflight waits: Get-or-compute callers that
+	// found the key already being computed and shared the leader's result
+	// instead of computing their own (flight.go).
+	Coalesced uint64
+	Entries   int // memory-tier entries
+	Capacity  int // memory-tier bound
 	Disk      DiskStats
 }
 
@@ -78,13 +87,16 @@ type Stats struct {
 type Store struct {
 	disk *Disk // nil = memory only
 
-	mu        sync.Mutex
-	mem       *LRU[[]byte]
-	cap       int
-	hits      uint64
-	diskHits  uint64
-	misses    uint64
-	evictions uint64
+	mu                 sync.Mutex
+	mem                *LRU[[]byte]
+	cap                int
+	flights            map[string]*Flight
+	hits               uint64
+	diskHits           uint64
+	misses             uint64
+	evictions          uint64
+	promotionEvictions uint64
+	coalesced          uint64
 }
 
 // Open builds a Store from opts, creating the disk tier's directory when
@@ -97,7 +109,7 @@ func Open(opts Options) (*Store, error) {
 	if capacity < 1 {
 		capacity = 1
 	}
-	s := &Store{mem: NewLRU[[]byte](), cap: capacity}
+	s := &Store{mem: NewLRU[[]byte](), cap: capacity, flights: make(map[string]*Flight)}
 	if opts.Dir != "" {
 		d, err := OpenDisk(opts.Dir, opts.MaxBytes)
 		if err != nil {
@@ -130,7 +142,7 @@ func (s *Store) Get(key string) ([]byte, Origin) {
 		return nil, OriginMiss
 	}
 	s.mu.Lock()
-	s.putMemLocked(key, val)
+	s.putMemLocked(key, val, true)
 	s.mu.Unlock()
 	return val, OriginDisk
 }
@@ -141,20 +153,26 @@ func (s *Store) Get(key string) ([]byte, Origin) {
 // for that key.
 func (s *Store) Put(key string, val []byte) {
 	s.mu.Lock()
-	s.putMemLocked(key, val)
+	s.putMemLocked(key, val, false)
 	s.mu.Unlock()
 	if s.disk != nil {
 		s.disk.Put(key, val)
 	}
 }
 
-func (s *Store) putMemLocked(key string, val []byte) {
+// putMemLocked inserts into the memory tier and sheds past the capacity
+// bound; promote marks the insert as a disk-hit promotion so the evictions
+// it forces are attributed separately in Stats.
+func (s *Store) putMemLocked(key string, val []byte, promote bool) {
 	s.mem.Put(key, val)
 	for s.mem.Len() > s.cap {
 		if _, _, ok := s.mem.EvictOldest(nil); !ok {
 			break
 		}
 		s.evictions++
+		if promote {
+			s.promotionEvictions++
+		}
 	}
 }
 
@@ -184,12 +202,14 @@ func (s *Store) AccountGet(o Origin) {
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		Hits:      s.hits,
-		DiskHits:  s.diskHits,
-		Misses:    s.misses,
-		Evictions: s.evictions,
-		Entries:   s.mem.Len(),
-		Capacity:  s.cap,
+		Hits:               s.hits,
+		DiskHits:           s.diskHits,
+		Misses:             s.misses,
+		Evictions:          s.evictions,
+		PromotionEvictions: s.promotionEvictions,
+		Coalesced:          s.coalesced,
+		Entries:            s.mem.Len(),
+		Capacity:           s.cap,
 	}
 	s.mu.Unlock()
 	if s.disk != nil {

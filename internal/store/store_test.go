@@ -127,6 +127,53 @@ func TestStoreCorruptEntryRecomputed(t *testing.T) {
 	}
 }
 
+// Evictions forced by disk-hit promotions are attributed separately from
+// Put-driven ones: a read-heavy workload cannibalizing the memory tier
+// must be distinguishable from plain growth.
+func TestStorePromotionEvictionsAttributed(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Options{MemoryEntries: 1, Dir: dir})
+	s.Put("a", []byte("A"))
+	s.Put("b", []byte("B")) // Put-driven eviction of a
+	st := s.Stats()
+	if st.Evictions != 1 || st.PromotionEvictions != 0 {
+		t.Fatalf("after Puts: %+v, want 1 Put-driven eviction", st)
+	}
+	if _, o := s.Get("a"); o != OriginDisk { // promotion evicts b
+		t.Fatalf("origin %v, want disk", o)
+	}
+	st = s.Stats()
+	if st.Evictions != 2 || st.PromotionEvictions != 1 {
+		t.Fatalf("after promotion: evictions=%d promotion=%d, want 2/1",
+			st.Evictions, st.PromotionEvictions)
+	}
+}
+
+// A failed disk write behind a successful memory Put must leave a trace:
+// the memory tier still serves, but DiskStats.WriteErrors records that
+// the result never persisted. (The directory is removed out from under
+// the tier — a chmod-based failure would be invisible to root.)
+func TestStoreDiskWriteErrorCounted(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, Options{MemoryEntries: 4, Dir: dir})
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("job", []byte("result"))
+	if v, o := s.Get("job"); o != OriginMemory || !bytes.Equal(v, []byte("result")) {
+		t.Fatalf("memory tier lost the entry: %q, %v", v, o)
+	}
+	st := s.Stats()
+	if st.Disk.WriteErrors != 1 {
+		t.Fatalf("write errors = %d, want 1: %+v", st.Disk.WriteErrors, st)
+	}
+	// A restarted store sees nothing on disk: the write really was lost.
+	s2 := openStore(t, Options{MemoryEntries: 4, Dir: dir})
+	if _, o := s2.Get("job"); o != OriginMiss {
+		t.Fatalf("origin %v after restart, want miss", o)
+	}
+}
+
 // TestStoreConcurrent hammers a tiered store from many goroutines; under
 // -race this is the package's data-race gate.
 func TestStoreConcurrent(t *testing.T) {
