@@ -236,3 +236,75 @@ wait "$ctl_pid"
 kill -TERM "$b1_pid" "$b2_pid"
 wait "$b1_pid" "$b2_pid"
 trap 'rm -rf "$tmp"' EXIT
+
+# Sharded-store smoke: two svwd with SEPARATE persistent store dirs and
+# -peer-learn behind svwctl. The coordinator's sweep lands each cell's
+# entry on its rendezvous store owner (routing and ownership share the
+# hash); a repeat of the same sweep DIRECT at one backend must stay
+# byte-identical with ZERO new engine executions — every cell that backend
+# does not own arrives over the peer-read protocol — and SIGTERM must
+# drain both write-behind queues so the two directories together hold
+# exactly one verified entry per cell.
+sdir1="$tmp/shard1"
+sdir2="$tmp/shard2"
+"$tmp/svwd" -addr 127.0.0.1:0 -j 2 -grace 0 -store-dir "$sdir1" -peer-learn \
+    >"$tmp/s1.out" 2>"$tmp/s1.err" &
+s1_pid=$!
+"$tmp/svwd" -addr 127.0.0.1:0 -j 2 -grace 0 -store-dir "$sdir2" -peer-learn \
+    >"$tmp/s2.out" 2>"$tmp/s2.err" &
+s2_pid=$!
+trap 'kill "$s1_pid" "$s2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+wait_listening "$tmp/s1.out" "sharded svwd 1" "$tmp/s1.err"
+wait_listening "$tmp/s2.out" "sharded svwd 2" "$tmp/s2.err"
+s1=$(sed -n 's/^svwd: listening on //p' "$tmp/s1.out")
+s2=$(sed -n 's/^svwd: listening on //p' "$tmp/s2.out")
+
+"$tmp/svwctl" -addr 127.0.0.1:0 -grace 0 \
+    -backends "http://$s1,http://$s2" >"$tmp/sctl.out" 2>"$tmp/sctl.err" &
+sctl_pid=$!
+trap 'kill "$sctl_pid" "$s1_pid" "$s2_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+wait_listening "$tmp/sctl.out" "svwctl (sharded)" "$tmp/sctl.err"
+sctl=$(sed -n 's/^svwctl: listening on //p' "$tmp/sctl.out")
+
+# 16 cells (8 configs x 2 benches): enough that "one backend owns every
+# cell" — which would make the peer_hits assertion vacuous — has
+# negligible odds (~2^-16).
+shard_configs=ssq,nlq,rle,ssq+svw,nlq+svw,rle+svw,base-ssq,base-nlq
+"$tmp/svwload" -smoke -url "http://$sctl" \
+    -configs "$shard_configs" -benches gcc,twolf -insts "$smoke_insts" >"$tmp/s_got.json"
+"$tmp/svwsim" -json -config ssq -bench gcc -insts "$smoke_insts" >"$tmp/s_want.json"
+"$tmp/svwsim" -json -config "$shard_configs" -bench gcc,twolf -insts "$smoke_insts" \
+    >>"$tmp/s_want.json"
+cmp "$tmp/s_got.json" "$tmp/s_want.json"
+
+# Repeat the sweep DIRECT at backend 1. (A repeat through the coordinator
+# is all memory hits — routing and ownership share the hash — so only a
+# direct sweep exercises the peer-read path.)
+"$tmp/svwload" -stats -url "http://$s1" >"$tmp/s1_before.json"
+misses_before=$(sed -n 's/.*"memo_misses": \([0-9]*\).*/\1/p' "$tmp/s1_before.json")
+"$tmp/svwload" -smoke -url "http://$s1" \
+    -configs "$shard_configs" -benches gcc,twolf -insts "$smoke_insts" >"$tmp/s_direct.json"
+cmp "$tmp/s_direct.json" "$tmp/s_want.json"
+
+# The repeat fetched at least one entry from the peer and computed nothing.
+"$tmp/svwload" -stats -url "http://$s1" >"$tmp/s1_after.json"
+grep -Eq '"peer_hits": [1-9]' "$tmp/s1_after.json"
+misses_after=$(sed -n 's/.*"memo_misses": \([0-9]*\).*/\1/p' "$tmp/s1_after.json")
+test "$misses_before" = "$misses_after"
+
+kill -TERM "$sctl_pid"
+wait "$sctl_pid"
+kill -TERM "$s1_pid" "$s2_pid"
+wait "$s1_pid" "$s2_pid"
+trap 'rm -rf "$tmp"' EXIT
+
+# Write-behind drained on SIGTERM: one entry per swept cell, split across
+# the two shards (peer reads promote to memory only, so no entry is ever
+# duplicated onto a non-owner's disk), and both directories verify clean.
+n1=$("$tmp/svwstore" ls "$sdir1" | sed -n 's/^\([0-9][0-9]*\) entries,.*/\1/p')
+n2=$("$tmp/svwstore" ls "$sdir2" | sed -n 's/^\([0-9][0-9]*\) entries,.*/\1/p')
+test "$((n1 + n2))" -eq 16
+test "$n1" -gt 0
+test "$n2" -gt 0
+"$tmp/svwstore" verify "$sdir1"
+"$tmp/svwstore" verify "$sdir2"

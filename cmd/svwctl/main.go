@@ -88,6 +88,10 @@ func main() {
 		"max forwarding attempts per job across backends (0 = 2x backend count)")
 	hedge := flag.Duration("hedge", 0,
 		"hedge a straggling job onto its fallback backend after this delay (0 = off)")
+	headerTimeout := flag.Duration("response-header-timeout", 0,
+		"per-attempt wait for a backend's response headers before retrying the "+
+			"next ranked backend; svwd answers only after computing, so keep it "+
+			"above the longest expected job (0 = 2m default, negative = no bound)")
 	healthEvery := flag.Duration("health-interval", time.Second,
 		"background backend health probe period (0 = passive health only)")
 	maxBody := flag.Int64("max-body", cluster.DefaultMaxBodyBytes, "max request body bytes")
@@ -118,17 +122,18 @@ func main() {
 		os.Exit(1)
 	}
 	c, err := cluster.New(cluster.Options{
-		Backends:           urls,
-		BackendConcurrency: *conc,
-		MaxAttempts:        *attempts,
-		HedgeAfter:         *hedge,
-		MaxBodyBytes:       *maxBody,
-		MaxSweepJobs:       *maxSweep,
-		StoreDir:           *storeDir,
-		StoreMaxBytes:      *storeMaxBytes,
-		TraceBufferSize:    *traceBuf,
-		SlowLogEnabled:     *slowMS >= 0,
-		SlowLogThreshold:   time.Duration(*slowMS) * time.Millisecond,
+		Backends:              urls,
+		BackendConcurrency:    *conc,
+		MaxAttempts:           *attempts,
+		HedgeAfter:            *hedge,
+		ResponseHeaderTimeout: *headerTimeout,
+		MaxBodyBytes:          *maxBody,
+		MaxSweepJobs:          *maxSweep,
+		StoreDir:              *storeDir,
+		StoreMaxBytes:         *storeMaxBytes,
+		TraceBufferSize:       *traceBuf,
+		SlowLogEnabled:        *slowMS >= 0,
+		SlowLogThreshold:      time.Duration(*slowMS) * time.Millisecond,
 	})
 	if err != nil {
 		hint := ""

@@ -67,6 +67,23 @@ func main() {
 			"daemon pointed at the same directory serves previous results from disk")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0,
 		"persistent store size cap in bytes, LRU-GCed past it (0 = 1GiB default)")
+	storeWriteBehind := flag.Int("store-write-behind", 256,
+		"write-behind queue entries for persistent store writes: results are "+
+			"buffered and flushed in batches by a background writer, drained on "+
+			"shutdown (0 = synchronous write per result)")
+	peers := flag.String("peers", "",
+		"comma-separated fabric member URLs for the sharded persistent store "+
+			"(each memo key's entry lives on its rendezvous owner; other members "+
+			"fetch it over GET /v1/store/{key} before recomputing); empty = no "+
+			"static membership")
+	peerSelf := flag.String("peer-self", "",
+		"this daemon's own URL within -peers (how it recognizes keys it owns)")
+	peerLearn := flag.Bool("peer-learn", false,
+		"adopt fabric membership from a fronting svwctl's forwarded requests "+
+			"(X-Svw-Peers/X-Svw-Peer-Self headers); headers are trusted at face "+
+			"value, enable only on trusted networks")
+	peerTimeout := flag.Duration("peer-read-timeout", 0,
+		"per-fetch budget for peer store reads (0 = 2s default)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
 	maxSweep := flag.Int("max-sweep", server.DefaultMaxSweepJobs, "max jobs in one sweep matrix")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock limit (0 = none)")
@@ -103,6 +120,11 @@ func main() {
 		CacheEntries:        *cacheEntries,
 		StoreDir:            *storeDir,
 		StoreMaxBytes:       *storeMaxBytes,
+		StoreWriteBehind:    *storeWriteBehind,
+		Peers:               splitPeers(*peers),
+		PeerSelf:            *peerSelf,
+		PeerLearn:           *peerLearn,
+		PeerReadTimeout:     *peerTimeout,
 		MaxBodyBytes:        *maxBody,
 		MaxSweepJobs:        *maxSweep,
 		JobTimeout:          *timeout,
@@ -168,5 +190,19 @@ func main() {
 		}
 		srv.Close()
 	}
+	// Drain the store's write-behind queue after the HTTP server stops:
+	// every result completed before shutdown lands on disk, so a restart
+	// over the same -store-dir is as warm as the daemon was.
+	if err := s.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "svwd: closing store: %v\n", err)
+	}
 	fmt.Fprintln(os.Stderr, "svwd: stopped")
+}
+
+// splitPeers parses the -peers list ("" = none).
+func splitPeers(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
 }

@@ -400,10 +400,11 @@ func (l *loader) runLoad(clients, iters int) error {
 	n := len(latencies)
 	hits := after.Cache.Hits - before.Cache.Hits
 	diskHits := after.Cache.DiskHits - before.Cache.DiskHits
+	peerHits := after.Cache.PeerHits - before.Cache.PeerHits
 	misses := after.Cache.Misses - before.Cache.Misses
 	hitRate := 0.0
-	if hits+diskHits+misses > 0 {
-		hitRate = float64(hits+diskHits) / float64(hits+diskHits+misses) * 100
+	if hits+diskHits+peerHits+misses > 0 {
+		hitRate = float64(hits+diskHits+peerHits) / float64(hits+diskHits+peerHits+misses) * 100
 	}
 
 	fmt.Printf("svwload: %d clients x %d sweeps (%d jobs each), insts=%d\n",
@@ -419,8 +420,8 @@ func (l *loader) runLoad(clients, iters int) error {
 	fmt.Printf("  latency       p50 %v  p90 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
-	fmt.Printf("  server store  %d memory hits / %d disk hits / %d misses (%.1f%% hit rate)\n",
-		hits, diskHits, misses, hitRate)
+	fmt.Printf("  server store  %d memory hits / %d disk hits / %d peer hits / %d misses (%.1f%% hit rate)\n",
+		hits, diskHits, peerHits, misses, hitRate)
 	fmt.Printf("  engine memo   +%d hits / +%d misses over the run\n",
 		after.Engine.MemoHits-before.Engine.MemoHits,
 		after.Engine.MemoMisses-before.Engine.MemoMisses)

@@ -41,7 +41,21 @@ const CacheHeader = "X-Svwd-Cache"
 const (
 	CacheMemory = "memory"
 	CacheDisk   = "disk"
+	CachePeer   = "peer"
 	CacheMiss   = "miss"
+)
+
+// PeersHeader carries the fabric's member URLs (comma-separated,
+// normalized, including the receiver) on coordinator-forwarded requests.
+// A backend started with -peer-learn adopts the list as its store-owner
+// election set — the coordinator's membership snapshot IS the sharding
+// map, pushed along with the work itself so no separate gossip channel
+// exists to drift from it. PeerSelfHeader names the URL the coordinator
+// addressed the receiver by, which is how a backend learns its own
+// identity inside that list without being configured with it.
+const (
+	PeersHeader    = "X-Svw-Peers"
+	PeerSelfHeader = "X-Svw-Peer-Self"
 )
 
 // DeadlineHeader carries the client's latency budget in whole
@@ -143,8 +157,11 @@ type StatsResponse struct {
 // DiskHits counts results served from the persistent tier. The Disk*
 // occupancy fields are zero on a store with no disk tier.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	DiskHits  uint64 `json:"disk_hits"`
+	Hits     uint64 `json:"hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	// PeerHits counts results fetched from a peer backend's store over the
+	// fabric's peer-read protocol instead of recomputed locally.
+	PeerHits  uint64 `json:"peer_hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	// PromotionEvictions is the subset of Evictions forced by disk-hit
@@ -163,6 +180,12 @@ type CacheStats struct {
 	DiskEvictions   uint64 `json:"disk_evictions"`
 	DiskCorrupt     uint64 `json:"disk_corrupt"`
 	DiskWriteErrors uint64 `json:"disk_write_errors"`
+	// Writebehind* snapshot the disk tier's write-behind queue: current
+	// depth (entries not yet on disk), batches flushed, and writes dropped
+	// by a full queue. All zero when writes are synchronous.
+	WritebehindDepth   int    `json:"writebehind_depth"`
+	WritebehindFlushes uint64 `json:"writebehind_flushes"`
+	WritebehindDrops   uint64 `json:"writebehind_drops"`
 }
 
 // StoreCacheStats converts a store snapshot to its wire shape.
@@ -170,6 +193,7 @@ func StoreCacheStats(st store.Stats) CacheStats {
 	return CacheStats{
 		Hits:               st.Hits,
 		DiskHits:           st.DiskHits,
+		PeerHits:           st.PeerHits,
 		Misses:             st.Misses,
 		Evictions:          st.Evictions,
 		PromotionEvictions: st.PromotionEvictions,
@@ -182,6 +206,9 @@ func StoreCacheStats(st store.Stats) CacheStats {
 		DiskEvictions:      st.Disk.Evictions,
 		DiskCorrupt:        st.Disk.Corrupt,
 		DiskWriteErrors:    st.Disk.WriteErrors,
+		WritebehindDepth:   st.WriteBehind.Depth,
+		WritebehindFlushes: st.WriteBehind.Flushes,
+		WritebehindDrops:   st.WriteBehind.Drops,
 	}
 }
 
@@ -191,6 +218,7 @@ func StoreCacheStats(st store.Stats) CacheStats {
 func (s *CacheStats) Add(o CacheStats) {
 	s.Hits += o.Hits
 	s.DiskHits += o.DiskHits
+	s.PeerHits += o.PeerHits
 	s.Misses += o.Misses
 	s.Evictions += o.Evictions
 	s.PromotionEvictions += o.PromotionEvictions
@@ -203,6 +231,9 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.DiskEvictions += o.DiskEvictions
 	s.DiskCorrupt += o.DiskCorrupt
 	s.DiskWriteErrors += o.DiskWriteErrors
+	s.WritebehindDepth += o.WritebehindDepth
+	s.WritebehindFlushes += o.WritebehindFlushes
+	s.WritebehindDrops += o.WritebehindDrops
 }
 
 // EngineStats surfaces the shared engine's reuse counters.
@@ -273,11 +304,13 @@ type ClusterBackendStats struct {
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`
 	// JobsOK counts jobs whose winning response came from this backend;
-	// CacheHits the subset the backend answered from its memory tier and
-	// DiskHits the subset it answered from its disk tier (CacheHeader).
+	// CacheHits the subset the backend answered from its memory tier,
+	// DiskHits from its disk tier, and PeerHits from a peer's store over
+	// the sharded-store read protocol (all via CacheHeader).
 	JobsOK    uint64 `json:"jobs_ok"`
 	CacheHits uint64 `json:"cache_hits"`
 	DiskHits  uint64 `json:"disk_hits"`
+	PeerHits  uint64 `json:"peer_hits"`
 	// HealthFlaps counts health-state transitions (healthy <-> unhealthy)
 	// the coordinator has observed for this backend — a flapping backend
 	// has a high count with few lasting errors.
@@ -296,7 +329,8 @@ type SweepEvent struct {
 	Bench  string `json:"bench"`
 	// Cached: served from the result store, no engine involvement (on the
 	// coordinator: the serving backend's store, via CacheHeader). Origin
-	// says which tier ("memory" or "disk"); it is empty for computed jobs.
+	// says which tier ("memory", "disk" or "peer"); it is empty for
+	// computed jobs.
 	Cached bool   `json:"cached"`
 	Origin string `json:"origin,omitempty"`
 	// Memoized: executed via the engine but answered from its memo table.
@@ -311,12 +345,13 @@ type SweepEvent struct {
 }
 
 // SweepDone is the data payload of the final SSE "done" event. CacheHits
-// counts every store-served job (both tiers); DiskHits the disk-tier
-// subset.
+// counts every store-served job (all tiers); DiskHits and PeerHits the
+// disk-tier and peer-fetched subsets.
 type SweepDone struct {
 	Jobs        int `json:"jobs"`
 	CacheHits   int `json:"cache_hits"`
 	DiskHits    int `json:"disk_hits"`
+	PeerHits    int `json:"peer_hits"`
 	CacheMisses int `json:"cache_misses"`
 	Errors      int `json:"errors"`
 }

@@ -55,6 +55,14 @@ const (
 	DefaultMaxBodyBytes       = 1 << 20 // 1 MiB
 	DefaultMaxSweepJobs       = 4096
 	DefaultProbeTimeout       = 2 * time.Second
+	// DefaultResponseHeaderTimeout bounds how long one forwarded attempt
+	// waits for a backend to start answering. svwd sends headers only
+	// after the job computes, so the bound must sit above the longest
+	// legitimate job — it exists to reclaim dispatch slots from a backend
+	// that accepted the connection and then hung (half-dead process, wedged
+	// accept queue), which before this bound pinned a slot forever on
+	// requests without an api.DeadlineHeader budget.
+	DefaultResponseHeaderTimeout = 2 * time.Minute
 )
 
 // Options configures a Coordinator. Backends is required; every other
@@ -81,8 +89,15 @@ type Options struct {
 	// (0 = DefaultMaxSweepJobs).
 	MaxSweepJobs int
 	// Client optionally overrides the HTTP client used to reach backends
-	// (nil = a client with a connection pool sized to the fabric).
+	// (nil = a client with a connection pool sized to the fabric and
+	// ResponseHeaderTimeout applied).
 	Client *http.Client
+	// ResponseHeaderTimeout bounds how long the built-in backend client
+	// waits for response headers on one attempt; past it the attempt fails
+	// and the walk retries the key's next-ranked backend
+	// (0 = DefaultResponseHeaderTimeout, < 0 disables the bound). Ignored
+	// when Client is set.
+	ResponseHeaderTimeout time.Duration
 	// StoreDir roots the coordinator's own result store ("" = none). Run
 	// and sweep results computed through the fabric are written through to
 	// it, and jobs whose every backend attempt fails are served from it.
@@ -122,6 +137,7 @@ type backend struct {
 	jobsOK    uint64
 	cacheHits uint64
 	diskHits  uint64
+	peerHits  uint64
 	flaps     uint64 // health-state transitions
 }
 
@@ -165,9 +181,9 @@ func (b *backend) noteEnd(failed bool) {
 }
 
 // noteWin accounts a winning response — the one actually returned to the
-// client; origin is the backend's CacheHeader value, attributing memory-
-// and disk-tier hits separately. Called once per dispatch, so a retried
-// or hedged job still scores exactly one win.
+// client; origin is the backend's CacheHeader value, attributing memory-,
+// disk- and peer-tier hits separately. Called once per dispatch, so a
+// retried or hedged job still scores exactly one win.
 func (b *backend) noteWin(origin string) {
 	b.mu.Lock()
 	b.jobsOK++
@@ -176,6 +192,8 @@ func (b *backend) noteWin(origin string) {
 		b.cacheHits++
 	case api.CacheDisk:
 		b.diskHits++
+	case api.CachePeer:
+		b.peerHits++
 	}
 	b.mu.Unlock()
 }
@@ -192,6 +210,7 @@ func (b *backend) stats() api.ClusterBackendStats {
 		JobsOK:      b.jobsOK,
 		CacheHits:   b.cacheHits,
 		DiskHits:    b.diskHits,
+		PeerHits:    b.peerHits,
 		HealthFlaps: b.flaps,
 	}
 	if b.lastErr != nil {
@@ -258,6 +277,13 @@ func New(opts Options) (*Coordinator, error) {
 	if client == nil {
 		tr := http.DefaultTransport.(*http.Transport).Clone()
 		tr.MaxIdleConnsPerHost = conc
+		rht := opts.ResponseHeaderTimeout
+		if rht == 0 {
+			rht = DefaultResponseHeaderTimeout
+		}
+		if rht > 0 {
+			tr.ResponseHeaderTimeout = rht
+		}
 		client = &http.Client{Transport: tr}
 	}
 	var st *store.Store

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -32,9 +33,29 @@ type outcome struct {
 }
 
 // cached reports whether the response was served from a store rather than
-// computed — any tier, backend or coordinator.
+// computed — any tier (memory, disk, or a peer's store), backend or
+// coordinator.
 func (o *outcome) cached() bool {
-	return o.origin == api.CacheMemory || o.origin == api.CacheDisk
+	return o.origin == api.CacheMemory || o.origin == api.CacheDisk || o.origin == api.CachePeer
+}
+
+// peersHeader is the membership payload attached to every forwarded
+// attempt: the dispatch snapshot's URLs, comma-joined. Backends running
+// with -peer-learn adopt it as their store-owner election set, so the
+// sharding map rides along with the work itself. Empty below two members
+// — a one-backend "fabric" has no peers to read from.
+func peersHeader(pool []*backend) string {
+	if len(pool) < 2 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, b := range pool {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(b.url)
+	}
+	return sb.String()
 }
 
 // dispatch forwards one request to the pool: rendezvous-routed, retried
@@ -60,8 +81,9 @@ func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, re
 	// when both walks are live.
 	var budget atomic.Int64
 	maxAttempts := c.attemptsBudget(len(pool))
+	peersHdr := peersHeader(pool)
 	if c.hedgeAfter <= 0 || len(pool) < 2 {
-		out := c.forward(ctx, dsp, pool, "primary", key, 0, method, path, reqBody, &budget, maxAttempts)
+		out := c.forward(ctx, dsp, pool, "primary", key, 0, method, path, reqBody, peersHdr, &budget, maxAttempts)
 		c.noteOutcome(out)
 		finishDispatch(dsp, out, false)
 		return out
@@ -71,7 +93,7 @@ func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, re
 	defer cancel() // reap the losing attempt
 	results := make(chan outcome, 2)
 	go func() {
-		results <- c.forward(hctx, dsp, pool, "primary", key, 0, method, path, reqBody, &budget, maxAttempts)
+		results <- c.forward(hctx, dsp, pool, "primary", key, 0, method, path, reqBody, peersHdr, &budget, maxAttempts)
 	}()
 
 	timer := time.NewTimer(c.hedgeAfter)
@@ -109,7 +131,7 @@ func (c *Coordinator) dispatch(ctx context.Context, key, method, path string, re
 				// Offset 1 starts the candidate walk at the key's
 				// second-ranked backend, so the hedge never duplicates
 				// work onto the straggling primary first.
-				out := c.forward(hctx, dsp, pool, "hedge", key, 1, method, path, reqBody, &budget, maxAttempts)
+				out := c.forward(hctx, dsp, pool, "hedge", key, 1, method, path, reqBody, peersHdr, &budget, maxAttempts)
 				out.hedged = true
 				results <- out
 			}()
@@ -244,7 +266,7 @@ func (c *Coordinator) forwardJob(ctx context.Context, key string, reqBody []byte
 // the hedge, not a retry). dsp is the dispatch span the walk's "attempt"
 // spans parent under (inert when untraced); walk names the walk on those
 // spans ("primary" or "hedge").
-func (c *Coordinator) forward(ctx context.Context, dsp trace.Span, pool []*backend, walk, key string, offset int, method, path string, reqBody []byte, budget *atomic.Int64, maxAttempts int) outcome {
+func (c *Coordinator) forward(ctx context.Context, dsp trace.Span, pool []*backend, walk, key string, offset int, method, path string, reqBody []byte, peersHdr string, budget *atomic.Int64, maxAttempts int) outcome {
 	order := rank(pool, key)
 	n := len(order)
 	walkAttempts := 0
@@ -275,7 +297,7 @@ func (c *Coordinator) forward(ctx context.Context, dsp trace.Span, pool []*backe
 					sp.SetAttr("retry", strconv.Itoa(walkAttempts-1))
 				}
 			}
-			out, retryable := c.attempt(ctx, sp, b, method, path, reqBody)
+			out, retryable := c.attempt(ctx, sp, b, method, path, reqBody, peersHdr)
 			if !retryable {
 				return out
 			}
@@ -283,10 +305,16 @@ func (c *Coordinator) forward(ctx context.Context, dsp trace.Span, pool []*backe
 		}
 		if pass == 0 && budget.Load() < int64(maxAttempts) {
 			// Preferred candidates exhausted: breathe briefly so transient
-			// saturation can drain before the fail-open pass.
+			// saturation can drain before the fail-open pass. A stoppable
+			// Timer, not time.After — a saturated fabric runs this once per
+			// dispatch, and time.After's timer lives on past a ctx-done exit
+			// until it fires, piling up garbage exactly when dispatch volume
+			// and cancellations are highest.
+			timer := time.NewTimer(5 * time.Millisecond)
 			select {
-			case <-time.After(5 * time.Millisecond):
+			case <-timer.C:
 			case <-ctx.Done():
+				timer.Stop()
 				return outcome{err: ctx.Err()}
 			}
 		}
@@ -307,7 +335,7 @@ func (c *Coordinator) forward(ctx context.Context, dsp trace.Span, pool []*backe
 // walk won — or the client went away — is marked outcome=abandoned; for
 // a losing hedge that marking happens when its transport call observes
 // the cancellation, possibly after the request has already completed.
-func (c *Coordinator) attempt(ctx context.Context, sp trace.Span, b *backend, method, path string, reqBody []byte) (outcome, bool) {
+func (c *Coordinator) attempt(ctx context.Context, sp trace.Span, b *backend, method, path string, reqBody []byte, peersHdr string) (outcome, bool) {
 	fail := func(o outcome, retryable bool, outcomeAttr string) (outcome, bool) {
 		if sp.Active() {
 			sp.SetAttr("outcome", outcomeAttr)
@@ -335,6 +363,14 @@ func (c *Coordinator) attempt(ctx context.Context, sp trace.Span, b *backend, me
 	}
 	if len(reqBody) > 0 {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if peersHdr != "" {
+		// The membership payload: the pool snapshot this dispatch ranked
+		// over, plus the URL this backend is being addressed by — which is
+		// how a -peer-learn backend discovers both the sharding map and its
+		// own identity inside it.
+		req.Header.Set(api.PeersHeader, peersHdr)
+		req.Header.Set(api.PeerSelfHeader, b.url)
 	}
 	if id := trace.FromContext(ctx).ID(); id != "" {
 		// One ID names the request on every layer: the backend opens its

@@ -361,8 +361,11 @@ func (c *Coordinator) streamSweep(w http.ResponseWriter, tr *trace.Trace, jobs [
 		}
 		if ev.Cached {
 			summary.CacheHits++
-			if out.origin == api.CacheDisk {
+			switch out.origin {
+			case api.CacheDisk:
 				summary.DiskHits++
+			case api.CachePeer:
+				summary.PeerHits++
 			}
 		} else {
 			summary.CacheMisses++

@@ -139,4 +139,7 @@ func (m *clusterMetrics) ensureBackend(url string) {
 	m.reg.CounterFunc("svwctl_backend_disk_hits_total",
 		"Winning responses the backend served from its disk tier.",
 		func() uint64 { return stats().DiskHits }, l)
+	m.reg.CounterFunc("svwctl_backend_peer_hits_total",
+		"Winning responses the backend fetched from a peer's store.",
+		func() uint64 { return stats().PeerHits }, l)
 }

@@ -1,12 +1,15 @@
 package cluster
 
 import (
-	"hash/fnv"
 	"sort"
+
+	"svwsim/internal/rendezvous"
 )
 
 // Job routing: rendezvous (highest-random-weight) hashing on the engine
-// memo key. Every (coordinator, backend set) pair computes the same
+// memo key, delegating the hash itself to internal/rendezvous so the
+// backends' store-owner election (internal/server) uses bit-identical
+// placement. Every (coordinator, backend set) pair computes the same
 // preference order for a key — FNV-1a is unseeded, so the order is also
 // stable across processes and restarts. The properties the fabric leans
 // on:
@@ -23,11 +26,7 @@ import (
 
 // score is one backend's rendezvous weight for a key.
 func score(backendURL, key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(backendURL))
-	h.Write([]byte{0}) // separate url from key: "ab"+"c" != "a"+"bc"
-	h.Write([]byte(key))
-	return h.Sum64()
+	return rendezvous.Score(backendURL, key)
 }
 
 // rank returns indices into backends ordered by descending rendezvous
@@ -57,14 +56,5 @@ func rank(backends []*backend, key string) []int {
 // rankURLs is rank over bare URLs, for tests and tooling that reason about
 // placement without a live pool.
 func rankURLs(urls []string, key string) []string {
-	bs := make([]*backend, len(urls))
-	for i, u := range urls {
-		bs[i] = &backend{url: u}
-	}
-	order := rank(bs, key)
-	out := make([]string, len(order))
-	for i, idx := range order {
-		out[i] = urls[idx]
-	}
-	return out
+	return rendezvous.Rank(urls, key)
 }

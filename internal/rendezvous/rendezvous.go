@@ -1,0 +1,71 @@
+// Package rendezvous implements highest-random-weight (rendezvous)
+// hashing over string member identities. It is the single placement
+// function for the whole fabric: the svwctl coordinator routes jobs with
+// it (internal/cluster), and every svwd backend elects the store owner
+// for a memo key with it (internal/server), so both sides agree on which
+// member holds a key's persistent entry without exchanging any state
+// beyond the member list itself.
+//
+// The hash is unseeded FNV-1a over member + 0x00 + key, so the ranking
+// is a pure function of (member set, key) — stable across processes,
+// restarts, and machines. Removing a member only remaps the keys it
+// owned; adding one only claims the keys it now wins.
+package rendezvous
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Score is one member's rendezvous weight for a key. The 0x00 separator
+// keeps ("ab","c") and ("a","bc") distinct.
+func Score(member, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(member))
+	h.Write([]byte{0}) // separate member from key
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Rank returns members ordered by descending Score for key, ties broken
+// by member string then original index, for full determinism. Rank[0] is
+// the key's owner; later entries are its failover order.
+func Rank(members []string, key string) []string {
+	order := make([]int, len(members))
+	scores := make([]uint64, len(members))
+	for i, m := range members {
+		order[i] = i
+		scores[i] = Score(m, key)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		if members[ia] != members[ib] {
+			return members[ia] < members[ib]
+		}
+		return ia < ib
+	})
+	out := make([]string, len(order))
+	for i, idx := range order {
+		out[i] = members[idx]
+	}
+	return out
+}
+
+// Owner returns the top-ranked member for key, or "" for an empty set.
+func Owner(members []string, key string) string {
+	if len(members) == 0 {
+		return ""
+	}
+	best := 0
+	bestScore := Score(members[0], key)
+	for i := 1; i < len(members); i++ {
+		s := Score(members[i], key)
+		if s > bestScore || (s == bestScore && members[i] < members[best]) {
+			best, bestScore = i, s
+		}
+	}
+	return members[best]
+}

@@ -1,0 +1,66 @@
+package rendezvous
+
+import (
+	"fmt"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://backend-%d:97%02d", i, i)
+	}
+	return out
+}
+
+func TestRankDeterministicAndComplete(t *testing.T) {
+	ms := members(5)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		r1 := Rank(ms, key)
+		r2 := Rank(ms, key)
+		if len(r1) != len(ms) {
+			t.Fatalf("rank dropped members: %v", r1)
+		}
+		seen := make(map[string]bool)
+		for j := range r1 {
+			if r1[j] != r2[j] {
+				t.Fatalf("rank not deterministic for %q: %v vs %v", key, r1, r2)
+			}
+			seen[r1[j]] = true
+		}
+		if len(seen) != len(ms) {
+			t.Fatalf("rank repeated a member for %q: %v", key, r1)
+		}
+	}
+}
+
+func TestOwnerMatchesRankHead(t *testing.T) {
+	ms := members(7)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("cfg-%d|bench|10000", i)
+		if got, want := Owner(ms, key), Rank(ms, key)[0]; got != want {
+			t.Fatalf("Owner(%q)=%q, Rank head=%q", key, got, want)
+		}
+	}
+}
+
+func TestRemovalOnlyRemapsOwnedKeys(t *testing.T) {
+	ms := members(6)
+	removed := ms[2]
+	smaller := append(append([]string{}, ms[:2]...), ms[3:]...)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("k%d", i)
+		before := Owner(ms, key)
+		after := Owner(smaller, key)
+		if before != removed && after != before {
+			t.Fatalf("key %q moved from %q to %q though %q was removed", key, before, after, removed)
+		}
+	}
+}
+
+func TestOwnerEmptySet(t *testing.T) {
+	if got := Owner(nil, "k"); got != "" {
+		t.Fatalf("Owner(nil)=%q, want empty", got)
+	}
+}

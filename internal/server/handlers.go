@@ -128,6 +128,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	s.observePeers(r)
 	ctx, cancel, ok := api.RequestContext(w, r)
 	if !ok {
 		return
@@ -154,6 +155,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if origin != store.OriginMiss {
 		s.store.AccountGet(origin)
 		w.Header().Set(api.CacheHeader, origin.String())
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+	// Both local tiers missed: if the key's rendezvous owner is another
+	// backend, its disk tier may hold the entry — a validated fetch is a
+	// serve (promoted to local memory only; the persistent copy stays on
+	// the owner), and anything else falls through to compute.
+	if body, ok := s.peerFetch(ctx, tr, key); ok {
+		s.store.PutMemory(key, body)
+		s.store.AccountGet(store.OriginPeer)
+		w.Header().Set(api.CacheHeader, api.CachePeer)
 		writeBody(w, http.StatusOK, body)
 		return
 	}
@@ -225,6 +237,7 @@ type sweepPlan struct {
 	origin []store.Origin // which tier served job i (OriginMiss = computed)
 	sub    []engine.Job   // the uncached jobs this request computes, in job-index order
 	disk   int            // how many cached jobs came from the disk tier
+	peer   int            // how many cached jobs were fetched from a peer's store
 
 	// Singleflight state (claimFlights). flight[i] != nil: job i is being
 	// computed by a concurrent request and this sweep waits on that flight
@@ -271,9 +284,12 @@ func (p *sweepPlan) abandonOwned(err error) {
 
 // planSweep validates the request, flattens the matrix config-major (the
 // `svwsim -config a,b -bench x,y` order) and probes the store for every
-// job. One store_probe span covers the whole probe loop, annotated with
-// the per-tier tallies. It writes the error response itself on failure.
-func (s *Server) planSweep(w http.ResponseWriter, tr *trace.Trace, req *SweepRequest) (*sweepPlan, bool) {
+// job — memory, local disk, then the cell's store owner over HTTP when
+// the fabric membership is known (peers.go). One store_probe span covers
+// the whole probe loop, annotated with the per-tier tallies; each peer
+// fetch records its own store_peer span. It writes the error response
+// itself on failure.
+func (s *Server) planSweep(ctx context.Context, w http.ResponseWriter, tr *trace.Trace, req *SweepRequest) (*sweepPlan, bool) {
 	if len(req.Configs) == 0 || len(req.Benches) == 0 {
 		writeError(w, http.StatusBadRequest, "sweep matrix is empty: need configs and benches")
 		return nil, false
@@ -313,6 +329,11 @@ func (s *Server) planSweep(w http.ResponseWriter, tr *trace.Trace, req *SweepReq
 			if origin == store.OriginDisk {
 				p.disk++
 			}
+		} else if body, ok := s.peerFetch(ctx, tr, key); ok {
+			s.store.PutMemory(key, body)
+			p.cached[i] = body
+			p.origin[i] = store.OriginPeer
+			p.peer++
 		} else {
 			p.sub = append(p.sub, p.jobs[i])
 		}
@@ -322,6 +343,7 @@ func (s *Server) planSweep(w http.ResponseWriter, tr *trace.Trace, req *SweepReq
 		sp.SetAttr("jobs", strconv.Itoa(len(p.jobs)))
 		sp.SetAttr("hits", strconv.Itoa(hits))
 		sp.SetAttr("disk_hits", strconv.Itoa(p.disk))
+		sp.SetAttr("peer_hits", strconv.Itoa(p.peer))
 		sp.SetAttr("misses", strconv.Itoa(len(p.sub)))
 	}
 	sp.End()
@@ -334,13 +356,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	s.observePeers(r)
 	ctx, cancel, ok := api.RequestContext(w, r)
 	if !ok {
 		return
 	}
 	defer cancel()
 	tr := trace.FromContext(ctx)
-	p, ok := s.planSweep(w, tr, &req)
+	p, ok := s.planSweep(ctx, w, tr, &req)
 	if !ok {
 		return
 	}
@@ -425,8 +448,11 @@ func (s *Server) bufferSweep(ctx context.Context, w http.ResponseWriter, r *http
 		}
 	}
 	// Served in full: only now does the sweep's store outcome count.
-	// Coalesced cells count under Coalesced, not Misses.
-	s.store.Account(uint64(len(p.jobs)-len(p.sub)-p.foreign-p.disk), uint64(p.disk), uint64(misses))
+	// Coalesced cells count under Coalesced, not Misses; peer-fetched
+	// cells count under PeerHits only, so the fabric-wide sum stays one
+	// count per served cell.
+	s.store.Account(uint64(len(p.jobs)-len(p.sub)-p.foreign-p.disk-p.peer), uint64(p.disk), uint64(misses))
+	s.store.AccountPeer(uint64(p.peer))
 	writeBody(w, http.StatusOK, body)
 	s.metrics.encode.Observe(time.Since(t0))
 }
@@ -523,12 +549,13 @@ func (s *Server) streamSweep(ctx context.Context, w http.ResponseWriter, r *http
 			ev.Origin = p.origin[i].String()
 			ev.Result = json.RawMessage(p.cached[i])
 			summary.CacheHits++
-			if p.origin[i] == store.OriginDisk {
+			switch p.origin[i] {
+			case store.OriginDisk:
 				summary.DiskHits++
-				s.store.Account(0, 1, 0)
-			} else {
-				s.store.Account(1, 0, 0)
+			case store.OriginPeer:
+				summary.PeerHits++
 			}
+			s.store.AccountGet(p.origin[i])
 		case p.flight[i] != nil:
 			// Coalesced on a concurrent request's computation of this cell.
 			var misses int
@@ -709,6 +736,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.observePeers(r)
 	ctx, cancel, ok := api.RequestContext(w, r)
 	if !ok {
 		return

@@ -17,9 +17,11 @@ type serverMetrics struct {
 	http *metrics.HTTP
 
 	// Per-stage latency: where a request's time actually goes. store_probe
-	// covers store lookups, gate_wait the admission acquire, engine_run
-	// the simulation work, encode result marshalling + write-out.
+	// covers store lookups, store_peer owner-over-HTTP fetches, gate_wait
+	// the admission acquire, engine_run the simulation work, encode result
+	// marshalling + write-out.
 	storeProbe *metrics.Histogram
+	storePeer  *metrics.Histogram
 	gateWait   *metrics.Histogram
 	engineRun  *metrics.Histogram
 	encode     *metrics.Histogram
@@ -49,6 +51,7 @@ func newServerMetrics(s *Server, clientWeights map[string]int) *serverMetrics {
 			metrics.Label{Key: "stage", Value: name})
 	}
 	m.storeProbe = stage("store_probe")
+	m.storePeer = stage("store_peer")
 	m.gateWait = stage("gate_wait")
 	m.engineRun = stage("engine_run")
 	m.encode = stage("encode")
@@ -92,6 +95,7 @@ func newServerMetrics(s *Server, clientWeights map[string]int) *serverMetrics {
 	}
 	tier(api.CacheMemory, func() uint64 { return s.store.Stats().Hits })
 	tier(api.CacheDisk, func() uint64 { return s.store.Stats().DiskHits })
+	tier(api.CachePeer, func() uint64 { return s.store.Stats().PeerHits })
 	tier(api.CacheMiss, func() uint64 { return s.store.Stats().Misses })
 	reg.GaugeFunc("svw_store_entries", "Result store memory-tier entries.",
 		func() float64 { return float64(s.store.Stats().Entries) })
@@ -102,6 +106,15 @@ func newServerMetrics(s *Server, clientWeights map[string]int) *serverMetrics {
 	reg.CounterFunc("svw_store_coalesced_total",
 		"Singleflight waits: requests that shared an in-flight identical computation.",
 		func() uint64 { return s.store.Stats().Coalesced })
+	reg.GaugeFunc("svw_store_writebehind_depth",
+		"Write-behind queue entries not yet landed on disk.",
+		func() float64 { return float64(s.store.Stats().WriteBehind.Depth) })
+	reg.CounterFunc("svw_store_writebehind_flushes_total",
+		"Write-behind batches flushed (one directory sync each).",
+		func() uint64 { return s.store.Stats().WriteBehind.Flushes })
+	reg.CounterFunc("svw_store_writebehind_drops_total",
+		"Disk writes dropped by a full write-behind queue.",
+		func() uint64 { return s.store.Stats().WriteBehind.Drops })
 
 	reg.CounterFunc("svw_engine_memo_hits_total", "Engine memo-table hits.",
 		func() uint64 { return s.eng.Memo().Hits })

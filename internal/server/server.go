@@ -2,6 +2,7 @@
 // simulation service (the svwd daemon):
 //
 //	GET  /v1/healthz             liveness (503 while draining)
+//	GET  /v1/store/{key}         peer-read protocol: one checksummed store entry
 //	GET  /v1/configs             configuration registry listing
 //	GET  /v1/benches             benchmark kernel listing
 //	GET  /v1/stats               cache / engine / admission counters
@@ -72,6 +73,29 @@ type Options struct {
 	// StoreMaxBytes caps the persistent tier; least-recently-accessed
 	// entries are GCed past it (0 = store.DefaultDiskMaxBytes).
 	StoreMaxBytes int64
+	// StoreWriteBehind, when > 0 and StoreDir is set, buffers disk writes
+	// in a bounded queue of this many entries drained by a background
+	// flusher (one directory sync per batch) instead of writing
+	// synchronously per result. Drained by Close; 0 keeps writes
+	// synchronous.
+	StoreWriteBehind int
+	// Peers statically configures the fabric member URLs for store-owner
+	// election (the sharded persistent store; see peers.go). Every member
+	// list entry is a backend base URL, normally including this server's
+	// own (PeerSelf). Empty disables peer reads unless PeerLearn adopts a
+	// membership payload.
+	Peers []string
+	// PeerSelf is this server's own URL within Peers — how it recognizes
+	// keys it owns itself.
+	PeerSelf string
+	// PeerLearn adopts the membership payload (api.PeersHeader /
+	// api.PeerSelfHeader) a fronting coordinator attaches to forwarded
+	// requests, so backends learn the sharding map from the work itself.
+	// Headers are trusted at face value; enable only on trusted networks.
+	PeerLearn bool
+	// PeerReadTimeout bounds one peer store read
+	// (0 = DefaultPeerReadTimeout).
+	PeerReadTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
 	// MaxSweepJobs bounds one sweep's flattened matrix
@@ -123,6 +147,13 @@ type Server struct {
 	maxSweepJobs int
 	start        time.Time
 	draining     atomic.Bool
+
+	// Sharded-store state (peers.go): the membership view for store-owner
+	// election and the client peer reads go out on.
+	peers       *peerSet
+	peerLearn   bool
+	peerTimeout time.Duration
+	peerClient  *http.Client
 }
 
 // New builds a Server from opts (see Options for zero-value defaults). It
@@ -151,6 +182,7 @@ func New(opts Options) (*Server, error) {
 		MemoryEntries: cacheEntries,
 		Dir:           opts.StoreDir,
 		MaxBytes:      opts.StoreMaxBytes,
+		WriteBehind:   opts.StoreWriteBehind,
 	})
 	if err != nil {
 		return nil, err
@@ -160,6 +192,10 @@ func New(opts Options) (*Server, error) {
 	eng.SetMemoCap(opts.EngineMemoCap)
 	g := newGate(maxJobs)
 	g.setWeights(opts.ClientWeights, opts.DefaultClientWeight)
+	peerTimeout := opts.PeerReadTimeout
+	if peerTimeout <= 0 {
+		peerTimeout = DefaultPeerReadTimeout
+	}
 	s := &Server{
 		eng:          eng,
 		store:        st,
@@ -168,7 +204,12 @@ func New(opts Options) (*Server, error) {
 		maxBody:      maxBody,
 		maxSweepJobs: maxSweep,
 		start:        time.Now(),
+		peers:        &peerSet{},
+		peerLearn:    opts.PeerLearn,
+		peerTimeout:  peerTimeout,
+		peerClient:   &http.Client{},
 	}
+	s.peers.set(opts.Peers, opts.PeerSelf)
 	s.metrics = newServerMetrics(s, opts.ClientWeights)
 	if opts.SlowLogEnabled {
 		s.tracer.Slow = &trace.SlowLog{
@@ -183,6 +224,15 @@ func New(opts Options) (*Server, error) {
 // Engine returns the server's shared engine (for embedding svwd-style
 // serving next to direct sweeps in the same process).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Close releases the server's background resources: the store's
+// write-behind queue is drained (every completed result lands on disk)
+// and the peer-read client's idle connections are closed. Call it on
+// graceful shutdown, after the HTTP server has stopped accepting work.
+func (s *Server) Close() error {
+	s.peerClient.CloseIdleConnections()
+	return s.store.Close()
+}
 
 // SetDraining marks the server as draining: /v1/healthz flips to 503 so
 // load balancers stop routing to the process while in-flight requests
@@ -206,6 +256,7 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle(pattern, s.metrics.http.Wrap(endpoint, s.tracer.Wrap(endpoint, fn)))
 	}
 	handle("GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	handle("GET /v1/store/{key}", "/v1/store", s.handleStoreGet)
 	handle("GET /v1/configs", "/v1/configs", s.handleConfigs)
 	handle("GET /v1/benches", "/v1/benches", s.handleBenches)
 	handle("GET /v1/stats", "/v1/stats", s.handleStats)

@@ -232,6 +232,7 @@ func TestCacheHeaderValuesMatchStoreOrigins(t *testing.T) {
 	}{
 		{store.OriginMemory, api.CacheMemory},
 		{store.OriginDisk, api.CacheDisk},
+		{store.OriginPeer, api.CachePeer},
 		{store.OriginMiss, api.CacheMiss},
 	}
 	for _, p := range pairs {

@@ -189,9 +189,14 @@ func (d *Disk) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	if _, indexed := d.index.Get(name); !indexed {
-		// Another instance (or a pre-restart run) wrote it; adopt it.
+		// Another instance (or a pre-restart run) wrote it; adopt it — and
+		// GC immediately. Adoption used to skip the GC, so a daemon reading
+		// a shared directory grew its tier unboundedly past maxBytes until
+		// the next local Put happened to trigger one. The adopted entry is
+		// the index's newest, so it survives the sweep itself.
 		d.index.Put(name, diskFile{size: int64(len(raw))})
 		d.total += int64(len(raw))
+		d.gcLocked()
 	}
 	d.mu.Unlock()
 	// Bump mtime so access recency survives a restart; best-effort, and
@@ -271,6 +276,20 @@ func (d *Disk) gcLocked() {
 	}
 }
 
+// SyncDir fsyncs the tier's directory, making every rename landed so far
+// durable in one metadata flush. The synchronous Put path leaves this to
+// the OS; the write-behind flusher calls it once per batch, amortizing
+// the sync across the whole batch. Best-effort: a filesystem that cannot
+// sync directories just returns the error.
+func (d *Disk) SyncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
 // Stats snapshots the tier.
 func (d *Disk) Stats() DiskStats {
 	d.mu.Lock()
@@ -336,4 +355,19 @@ func decodeEntry(raw []byte, wantKey string) ([]byte, bool) {
 		return nil, false
 	}
 	return val, true
+}
+
+// EncodeEntry serializes one entry in the on-disk format. It is the wire
+// encoding of the peer-read protocol too: a store owner answers
+// GET /v1/store/{key} with exactly these bytes, so the requester runs the
+// same validation it runs on local files.
+func EncodeEntry(key string, val []byte) []byte { return encodeEntry(key, val) }
+
+// DecodeEntry validates an encoded entry against wantKey, returning the
+// value on success. A corrupt or mismatched entry — bad magic, stale
+// version, length or checksum mismatch, or a different embedded key — is
+// (nil, false): a peer answer that fails here degrades to a cache miss,
+// never a wrong answer.
+func DecodeEntry(raw []byte, wantKey string) ([]byte, bool) {
+	return decodeEntry(raw, wantKey)
 }

@@ -74,8 +74,8 @@ func (f *Flight) Complete(val []byte, err error, persist bool) {
 	}
 	close(f.done)
 	s.mu.Unlock()
-	if err == nil && persist && s.disk != nil {
-		s.disk.Put(f.key, val)
+	if err == nil && persist {
+		s.diskPut(f.key, val)
 	}
 }
 

@@ -36,6 +36,11 @@ const (
 	OriginMemory
 	// OriginDisk: served from the disk tier (and promoted to memory).
 	OriginDisk
+	// OriginPeer: fetched from the key's store owner over HTTP (and
+	// promoted to memory). The store itself never produces this from Get —
+	// the serving layer's peer router does, after validating the fetched
+	// entry — but it accounts and spells like any other tier.
+	OriginPeer
 )
 
 // String returns the origin's wire spelling — the X-Svwd-Cache values.
@@ -45,6 +50,8 @@ func (o Origin) String() string {
 		return "memory"
 	case OriginDisk:
 		return "disk"
+	case OriginPeer:
+		return "peer"
 	default:
 		return "miss"
 	}
@@ -59,13 +66,22 @@ type Options struct {
 	Dir string
 	// MaxBytes caps the disk tier (0 = store.DefaultDiskMaxBytes).
 	MaxBytes int64
+	// WriteBehind, when > 0 and a disk tier is configured, buffers disk
+	// writes in a bounded queue of this many entries drained by a
+	// background flusher (writebehind.go) instead of writing synchronously
+	// on the serving path. Flushed on Close; 0 keeps writes synchronous.
+	WriteBehind int
 }
 
 // Stats snapshots a Store's counters and occupancy. Hits/DiskHits/Misses
 // advance only through Account.
 type Stats struct {
-	Hits      uint64 // memory-tier hits
-	DiskHits  uint64
+	Hits     uint64 // memory-tier hits
+	DiskHits uint64
+	// PeerHits counts responses served from a peer's store over the
+	// fabric's peer-read protocol — a fetch somewhere else instead of a
+	// recompute here.
+	PeerHits  uint64
 	Misses    uint64
 	Evictions uint64 // memory-tier evictions, promotion-driven included
 	// PromotionEvictions is the subset of Evictions forced by disk-hit
@@ -76,16 +92,18 @@ type Stats struct {
 	// Coalesced counts singleflight waits: Get-or-compute callers that
 	// found the key already being computed and shared the leader's result
 	// instead of computing their own (flight.go).
-	Coalesced uint64
-	Entries   int // memory-tier entries
-	Capacity  int // memory-tier bound
-	Disk      DiskStats
+	Coalesced   uint64
+	Entries     int // memory-tier entries
+	Capacity    int // memory-tier bound
+	Disk        DiskStats
+	WriteBehind WriteBehindStats
 }
 
 // Store is the tiered result store. Create with Open; it is safe for
 // concurrent use.
 type Store struct {
-	disk *Disk // nil = memory only
+	disk *Disk        // nil = memory only
+	wb   *writeBehind // nil = synchronous disk writes
 
 	mu                 sync.Mutex
 	mem                *LRU[[]byte]
@@ -93,6 +111,7 @@ type Store struct {
 	flights            map[string]*Flight
 	hits               uint64
 	diskHits           uint64
+	peerHits           uint64
 	misses             uint64
 	evictions          uint64
 	promotionEvictions uint64
@@ -116,8 +135,29 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 		s.disk = d
+		if opts.WriteBehind > 0 {
+			s.wb = newWriteBehind(d, opts.WriteBehind)
+		}
 	}
 	return s, nil
+}
+
+// Close drains the write-behind queue (when one is configured) so every
+// completed result has landed on disk, then stops its flusher. Safe on a
+// store without one; call it on graceful shutdown before exiting.
+func (s *Store) Close() error {
+	if s.wb != nil {
+		s.wb.close()
+	}
+	return nil
+}
+
+// Flush blocks until every disk write enqueued so far has landed. A no-op
+// without a write-behind queue (synchronous writes are already on disk).
+func (s *Store) Flush() {
+	if s.wb != nil {
+		s.wb.flush()
+	}
 }
 
 // HasDisk reports whether a disk tier is configured.
@@ -148,14 +188,34 @@ func (s *Store) Get(key string) ([]byte, Origin) {
 }
 
 // Put stores val under key in the memory tier and writes it through to
-// the disk tier when one is configured. Disk write failures are absorbed:
-// the memory tier still serves the entry, and the disk simply stays cold
-// for that key.
+// the disk tier when one is configured — synchronously, or via the
+// write-behind queue when one is enabled. Disk write failures (and
+// write-behind drops) are absorbed: the memory tier still serves the
+// entry, and the disk simply stays cold for that key.
 func (s *Store) Put(key string, val []byte) {
 	s.mu.Lock()
 	s.putMemLocked(key, val, false)
 	s.mu.Unlock()
-	if s.disk != nil {
+	s.diskPut(key, val)
+}
+
+// PutMemory stores val under key in the memory tier only. The peer
+// router uses it for fetched entries: the key's persistent copy lives on
+// its owner, so writing it to the local disk would unshard the tier.
+func (s *Store) PutMemory(key string, val []byte) {
+	s.mu.Lock()
+	s.putMemLocked(key, val, true)
+	s.mu.Unlock()
+}
+
+// diskPut routes one disk write through the write-behind queue when one
+// is configured, synchronously otherwise. No-op without a disk tier.
+func (s *Store) diskPut(key string, val []byte) {
+	switch {
+	case s.disk == nil:
+	case s.wb != nil:
+		s.wb.enqueue(key, val)
+	default:
 		s.disk.Put(key, val)
 	}
 }
@@ -186,6 +246,13 @@ func (s *Store) Account(hits, diskHits, misses uint64) {
 	s.mu.Unlock()
 }
 
+// AccountPeer records n responses served from a peer's store.
+func (s *Store) AccountPeer(n uint64) {
+	s.mu.Lock()
+	s.peerHits += n
+	s.mu.Unlock()
+}
+
 // AccountGet is Account for one Get outcome.
 func (s *Store) AccountGet(o Origin) {
 	switch o {
@@ -193,6 +260,8 @@ func (s *Store) AccountGet(o Origin) {
 		s.Account(1, 0, 0)
 	case OriginDisk:
 		s.Account(0, 1, 0)
+	case OriginPeer:
+		s.AccountPeer(1)
 	default:
 		s.Account(0, 0, 1)
 	}
@@ -204,6 +273,7 @@ func (s *Store) Stats() Stats {
 	st := Stats{
 		Hits:               s.hits,
 		DiskHits:           s.diskHits,
+		PeerHits:           s.peerHits,
 		Misses:             s.misses,
 		Evictions:          s.evictions,
 		PromotionEvictions: s.promotionEvictions,
@@ -214,6 +284,9 @@ func (s *Store) Stats() Stats {
 	s.mu.Unlock()
 	if s.disk != nil {
 		st.Disk = s.disk.Stats()
+	}
+	if s.wb != nil {
+		st.WriteBehind = s.wb.stats()
 	}
 	return st
 }
