@@ -6,8 +6,9 @@
 # one-shot engine benchmark so sweep scaling regressions surface early,
 # the measured-performance gate against BENCH_pipeline.json, an svwd
 # smoke stage that boots the daemon and byte-compares its responses
-# against the svwsim CLI, and a cluster smoke stage that does the same
-# through svwctl fronting two svwd children.
+# against the svwsim CLI, a sampled-simulation smoke stage (determinism,
+# key disjointness, checkpoint reuse), and a cluster smoke stage that does
+# the same run/sweep comparison through svwctl fronting two svwd children.
 #
 #   ./ci.sh            run the full gate
 #   ./ci.sh benchjson  re-capture the 'current' block of BENCH_pipeline.json
@@ -142,6 +143,32 @@ trap 'rm -rf "$tmp"' EXIT
 "$tmp/svwstore" gc "$storedir" >"$tmp/svwstore_gc.out"
 grep -q '^removed 0 entries' "$tmp/svwstore_gc.out"
 "$tmp/svwstore" verify "$storedir"
+
+# Sampled smoke: sampled runs must be deterministic (two invocations
+# byte-identical), must differ from the exact sweep (their results live
+# under disjoint store keys and carry scaled counters), and with a store
+# their fast-forward warm states are checkpointed: a different config over
+# the same store re-uses every skip point instead of re-emulating, and
+# svwstore verify accepts checkpoint entries like any result entry.
+sample_flags="-sample-warmup 1000 -sample-detail 1000 -sample-period 5000"
+"$tmp/svwsim" -json -config ssq+svw -bench gcc,twolf -insts "$smoke_insts" \
+    $sample_flags >"$tmp/sampled1.json"
+"$tmp/svwsim" -json -config ssq+svw -bench gcc,twolf -insts "$smoke_insts" \
+    $sample_flags >"$tmp/sampled2.json"
+cmp "$tmp/sampled1.json" "$tmp/sampled2.json"
+! cmp -s "$tmp/sampled1.json" "$tmp/want2.json"
+
+sampledir="$tmp/sampled_store"
+"$tmp/svwsim" -json -config ssq+svw -bench gcc,twolf -insts "$smoke_insts" \
+    $sample_flags -store-dir "$sampledir" -stats \
+    >"$tmp/sampled3.json" 2>"$tmp/sampled3.err"
+cmp "$tmp/sampled3.json" "$tmp/sampled1.json"
+grep -q 'ckpt-puts=[1-9]' "$tmp/sampled3.err"
+"$tmp/svwsim" -json -config nlq+svw -bench gcc,twolf -insts "$smoke_insts" \
+    $sample_flags -store-dir "$sampledir" -stats >/dev/null 2>"$tmp/sampled4.err"
+grep -q 'fast-forwards=0 ' "$tmp/sampled4.err"
+grep -q 'ckpt-hits=[1-9]' "$tmp/sampled4.err"
+"$tmp/svwstore" verify "$sampledir"
 
 # Cluster smoke: svwctl over two svwd children must serve the same run
 # and sweep byte-identically to svwsim -json — the fabric must be

@@ -33,6 +33,8 @@ var benchTargets = []struct {
 	name    string // canonical name in the JSON file
 }{
 	{"^BenchmarkEngine$/^j=1$", "./internal/sim/engine", "BenchmarkEngine/j=1"},
+	{"^BenchmarkEngineSampled$", "./internal/sim/engine", "BenchmarkEngineSampled"},
+	{"^BenchmarkFastForward$", "./internal/sim/engine", "BenchmarkFastForward"},
 	{"^BenchmarkPipelineThroughput$", ".", "BenchmarkPipelineThroughput"},
 }
 

@@ -41,6 +41,7 @@ import (
 
 	"svwsim/internal/cluster"
 	"svwsim/internal/debugserver"
+	"svwsim/internal/pipeline"
 )
 
 // backendSet is the desired pool: the union of the -backends flag and the
@@ -114,6 +115,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "",
 		"serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); "+
 			"empty = off; never exposed on the serving port")
+	sampleWarmup := flag.Uint64("sample-warmup", 0,
+		"fabric-wide default sampled simulation: warm-up commits per detailed "+
+			"window, stamped onto forwarded requests that carry no sample spec")
+	sampleDetail := flag.Uint64("sample-detail", 0,
+		"fabric-wide default sampled simulation: measured commits per window (0 = exact)")
+	samplePeriod := flag.Uint64("sample-period", 0,
+		"fabric-wide default sampled simulation: committed instructions each window represents")
 	flag.Parse()
 
 	urls, err := backendSet(*backends, *backendsFile)
@@ -134,6 +142,9 @@ func main() {
 		TraceBufferSize:       *traceBuf,
 		SlowLogEnabled:        *slowMS >= 0,
 		SlowLogThreshold:      time.Duration(*slowMS) * time.Millisecond,
+		DefaultSample: pipeline.SampleSpec{
+			Warmup: *sampleWarmup, Detail: *sampleDetail, Period: *samplePeriod,
+		},
 	})
 	if err != nil {
 		hint := ""

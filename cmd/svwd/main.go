@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"svwsim/internal/debugserver"
+	"svwsim/internal/pipeline"
 	"svwsim/internal/server"
 )
 
@@ -106,6 +107,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "",
 		"serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060); "+
 			"empty = off; never exposed on the serving port")
+	sampleWarmup := flag.Uint64("sample-warmup", 0,
+		"default sampled simulation: warm-up commits per detailed window, applied "+
+			"to requests that carry no sample spec of their own")
+	sampleDetail := flag.Uint64("sample-detail", 0,
+		"default sampled simulation: measured commits per window (0 = exact)")
+	samplePeriod := flag.Uint64("sample-period", 0,
+		"default sampled simulation: committed instructions each window represents")
 	flag.Parse()
 
 	weights, err := parseClientWeights(*clientWeights)
@@ -134,6 +142,9 @@ func main() {
 		TraceBufferSize:     *traceBuf,
 		SlowLogEnabled:      *slowMS >= 0,
 		SlowLogThreshold:    time.Duration(*slowMS) * time.Millisecond,
+		DefaultSample: pipeline.SampleSpec{
+			Warmup: *sampleWarmup, Detail: *sampleDetail, Period: *samplePeriod,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svwd: %v\n", err)

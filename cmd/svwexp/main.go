@@ -22,10 +22,13 @@
 // re-sweep of Figs. 5–7 under -all — execute exactly once and are served
 // from the engine's memo thereafter. -json switches the figure reports to
 // machine-readable output; -stats reports the engine's reuse counters on
-// stderr at exit.
+// stderr at exit. The -sample-* flags switch every study to sampled
+// simulation (see pipeline.SampleSpec); sampled runs memoize under their
+// own keys, so they never contaminate exact results.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,7 +58,19 @@ func main() {
 	progress := flag.Bool("progress", false, "stream per-job progress to stderr (in job order)")
 	stats := flag.Bool("stats", false, "report engine run/memo counters on stderr")
 	benchList := flag.String("benches", "", "comma-separated benchmark subset")
+	sampleWarmup := flag.Uint64("sample-warmup", 0,
+		"sampled simulation: detailed warm-up commits per window (counters reset after)")
+	sampleDetail := flag.Uint64("sample-detail", 0,
+		"sampled simulation: measured commits per window (0 = exact simulation)")
+	samplePeriod := flag.Uint64("sample-period", 0,
+		"sampled simulation: committed instructions each window represents; "+
+			"the gap past warmup+detail is fast-forwarded functionally")
 	flag.Parse()
+
+	spec := pipeline.SampleSpec{Warmup: *sampleWarmup, Detail: *sampleDetail, Period: *samplePeriod}
+	if err := spec.Validate(); err != nil {
+		fatalf("%v", err)
+	}
 
 	benches := sim.AllBenches()
 	if *benchList != "" {
@@ -83,7 +98,7 @@ func main() {
 				r.Result.IPC(), 100*r.Result.Stats.RexRate())
 		})
 	}
-	h := &harness{eng: eng, insts: *insts, json: *jsonOut}
+	h := &harness{eng: eng, insts: *insts, json: *jsonOut, sample: spec}
 
 	ran := false
 	run := func(cond bool, f func()) {
@@ -120,9 +135,10 @@ func fatalf(format string, args ...any) {
 
 // harness carries the shared engine and output mode through the studies.
 type harness struct {
-	eng   *engine.Engine
-	insts uint64
-	json  bool
+	eng    *engine.Engine
+	insts  uint64
+	json   bool
+	sample pipeline.SampleSpec
 }
 
 func (h *harness) emitJSON(v any) {
@@ -134,7 +150,7 @@ func (h *harness) emitJSON(v any) {
 }
 
 func (h *harness) ladder(l sim.Ladder, benches []string) *sim.LadderResult {
-	res, err := sim.RunLadders(h.eng, []sim.Ladder{l}, benches, h.insts)
+	res, err := sim.RunLaddersSampled(context.Background(), h.eng, []sim.Ladder{l}, benches, h.insts, h.sample)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -193,7 +209,7 @@ func (h *harness) runLadder(l sim.Ladder, benches []string, fig int) {
 }
 
 func (h *harness) runFig8() {
-	res, err := sim.RunFig8With(h.eng, workload.Fig8Subset(), h.insts)
+	res, err := sim.RunFig8Sampled(context.Background(), h.eng, workload.Fig8Subset(), h.insts, h.sample)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -205,7 +221,7 @@ func (h *harness) runFig8() {
 }
 
 func (h *harness) runSSNWidth(benches []string) {
-	res, err := sim.RunSSNWidthWith(h.eng, benches, []int{8, 10, 12, 16, 0}, h.insts)
+	res, err := sim.RunSSNWidthSampled(context.Background(), h.eng, benches, []int{8, 10, 12, 16, 0}, h.insts, h.sample)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -217,7 +233,7 @@ func (h *harness) runSSNWidth(benches []string) {
 }
 
 func (h *harness) runSSBFUpd(benches []string) {
-	res, err := sim.RunSSBFUpdatePolicyWith(h.eng, benches, h.insts)
+	res, err := sim.RunSSBFUpdatePolicySampled(context.Background(), h.eng, benches, h.insts, h.sample)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -287,8 +303,8 @@ func (h *harness) runRetPorts(benches []string) {
 		two.RetirePorts = 2
 		two.Name = "base-2port"
 		jobs = append(jobs,
-			engine.Job{Study: "retports", Label: "1port", Config: sim.BaselineNLQ(), Bench: b, Insts: h.insts},
-			engine.Job{Study: "retports", Label: "2port", Config: two, Bench: b, Insts: h.insts},
+			engine.Job{Study: "retports", Label: "1port", Config: sim.BaselineNLQ(), Bench: b, Insts: h.insts, Sample: h.sample},
+			engine.Job{Study: "retports", Label: "2port", Config: two, Bench: b, Insts: h.insts, Sample: h.sample},
 		)
 	}
 	rs, err := h.eng.Run(jobs, nil)
@@ -321,7 +337,7 @@ func (h *harness) runNLQSM(benches []string) {
 		cfg := sim.NLQ(sim.SVWUpd)
 		cfg.NLQSM = pipeline.NLQSMConfig{Enabled: true, IntervalCycles: 200}
 		cfg.Name = "nlq+svw+sm"
-		jobs = append(jobs, engine.Job{Study: "nlqsm", Label: b, Config: cfg, Bench: b, Insts: h.insts})
+		jobs = append(jobs, engine.Job{Study: "nlqsm", Label: b, Config: cfg, Bench: b, Insts: h.insts, Sample: h.sample})
 	}
 	rs, err := h.eng.Run(jobs, nil)
 	if err != nil {

@@ -17,6 +17,11 @@
 // from disk without simulating, and fresh results are written back — so a
 // CLI sweep pre-warms the store a daemon later serves from, and vice
 // versa. Output, including -json, is byte-identical either way.
+//
+// The -sample-* flags switch runs to sampled simulation (short detailed
+// windows separated by functional fast-forward; see pipeline.SampleSpec).
+// Sampled results live under their own store keys, and with -store-dir the
+// fast-forward warm states are checkpointed into the store for reuse.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"strings"
 
 	"svwsim/internal/api"
+	"svwsim/internal/pipeline"
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/store"
@@ -45,8 +51,23 @@ func main() {
 			"stored jobs are served from disk, fresh ones written back")
 	storeMaxBytes := flag.Int64("store-max-bytes", 0,
 		"persistent store size cap in bytes, LRU-GCed past it (0 = 1GiB default)")
+	sampleWarmup := flag.Uint64("sample-warmup", 0,
+		"sampled simulation: detailed warm-up commits per window (counters reset after)")
+	sampleDetail := flag.Uint64("sample-detail", 0,
+		"sampled simulation: measured commits per window (0 = exact simulation)")
+	samplePeriod := flag.Uint64("sample-period", 0,
+		"sampled simulation: committed instructions each window represents; "+
+			"the gap past warmup+detail is fast-forwarded functionally")
+	stats := flag.Bool("stats", false,
+		"print engine sampling counters (fast-forwards, checkpoint hits) to stderr")
 	list := flag.Bool("list", false, "list benchmarks and configurations, then exit")
 	flag.Parse()
+
+	spec := pipeline.SampleSpec{Warmup: *sampleWarmup, Detail: *sampleDetail, Period: *samplePeriod}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "svwsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("benchmarks:")
@@ -72,7 +93,7 @@ func main() {
 				os.Exit(2)
 			}
 			jobs = append(jobs, engine.Job{Study: "svwsim", Label: cfg.Name,
-				Config: cfg, Bench: b, Insts: *insts})
+				Config: cfg, Bench: b, Insts: *insts, Sample: spec})
 		}
 	}
 
@@ -95,7 +116,7 @@ func main() {
 	var subIdx []int
 	for i := range jobs {
 		if st != nil {
-			key := engine.Fingerprint(jobs[i].Config, jobs[i].Bench, jobs[i].Insts)
+			key := engine.SampledFingerprint(jobs[i].Config, jobs[i].Bench, jobs[i].Insts, jobs[i].Sample)
 			if body, origin := st.Get(key); origin != store.OriginMiss {
 				st.AccountGet(origin)
 				bodies[i] = body
@@ -105,9 +126,16 @@ func main() {
 		sub = append(sub, jobs[i])
 		subIdx = append(subIdx, i)
 	}
+	var sampleStats engine.SampleStats
 	if len(sub) > 0 {
 		eng := engine.New(*workers)
 		eng.SetTimeout(*timeout)
+		if st != nil {
+			// The store doubles as the warm-state checkpoint tier: sampled
+			// fast-forwards persist each skip point, so the next run (or a
+			// daemon over the same directory) restores instead of emulating.
+			eng.SetCheckpointStore(engine.StoreCheckpoints(st))
+		}
 		rs, err := eng.Run(sub, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svwsim: %v\n", err)
@@ -121,10 +149,17 @@ func main() {
 			}
 			bodies[subIdx[s]] = body
 			if st != nil {
-				key := engine.Fingerprint(r.Job.Config, r.Job.Bench, r.Job.Insts)
+				key := engine.SampledFingerprint(r.Job.Config, r.Job.Bench, r.Job.Insts, r.Job.Sample)
 				st.Put(key, body)
 			}
 		}
+		sampleStats = eng.Sample()
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr,
+			"svwsim: sample: fast-forwards=%d ff-insts=%d ckpt-hits=%d ckpt-misses=%d ckpt-puts=%d\n",
+			sampleStats.FastForwards, sampleStats.FastForwardInsts,
+			sampleStats.CheckpointHits, sampleStats.CheckpointMisses, sampleStats.CheckpointPuts)
 	}
 
 	if *jsonOut {

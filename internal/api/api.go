@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"svwsim/internal/pipeline"
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/store"
 	"svwsim/internal/trace"
@@ -100,15 +101,48 @@ type RunRequest struct {
 	Bench string `json:"bench"`
 	// Insts bounds committed instructions (0 keeps the config's default).
 	Insts uint64 `json:"insts"`
+	// Sample* configure detailed-window sampling (pipeline.SampleSpec in
+	// wire form). All three zero — the fields are omitted on the wire —
+	// means exact simulation, or the server's configured default spec if it
+	// runs with one. Sampled results live under their own store keys, so
+	// they never collide with exact results.
+	SampleWarmup uint64 `json:"sample_warmup,omitempty"`
+	SampleDetail uint64 `json:"sample_detail,omitempty"`
+	SamplePeriod uint64 `json:"sample_period,omitempty"`
+}
+
+// Sample assembles the request's sampling spec (zero value = exact).
+func (r *RunRequest) Sample() pipeline.SampleSpec {
+	return pipeline.SampleSpec{Warmup: r.SampleWarmup, Detail: r.SampleDetail, Period: r.SamplePeriod}
+}
+
+// SetSample spreads spec back into the wire fields (used when a layer
+// resolves a default spec and forwards the request).
+func (r *RunRequest) SetSample(spec pipeline.SampleSpec) {
+	r.SampleWarmup, r.SampleDetail, r.SamplePeriod = spec.Warmup, spec.Detail, spec.Period
 }
 
 // SweepRequest is the body of POST /v1/sweep: a config × bench matrix that
 // flattens into a job list config-major (configs outer, benches inner), the
-// same order `svwsim -config a,b -bench x,y` runs.
+// same order `svwsim -config a,b -bench x,y` runs. The Sample* fields
+// apply to every cell of the matrix (see RunRequest).
 type SweepRequest struct {
-	Configs []string `json:"configs"`
-	Benches []string `json:"benches"`
-	Insts   uint64   `json:"insts"`
+	Configs      []string `json:"configs"`
+	Benches      []string `json:"benches"`
+	Insts        uint64   `json:"insts"`
+	SampleWarmup uint64   `json:"sample_warmup,omitempty"`
+	SampleDetail uint64   `json:"sample_detail,omitempty"`
+	SamplePeriod uint64   `json:"sample_period,omitempty"`
+}
+
+// Sample assembles the request's sampling spec (zero value = exact).
+func (r *SweepRequest) Sample() pipeline.SampleSpec {
+	return pipeline.SampleSpec{Warmup: r.SampleWarmup, Detail: r.SampleDetail, Period: r.SamplePeriod}
+}
+
+// SetSample spreads spec back into the wire fields.
+func (r *SweepRequest) SetSample(spec pipeline.SampleSpec) {
+	r.SampleWarmup, r.SampleDetail, r.SamplePeriod = spec.Warmup, spec.Detail, spec.Period
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -236,11 +270,24 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.WritebehindDrops += o.WritebehindDrops
 }
 
-// EngineStats surfaces the shared engine's reuse counters.
+// EngineStats surfaces the shared engine's reuse counters, plus its
+// sampled-simulation counters (engine.SampleStats on the wire): how much
+// functional fast-forward work ran and how often stored warm-state
+// checkpoints spared it.
 type EngineStats struct {
 	MemoHits    uint64 `json:"memo_hits"`
 	MemoMisses  uint64 `json:"memo_misses"`
 	MemoEntries int    `json:"memo_entries"`
+	// FastForwards counts fast-forward legs actually emulated, and
+	// FastForwardInsts the instructions those legs executed.
+	FastForwards     uint64 `json:"fast_forwards"`
+	FastForwardInsts uint64 `json:"fast_forward_insts"`
+	// CheckpointHits counts legs answered by a stored checkpoint instead of
+	// emulation; CheckpointMisses the probes that found nothing and fell
+	// back; CheckpointPuts the checkpoints persisted.
+	CheckpointHits   uint64 `json:"checkpoint_hits"`
+	CheckpointMisses uint64 `json:"checkpoint_misses"`
+	CheckpointPuts   uint64 `json:"checkpoint_puts"`
 }
 
 // Add accumulates o into s (see CacheStats.Add).
@@ -248,6 +295,11 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.MemoHits += o.MemoHits
 	s.MemoMisses += o.MemoMisses
 	s.MemoEntries += o.MemoEntries
+	s.FastForwards += o.FastForwards
+	s.FastForwardInsts += o.FastForwardInsts
+	s.CheckpointHits += o.CheckpointHits
+	s.CheckpointMisses += o.CheckpointMisses
+	s.CheckpointPuts += o.CheckpointPuts
 }
 
 // GateStats is the /v1/stats view of the admission gate.

@@ -218,6 +218,13 @@ func (p *Predictor) pop() (uint64, bool) {
 	return p.ras[p.rasTop%len(p.ras)], true
 }
 
+// ResetStats zeroes the outcome counters without touching trained state, so
+// a sampled-simulation window can measure its own accuracy over a
+// carried-over (warm) predictor.
+func (p *Predictor) ResetStats() {
+	p.Branches, p.DirMispredicts, p.TargetMispredicts, p.BTBMisses = 0, 0, 0, 0
+}
+
 // Accuracy returns the fraction of control instructions fetched without a
 // full mispredict.
 func (p *Predictor) Accuracy() float64 {

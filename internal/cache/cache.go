@@ -232,6 +232,13 @@ func (c *Cache) reapMSHR(now uint64) {
 	}
 }
 
+// ResetStats zeroes the access counters without touching tag state, so a
+// sampled-simulation window can measure its own miss rates over carried-over
+// (warm) cache contents.
+func (c *Cache) ResetStats() {
+	c.Accesses, c.Misses, c.Prefetches = 0, 0, 0
+}
+
 // Contains reports whether addr's line is resident (testing aid).
 func (c *Cache) Contains(addr uint64) bool {
 	s, t := c.set(addr), c.tag(addr)
@@ -256,6 +263,13 @@ type Hierarchy struct {
 	ICache *Cache
 	DCache *Cache
 	L2     *Cache
+}
+
+// ResetStats zeroes every level's access counters (tag state untouched).
+func (h *Hierarchy) ResetStats() {
+	h.ICache.ResetStats()
+	h.DCache.ResetStats()
+	h.L2.ResetStats()
 }
 
 // HierarchyConfig parameterizes NewHierarchy.

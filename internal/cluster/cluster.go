@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"svwsim/internal/api"
+	"svwsim/internal/pipeline"
 	"svwsim/internal/store"
 	"svwsim/internal/trace"
 )
@@ -121,6 +122,12 @@ type Options struct {
 	SlowLogThreshold time.Duration
 	// SlowLogWriter receives slow-request lines (nil = os.Stderr).
 	SlowLogWriter io.Writer
+	// DefaultSample, when enabled, is the sampling spec stamped onto run
+	// and sweep requests that carry none of their own, before forwarding —
+	// backends always see an explicit spec, so a fabric-wide default never
+	// depends on each backend's own configuration. Request-level Sample*
+	// fields win. The zero value forwards unmarked requests unchanged.
+	DefaultSample pipeline.SampleSpec
 }
 
 // backend is one svwd instance in the pool.
@@ -240,6 +247,10 @@ type Coordinator struct {
 	start        time.Time
 	draining     atomic.Bool
 
+	// defaultSample is stamped onto unmarked run/sweep requests before
+	// forwarding (Options.DefaultSample).
+	defaultSample pipeline.SampleSpec
+
 	mu        sync.Mutex
 	runs      uint64
 	sweeps    uint64
@@ -256,6 +267,9 @@ type Coordinator struct {
 func New(opts Options) (*Coordinator, error) {
 	if len(opts.Backends) == 0 {
 		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	if err := opts.DefaultSample.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: default sample spec: %w", err)
 	}
 	conc := opts.BackendConcurrency
 	if conc <= 0 {
@@ -296,15 +310,16 @@ func New(opts Options) (*Coordinator, error) {
 	}
 	seen := make(map[string]bool, len(opts.Backends))
 	c := &Coordinator{
-		members:      membership{conc: conc},
-		client:       client,
-		store:        st,
-		tracer:       trace.NewTracer(opts.TraceBufferSize),
-		maxAttempts:  maxAttempts,
-		hedgeAfter:   opts.HedgeAfter,
-		maxBody:      maxBody,
-		maxSweepJobs: maxSweep,
-		start:        time.Now(),
+		members:       membership{conc: conc},
+		client:        client,
+		store:         st,
+		tracer:        trace.NewTracer(opts.TraceBufferSize),
+		maxAttempts:   maxAttempts,
+		hedgeAfter:    opts.HedgeAfter,
+		maxBody:       maxBody,
+		maxSweepJobs:  maxSweep,
+		start:         time.Now(),
+		defaultSample: opts.DefaultSample,
 	}
 	for _, u := range opts.Backends {
 		if u == "" || seen[u] {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"svwsim/internal/api"
+	"svwsim/internal/pipeline"
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/trace"
@@ -157,15 +158,23 @@ func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
 		api.WriteError(w, http.StatusBadRequest, "unknown benchmark %q", req.Bench)
 		return
 	}
+	spec, ok := c.resolveSample(w, req.Sample())
+	if !ok {
+		return
+	}
 	c.addRun()
 
 	// Forward the normalized registry name (the display name in cfg.Name
 	// is not a registry key). The routing key is the memo key of the
 	// built config, so aliases and case differences hash to the same
-	// backend as their canonical spelling regardless of spelling.
-	key := engine.Fingerprint(cfg, req.Bench, req.Insts)
-	body, err := json.Marshal(api.RunRequest{
-		Config: normalizeConfigName(req.Config), Bench: req.Bench, Insts: req.Insts})
+	// backend as their canonical spelling regardless of spelling. The
+	// resolved sampling spec is forwarded explicitly and keys the routing,
+	// so sampled and exact variants of one job shard independently.
+	key := engine.SampledFingerprint(cfg, req.Bench, req.Insts, spec)
+	fwd := api.RunRequest{
+		Config: normalizeConfigName(req.Config), Bench: req.Bench, Insts: req.Insts}
+	fwd.SetSample(spec)
+	body, err := json.Marshal(fwd)
 	if err != nil {
 		api.WriteError(w, http.StatusInternalServerError, "encoding job: %v", err)
 		return
@@ -197,6 +206,22 @@ func normalizeConfigName(name string) string {
 	return strings.ToLower(strings.TrimSpace(name))
 }
 
+// resolveSample picks a request's effective sampling spec — its own when
+// enabled, the coordinator's default otherwise — and validates it,
+// writing the 400 itself on an incoherent spec. The result is stamped
+// onto every forwarded body, so backends never apply their own defaults
+// to fabric-routed work.
+func (c *Coordinator) resolveSample(w http.ResponseWriter, spec pipeline.SampleSpec) (pipeline.SampleSpec, bool) {
+	if !spec.Enabled() {
+		spec = c.defaultSample
+	}
+	if err := spec.Validate(); err != nil {
+		api.WriteError(w, http.StatusBadRequest, "%v", err)
+		return pipeline.SampleSpec{}, false
+	}
+	return spec, true
+}
+
 // sweepJob is one cell of the flattened matrix.
 type sweepJob struct {
 	config string // the config's display name (what SSE events carry)
@@ -218,6 +243,10 @@ func (c *Coordinator) planSweep(w http.ResponseWriter, req *api.SweepRequest) ([
 			"sweep matrix has %d jobs, limit is %d", n, c.maxSweepJobs)
 		return nil, false
 	}
+	spec, ok := c.resolveSample(w, req.Sample())
+	if !ok {
+		return nil, false
+	}
 	var jobs []sweepJob
 	for _, cname := range req.Configs {
 		cfg, ok := sim.ConfigByName(cname)
@@ -230,8 +259,10 @@ func (c *Coordinator) planSweep(w http.ResponseWriter, req *api.SweepRequest) ([
 				api.WriteError(w, http.StatusBadRequest, "unknown benchmark %q", bench)
 				return nil, false
 			}
-			body, err := json.Marshal(api.RunRequest{
-				Config: normalizeConfigName(cname), Bench: bench, Insts: req.Insts})
+			cell := api.RunRequest{
+				Config: normalizeConfigName(cname), Bench: bench, Insts: req.Insts}
+			cell.SetSample(spec)
+			body, err := json.Marshal(cell)
 			if err != nil {
 				api.WriteError(w, http.StatusInternalServerError, "encoding job: %v", err)
 				return nil, false
@@ -239,7 +270,7 @@ func (c *Coordinator) planSweep(w http.ResponseWriter, req *api.SweepRequest) ([
 			jobs = append(jobs, sweepJob{
 				config: cfg.Name,
 				bench:  bench,
-				key:    engine.Fingerprint(cfg, bench, req.Insts),
+				key:    engine.SampledFingerprint(cfg, bench, req.Insts, spec),
 				body:   body,
 			})
 		}

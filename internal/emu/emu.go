@@ -53,8 +53,9 @@ type Emulator struct {
 	Regs [32]uint64
 	PC   uint64
 
-	seq    uint64
-	halted bool
+	seq     uint64
+	skipped uint64 // instructions consumed by FastForward, excluded from seq
+	halted  bool
 
 	// Decoded-instruction cache: a contiguous table covering
 	// [decBase, decBase+4*len(decTable)). PCs inside the window skip the

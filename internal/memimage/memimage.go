@@ -8,6 +8,8 @@
 // ahead of a conflicting older store.
 package memimage
 
+import "sort"
+
 const (
 	pageShift = 12
 	// PageBytes is the allocation granule of the image.
@@ -118,6 +120,24 @@ func (m *Image) Clone() *Image {
 
 // Pages reports how many pages have been touched (test/diagnostic aid).
 func (m *Image) Pages() int { return len(m.pages) }
+
+// PageAddrs returns the base address of every touched page in ascending
+// order — the deterministic iteration order checkpoint encoding needs.
+func (m *Image) PageAddrs() []uint64 {
+	addrs := make([]uint64, 0, len(m.pages))
+	for k := range m.pages {
+		addrs = append(addrs, k<<pageShift)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// PageAt returns the backing array of the touched page containing addr, or
+// nil for an untouched page (which reads as zero). Callers must treat the
+// returned page as read-only.
+func (m *Image) PageAt(addr uint64) *[PageBytes]byte {
+	return m.page(addr, false)
+}
 
 // Diff returns the address of the first differing byte between two images,
 // or ok=false if they are identical. Unallocated pages compare as zero.

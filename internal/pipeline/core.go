@@ -26,8 +26,10 @@ import (
 type Core struct {
 	cfg Config
 
-	// Oracle side.
+	// Oracle side. emu is the stream's underlying functional emulator,
+	// retained so FastForward and ResetFrom can drive it directly.
 	stream *emu.Stream
+	emu    *emu.Emulator
 
 	// Committed architectural memory: advanced only at store commit. Loads
 	// executing speculatively read this image (plus forwarding), which is
@@ -255,6 +257,7 @@ func (c *Core) Reset(cfg Config, p *prog.Program) {
 	old := *c
 	*c = Core{
 		cfg:           cfg,
+		emu:           em,
 		commitMem:     p.NewImage(),
 		hier:          cache.NewHierarchy(cfg.Mem),
 		bp:            bpred.New(cfg.BP),

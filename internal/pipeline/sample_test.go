@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"svwsim/internal/workload"
+)
+
+// TestStatsCountersComplete reflects over Stats and verifies counters()
+// lists every uint64 field (array elements included): a counter added to
+// the struct but not the list would silently drop out of sampled merging.
+func TestStatsCountersComplete(t *testing.T) {
+	var s Stats
+	want := 0
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Uint64:
+			want++
+		case reflect.Array:
+			if f.Type().Elem().Kind() == reflect.Uint64 {
+				want += f.Len()
+			}
+		}
+	}
+	ptrs := s.counters()
+	if len(ptrs) != want {
+		t.Fatalf("counters() lists %d fields, Stats has %d uint64 counters", len(ptrs), want)
+	}
+	seen := make(map[*uint64]bool, len(ptrs))
+	for _, p := range ptrs {
+		if seen[p] {
+			t.Fatalf("counters() lists a field twice")
+		}
+		seen[p] = true
+	}
+}
+
+func TestStatsAddScale(t *testing.T) {
+	a := Stats{Cycles: 100, Committed: 200, CommittedLoads: 40, RexLoads: 4, BranchAccuracy: 0.5}
+	b := Stats{Cycles: 300, Committed: 600, CommittedLoads: 120, RexLoads: 36, BranchAccuracy: 0.9}
+	sum := a
+	sum.Add(&b)
+	if sum.Cycles != 400 || sum.Committed != 800 || sum.RexLoads != 40 {
+		t.Fatalf("Add: got %+v", sum)
+	}
+	if got := sum.BranchAccuracy; got != 0.8 { // (0.5*200 + 0.9*600) / 800
+		t.Fatalf("Add: weighted BranchAccuracy = %v, want 0.8", got)
+	}
+	ipc := sum.IPC()
+	rex := sum.RexRate()
+	sum.Scale(10_000, sum.Committed)
+	if sum.Committed != 10_000 || sum.Cycles != 5_000 {
+		t.Fatalf("Scale: got %+v", sum)
+	}
+	if sum.IPC() != ipc || sum.RexRate() != rex {
+		t.Fatalf("Scale changed derived rates: IPC %v->%v rex %v->%v", ipc, sum.IPC(), rex, sum.RexRate())
+	}
+}
+
+// TestSampleSpecValidate pins the spec's validity rules.
+func TestSampleSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec SampleSpec
+		ok   bool
+	}{
+		{SampleSpec{}, true}, // exact mode
+		{SampleSpec{Warmup: 500, Detail: 1000, Period: 10_000}, true},
+		{SampleSpec{Detail: 1000, Period: 1000}, true}, // all-detail, no skip
+		{SampleSpec{Warmup: 1, Period: 10}, false},     // no detail window
+		{SampleSpec{Detail: 8, Period: 4}, false},      // period too short
+		{SampleSpec{Warmup: 6, Detail: 6, Period: 10}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+// TestCoreFastForward: a fast-forwarded core continues detailed simulation
+// from the skipped point, and its committed memory equals a pure functional
+// execution of skip+detail instructions — the same end-to-end oracle the
+// exact integration tests use.
+func TestCoreFastForward(t *testing.T) {
+	p := workload.Cached("gcc")
+	const skip, detail = 30_000, 5_000
+
+	cfg := Wide8Config()
+	cfg.WarmupInsts = 0
+	cfg.MaxInsts = detail
+	c := New(cfg, p)
+	n, err := c.FastForward(skip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != skip {
+		t.Fatalf("FastForward executed %d, want %d", n, skip)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CommittedTotal(); got != detail {
+		t.Fatalf("committed %d detailed insts, want %d", got, detail)
+	}
+
+	// Functional reference: skip+detail instructions straight through.
+	ref := New(cfg, p)
+	if _, err := ref.FastForward(skip + detail); err != nil {
+		t.Fatal(err)
+	}
+	if addr, differ := c.CommittedMem().Diff(ref.EmuState().Mem); differ {
+		t.Fatalf("committed memory diverges from functional reference at %#x", addr)
+	}
+
+	// Determinism: the same fast-forwarded run twice is identical.
+	c2 := New(cfg, p)
+	if _, err := c2.FastForward(skip); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if *c.Stats() != *c2.Stats() {
+		t.Fatalf("fast-forwarded runs diverge:\n%+v\n%+v", *c.Stats(), *c2.Stats())
+	}
+}
+
+// TestResetFromSnapshot: a window run from a captured snapshot behaves
+// identically to a fresh core fast-forwarded to the same point.
+func TestResetFromSnapshot(t *testing.T) {
+	p := workload.Cached("mcf")
+	const skip, detail = 20_000, 4_000
+
+	cfg := Narrow4Config()
+	cfg.WarmupInsts = 0
+	cfg.MaxInsts = detail
+
+	direct := New(cfg, p)
+	if _, err := direct.FastForward(skip); err != nil {
+		t.Fatal(err)
+	}
+	st := direct.EmuState()
+	if st.Skipped != skip {
+		t.Fatalf("snapshot skipped = %d, want %d", st.Skipped, skip)
+	}
+	if err := direct.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := new(Core)
+	restored.ResetFrom(cfg, p, st)
+	if err := restored.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if *direct.Stats() != *restored.Stats() {
+		t.Fatalf("snapshot-restored run diverges:\n%+v\n%+v", *direct.Stats(), *restored.Stats())
+	}
+	if addr, differ := direct.CommittedMem().Diff(restored.CommittedMem()); differ {
+		t.Fatalf("committed memory diverges at %#x", addr)
+	}
+}

@@ -66,6 +66,68 @@ type Stats struct {
 	Invalidations uint64
 }
 
+// counters returns a pointer to every raw uint64 counter in s, array
+// elements included. Add and Scale operate through this list, so a counter
+// added to Stats must be listed here — TestStatsCountersComplete reflects
+// over the struct and fails the build of anyone who forgets. The derived
+// float rates (BranchAccuracy, miss rates) are handled separately: they are
+// ratios, merged by committed-weighted average and invariant under scaling.
+func (s *Stats) counters() []*uint64 {
+	out := []*uint64{
+		&s.Cycles, &s.Committed,
+		&s.CommittedLoads, &s.CommittedStores, &s.CommittedBr,
+		&s.MarkedLoads, &s.RexLoads, &s.RexFiltered, &s.RexFailures,
+		&s.Eliminated, &s.ElimReuse, &s.ElimBypass, &s.ElimSquash,
+		&s.FSQLoads, &s.BestEffortFwd, &s.SQForwards,
+		&s.OrderingViolations, &s.RexFlushes, &s.Mispredicts,
+		&s.LoadWaitData, &s.LoadWaitCommit, &s.LoadWaitSS,
+		&s.StallHeadEmpty, &s.StallIncomplete, &s.StallCommitLat,
+		&s.StallRexWait, &s.StallStorePort,
+		&s.StallHeadLoad, &s.StallHeadStore, &s.StallHeadALU,
+		&s.StallHeadBranch, &s.StallHeadUnissued,
+		&s.SSBFLookups, &s.SSBFPositives, &s.WrapDrains,
+		&s.FetchedInsts, &s.Invalidations,
+	}
+	for i := range s.RexByKind {
+		out = append(out, &s.RexByKind[i])
+	}
+	for i := range s.MarkedByKind {
+		out = append(out, &s.MarkedByKind[i])
+	}
+	return out
+}
+
+// Add merges another window's counters into s: raw counters sum, rate
+// fields average weighted by each side's committed count. The sampling
+// engine uses it to accumulate detailed windows into one run-level Stats.
+func (s *Stats) Add(o *Stats) {
+	ws, wo := float64(s.Committed), float64(o.Committed)
+	if ws+wo > 0 {
+		avg := func(a, b float64) float64 { return (a*ws + b*wo) / (ws + wo) }
+		s.BranchAccuracy = avg(s.BranchAccuracy, o.BranchAccuracy)
+		s.ICacheMissRate = avg(s.ICacheMissRate, o.ICacheMissRate)
+		s.DCacheMissRate = avg(s.DCacheMissRate, o.DCacheMissRate)
+		s.L2MissRate = avg(s.L2MissRate, o.L2MissRate)
+	}
+	sc, oc := s.counters(), o.counters()
+	for i := range sc {
+		*sc[i] += *oc[i]
+	}
+}
+
+// Scale multiplies every raw counter by num/den (128-bit intermediate,
+// round-half-up), turning measured-window totals into full-run estimates.
+// Numerator and denominator scale together, so every derived rate — IPC,
+// re-execution rate, miss rates — is preserved.
+func (s *Stats) Scale(num, den uint64) {
+	if den == 0 || num == den {
+		return
+	}
+	for _, p := range s.counters() {
+		*p = scaleCounter(*p, num, den)
+	}
+}
+
 // IPC returns committed instructions per cycle.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"svwsim/internal/api"
+	"svwsim/internal/pipeline"
 	"svwsim/internal/sim"
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/store"
@@ -86,6 +87,22 @@ func rejectSaturated(w http.ResponseWriter) {
 // map it back to the 429 response.
 var errGateSaturated = errors.New("admission gate saturated")
 
+// resolveSample picks a request's effective sampling spec: its own when
+// enabled, the server's configured default otherwise, validated either
+// way. It writes the 400 itself on an incoherent spec. The resolution
+// happens here at the handler seam — never inside the engine — so the
+// spec that keys the store is always the spec that ran.
+func (s *Server) resolveSample(w http.ResponseWriter, spec pipeline.SampleSpec) (pipeline.SampleSpec, bool) {
+	if !spec.Enabled() {
+		spec = s.defaultSample
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return pipeline.SampleSpec{}, false
+	}
+	return spec, true
+}
+
 // --- registry / health / stats ------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -109,13 +126,19 @@ func (s *Server) handleBenches(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.eng.Memo()
+	sm := s.eng.Sample()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeS: time.Since(s.start).Seconds(),
 		Cache:   api.StoreCacheStats(s.store.Stats()),
 		Engine: EngineStats{
-			MemoHits:    m.Hits,
-			MemoMisses:  m.Misses,
-			MemoEntries: s.eng.MemoSize(),
+			MemoHits:         m.Hits,
+			MemoMisses:       m.Misses,
+			MemoEntries:      s.eng.MemoSize(),
+			FastForwards:     sm.FastForwards,
+			FastForwardInsts: sm.FastForwardInsts,
+			CheckpointHits:   sm.CheckpointHits,
+			CheckpointMisses: sm.CheckpointMisses,
+			CheckpointPuts:   sm.CheckpointPuts,
 		},
 		Admission: s.gate.stats(),
 	})
@@ -143,9 +166,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown benchmark %q", req.Bench)
 		return
 	}
+	spec, ok := s.resolveSample(w, req.Sample())
+	if !ok {
+		return
+	}
 
 	tr := trace.FromContext(ctx)
-	key := engine.Fingerprint(cfg, req.Bench, req.Insts)
+	key := engine.SampledFingerprint(cfg, req.Bench, req.Insts, spec)
 	t0 := time.Now()
 	sp := tr.Start("store_probe")
 	body, origin := s.store.Get(key)
@@ -188,7 +215,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		sp = tr.Start("engine_run")
 		rs, err := s.eng.RunContext(ctx, []engine.Job{{
 			Study: "svwd-run", Label: cfg.Name, Config: cfg,
-			Bench: req.Bench, Insts: req.Insts,
+			Bench: req.Bench, Insts: req.Insts, Sample: spec,
 		}}, nil)
 		sp.End()
 		s.metrics.engineRun.Observe(time.Since(t0))
@@ -299,6 +326,10 @@ func (s *Server) planSweep(ctx context.Context, w http.ResponseWriter, tr *trace
 			"sweep matrix has %d jobs, limit is %d", n, s.maxSweepJobs)
 		return nil, false
 	}
+	spec, ok := s.resolveSample(w, req.Sample())
+	if !ok {
+		return nil, false
+	}
 	p := &sweepPlan{}
 	for _, cname := range req.Configs {
 		cfg, ok := sim.ConfigByName(cname)
@@ -313,9 +344,9 @@ func (s *Server) planSweep(ctx context.Context, w http.ResponseWriter, tr *trace
 			}
 			p.jobs = append(p.jobs, engine.Job{
 				Study: "svwd-sweep", Label: cfg.Name, Config: cfg,
-				Bench: bench, Insts: req.Insts,
+				Bench: bench, Insts: req.Insts, Sample: spec,
 			})
-			p.keys = append(p.keys, engine.Fingerprint(cfg, bench, req.Insts))
+			p.keys = append(p.keys, engine.SampledFingerprint(cfg, bench, req.Insts, spec))
 		}
 	}
 	p.cached = make([][]byte, len(p.jobs))
@@ -674,10 +705,13 @@ type studyParams struct {
 	benches []string
 	bits    []int
 	insts   uint64
+	// sample is the study's sampling spec: ?sample=w:d:p when given, then
+	// resolved against the server default by handleStudy before keying.
+	sample pipeline.SampleSpec
 }
 
-// parseStudyParams reads and validates ?fig=&benches=&bits=&insts=. It
-// writes the error response itself on failure.
+// parseStudyParams reads and validates ?fig=&benches=&bits=&insts=&sample=.
+// It writes the error response itself on failure.
 func parseStudyParams(w http.ResponseWriter, r *http.Request, defaultBenches []string) (*studyParams, bool) {
 	q := r.URL.Query()
 	p := &studyParams{benches: defaultBenches, bits: []int{8, 10, 12, 16, 0}}
@@ -717,13 +751,27 @@ func parseStudyParams(w http.ResponseWriter, r *http.Request, defaultBenches []s
 		}
 		p.insts = n
 	}
+	if v := q.Get("sample"); v != "" {
+		spec, err := pipeline.ParseSampleSpec(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil, false
+		}
+		p.sample = spec
+	}
 	return p, true
 }
 
 // key canonicalizes the parameters into a cache key for the given study.
+// The sample component is appended only when sampling is on, so exact
+// studies keep their existing keys.
 func (p *studyParams) key(study string) string {
-	return fmt.Sprintf("study|%s|fig=%d|bits=%v|benches=%s|insts=%d",
+	k := fmt.Sprintf("study|%s|fig=%d|bits=%v|benches=%s|insts=%d",
 		study, p.fig, p.bits, strings.Join(p.benches, ","), p.insts)
+	if p.sample.Enabled() {
+		k += "|sample=" + p.sample.String()
+	}
+	return k
 }
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
@@ -734,6 +782,11 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	}
 	p, ok := parseStudyParams(w, r, defaults)
 	if !ok {
+		return
+	}
+	// Resolve the effective spec now: the store key below must name what
+	// actually runs, default-sampled or exact.
+	if p.sample, ok = s.resolveSample(w, p.sample); !ok {
 		return
 	}
 	s.observePeers(r)
@@ -764,7 +817,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		}
 		weight = len(p.benches) * (1 + len(ladder.Configs))
 		run = func(ctx context.Context) (any, error) {
-			res, err := sim.RunLaddersContext(ctx, s.eng, []sim.Ladder{ladder}, p.benches, p.insts)
+			res, err := sim.RunLaddersSampled(ctx, s.eng, []sim.Ladder{ladder}, p.benches, p.insts, p.sample)
 			if err != nil {
 				return nil, err
 			}
@@ -773,7 +826,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	case "fig8":
 		weight = len(sim.Fig8Variants()) * len(p.benches)
 		run = func(ctx context.Context) (any, error) {
-			res, err := sim.RunFig8Context(ctx, s.eng, p.benches, p.insts)
+			res, err := sim.RunFig8Sampled(ctx, s.eng, p.benches, p.insts, p.sample)
 			if err != nil {
 				return nil, err
 			}
@@ -782,7 +835,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	case "ssn":
 		weight = len(p.bits) * len(p.benches)
 		run = func(ctx context.Context) (any, error) {
-			res, err := sim.RunSSNWidthContext(ctx, s.eng, p.benches, p.bits, p.insts)
+			res, err := sim.RunSSNWidthSampled(ctx, s.eng, p.benches, p.bits, p.insts, p.sample)
 			if err != nil {
 				return nil, err
 			}
@@ -791,7 +844,7 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	case "ssbf":
 		weight = 2 * len(p.benches)
 		run = func(ctx context.Context) (any, error) {
-			res, err := sim.RunSSBFUpdatePolicyContext(ctx, s.eng, p.benches, p.insts)
+			res, err := sim.RunSSBFUpdatePolicySampled(ctx, s.eng, p.benches, p.insts, p.sample)
 			if err != nil {
 				return nil, err
 			}

@@ -34,11 +34,13 @@
 package server
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"sync/atomic"
 	"time"
 
+	"svwsim/internal/pipeline"
 	"svwsim/internal/sim/engine"
 	"svwsim/internal/store"
 	"svwsim/internal/trace"
@@ -133,6 +135,11 @@ type Options struct {
 	SlowLogThreshold time.Duration
 	// SlowLogWriter receives slow-request lines (nil = os.Stderr).
 	SlowLogWriter io.Writer
+	// DefaultSample, when enabled, is the sampling spec applied to /v1/run,
+	// /v1/sweep and study requests that do not carry one of their own
+	// (request-level Sample* fields and the ?sample= study parameter always
+	// win). The zero value keeps every unmarked request exact.
+	DefaultSample pipeline.SampleSpec
 }
 
 // Server is the svwd HTTP service: one shared engine plus the store and
@@ -154,11 +161,19 @@ type Server struct {
 	peerLearn   bool
 	peerTimeout time.Duration
 	peerClient  *http.Client
+
+	// defaultSample is applied to requests that carry no sampling spec of
+	// their own (Options.DefaultSample).
+	defaultSample pipeline.SampleSpec
 }
 
 // New builds a Server from opts (see Options for zero-value defaults). It
-// fails only when a configured StoreDir cannot be opened.
+// fails when a configured StoreDir cannot be opened or DefaultSample is
+// incoherent.
 func New(opts Options) (*Server, error) {
+	if err := opts.DefaultSample.Validate(); err != nil {
+		return nil, fmt.Errorf("default sample spec: %w", err)
+	}
 	maxJobs := opts.MaxConcurrentJobs
 	if maxJobs == 0 {
 		maxJobs = DefaultMaxConcurrentJobs
@@ -197,19 +212,24 @@ func New(opts Options) (*Server, error) {
 		peerTimeout = DefaultPeerReadTimeout
 	}
 	s := &Server{
-		eng:          eng,
-		store:        st,
-		gate:         g,
-		tracer:       trace.NewTracer(opts.TraceBufferSize),
-		maxBody:      maxBody,
-		maxSweepJobs: maxSweep,
-		start:        time.Now(),
-		peers:        &peerSet{},
-		peerLearn:    opts.PeerLearn,
-		peerTimeout:  peerTimeout,
-		peerClient:   &http.Client{},
+		eng:           eng,
+		store:         st,
+		gate:          g,
+		tracer:        trace.NewTracer(opts.TraceBufferSize),
+		maxBody:       maxBody,
+		maxSweepJobs:  maxSweep,
+		start:         time.Now(),
+		peers:         &peerSet{},
+		peerLearn:     opts.PeerLearn,
+		peerTimeout:   peerTimeout,
+		peerClient:    &http.Client{},
+		defaultSample: opts.DefaultSample,
 	}
 	s.peers.set(opts.Peers, opts.PeerSelf)
+	// Sampled runs probe the shared store for warm-state checkpoints —
+	// local tiers first, then the key's rendezvous owner over the peer-read
+	// path — so one fast-forward serves the whole fabric.
+	eng.SetCheckpointStore(serverCheckpoints{s})
 	s.metrics = newServerMetrics(s, opts.ClientWeights)
 	if opts.SlowLogEnabled {
 		s.tracer.Slow = &trace.SlowLog{

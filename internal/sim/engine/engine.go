@@ -49,6 +49,12 @@ type Job struct {
 	Bench  string
 	// Insts bounds committed instructions (0 keeps the config's default).
 	Insts uint64
+	// Sample, when enabled, runs the job sampled: detailed windows of
+	// Warmup+Detail commits every Period instructions, the gaps
+	// fast-forwarded functionally, counters scaled back to the budget
+	// (sample.go). The spec is part of the memo key, so sampled results
+	// never collide with exact ones. The zero value is exact simulation.
+	Sample pipeline.SampleSpec
 }
 
 // JobResult pairs a job with its outcome. Results are always returned in
@@ -82,6 +88,8 @@ type Engine struct {
 	memoCap int                    // max memo entries (0 = unbounded)
 	hits    uint64
 	misses  uint64
+	ckpt    CheckpointStore // warm-state checkpoints for sampled runs (nil = none)
+	sample  SampleStats
 }
 
 type memoEntry struct {
@@ -336,7 +344,7 @@ func (e *Engine) execute(tr *trace.Trace, worker, workers, idx int, j Job,
 		return JobResult{Index: idx, Job: j, Result: res, Err: err, Memoized: true}
 	}
 
-	key := Fingerprint(j.Config, j.Bench, j.Insts)
+	key := SampledFingerprint(j.Config, j.Bench, j.Insts, j.Sample)
 	e.mu.Lock()
 	ent, ok := e.memo.Get(key) // a hit refreshes the entry's recency
 	if ok {
@@ -402,6 +410,14 @@ func (e *Engine) execute(tr *trace.Trace, worker, workers, idx int, j Job,
 	}
 }
 
+// runJob dispatches one job to the exact or sampled leaf executor.
+func (e *Engine) runJob(core *pipeline.Core, j Job) (Result, *pipeline.Core, error) {
+	if j.Sample.Enabled() {
+		return e.runSampledOn(core, j.Config, j.Bench, j.Insts, j.Sample)
+	}
+	return runOn(core, j.Config, j.Bench, j.Insts)
+}
+
 // runner is one worker's reusable simulator slot. It is owned by exactly
 // one worker goroutine; the timeout path hands its core to the run
 // goroutine and only takes it back through the result channel, so an
@@ -415,7 +431,7 @@ func (e *Engine) runWithTimeout(j Job, rn *runner) (Result, error) {
 	timeout := e.timeout
 	e.mu.Unlock()
 	if timeout <= 0 {
-		res, core, err := runOn(rn.core, j.Config, j.Bench, j.Insts)
+		res, core, err := e.runJob(rn.core, j)
 		rn.core = core
 		return res, err
 	}
@@ -428,7 +444,7 @@ func (e *Engine) runWithTimeout(j Job, rn *runner) (Result, error) {
 	rn.core = nil
 	ch := make(chan outcome, 1)
 	go func() {
-		res, c, err := runOn(core, j.Config, j.Bench, j.Insts)
+		res, c, err := e.runJob(core, j)
 		ch <- outcome{res, c, err}
 	}()
 	timer := time.NewTimer(timeout)

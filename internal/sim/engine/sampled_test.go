@@ -1,0 +1,203 @@
+package engine_test
+
+// Tests for sampled simulation at the engine level: the error bound of the
+// estimate against exact simulation, determinism across worker counts, and
+// checkpoint reuse across a configuration ladder and an engine restart.
+
+import (
+	"testing"
+
+	"svwsim/internal/pipeline"
+	"svwsim/internal/sim"
+	"svwsim/internal/sim/engine"
+	"svwsim/internal/store"
+)
+
+// refSpec is a sampling spec sized for accuracy: the per-window warm-up is
+// long enough to substantially re-warm the L2 over the state carried from
+// the previous window. Calibrated against the full registry on twolf at
+// 400k instructions (see TestSampledErrorBound's bounds).
+var refSpec = pipeline.SampleSpec{Warmup: 16_000, Detail: 4_000, Period: 40_000}
+
+// TestSampledErrorBound runs sampled-vs-exact across the config registry and
+// enforces the estimator's error bound. Sampled IPC carries a known,
+// uniform-across-configs downward bias: detailed windows re-incur
+// large-structure (L2) warm-up that the exact run pays only once, since
+// fast-forward legs advance memory functionally without touching the cache
+// hierarchy. The bound asserts that bias stays inside a band — and a teeth
+// control shows a degenerate spec (no warm-up, tiny windows) violates it, so
+// the band genuinely constrains.
+func TestSampledErrorBound(t *testing.T) {
+	const (
+		bench    = "twolf"
+		insts    = 400_000
+		ipcLo    = -0.45 // sampled IPC at most 45% below exact
+		ipcHi    = +0.10 // and at most 10% above
+		rexDelta = 0.08  // re-execution rate within ±0.08 absolute
+	)
+	names := sim.ConfigNames()
+	if testing.Short() {
+		names = []string{"base-nlq", "nlq+svw", "ssq+svw", "rle+svw"}
+	}
+	e := engine.New(4)
+	for _, name := range names {
+		cfg, ok := sim.ConfigByName(name)
+		if !ok {
+			t.Fatalf("config %q missing", name)
+		}
+		res, err := e.Run([]engine.Job{
+			{Config: cfg, Bench: bench, Insts: insts},
+			{Config: cfg, Bench: bench, Insts: insts, Sample: refSpec},
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, sampled := res[0].Result.Stats, res[1].Result.Stats
+		if sampled.Committed != insts {
+			t.Errorf("%s: sampled estimate covers %d insts, want %d", name, sampled.Committed, insts)
+		}
+		rel := (sampled.IPC() - exact.IPC()) / exact.IPC()
+		if rel < ipcLo || rel > ipcHi {
+			t.Errorf("%s: sampled IPC %.4f vs exact %.4f (rel %+.1f%%) outside [%g, %g]",
+				name, sampled.IPC(), exact.IPC(), 100*rel, 100*ipcLo, 100*ipcHi)
+		}
+		if d := sampled.RexRate() - exact.RexRate(); d < -rexDelta || d > rexDelta {
+			t.Errorf("%s: sampled rex rate %.5f vs exact %.5f (delta %+.5f) outside ±%g",
+				name, sampled.RexRate(), exact.RexRate(), d, rexDelta)
+		}
+	}
+
+	// Teeth: cold tiny windows with no warm-up must blow through the IPC
+	// band, proving the bound above can fail.
+	cfg, _ := sim.ConfigByName("nlq+svw")
+	bad := pipeline.SampleSpec{Warmup: 0, Detail: 100, Period: 8_000}
+	res, err := e.Run([]engine.Job{
+		{Config: cfg, Bench: bench, Insts: insts},
+		{Config: cfg, Bench: bench, Insts: insts, Sample: bad},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, sampled := res[0].Result.Stats, res[1].Result.Stats
+	if rel := (sampled.IPC() - exact.IPC()) / exact.IPC(); rel >= ipcLo {
+		t.Errorf("teeth control: degenerate spec %s within bound (rel %+.1f%%); the bound asserts nothing",
+			bad, 100*rel)
+	}
+}
+
+// TestSampledDeterminism: a sampled sweep is a pure function of its jobs —
+// worker count must not leak into results.
+func TestSampledDeterminism(t *testing.T) {
+	spec := pipeline.SampleSpec{Warmup: 2_000, Detail: 1_000, Period: 10_000}
+	var jobs []engine.Job
+	for _, name := range []string{"base-nlq", "nlq+svw", "ssq+svw"} {
+		cfg, _ := sim.ConfigByName(name)
+		for _, bench := range []string{"gcc", "twolf"} {
+			jobs = append(jobs, engine.Job{Config: cfg, Bench: bench, Insts: 60_000, Sample: spec})
+		}
+	}
+	serial, err := engine.New(1).Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := engine.New(4).Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if serial[i].Result != parallel[i].Result {
+			t.Errorf("job %d (%s on %s): j=1 and j=4 disagree:\n%+v\n%+v",
+				i, jobs[i].Bench, jobs[i].Config.Name, serial[i].Result, parallel[i].Result)
+		}
+	}
+}
+
+// TestSampledFingerprintDisjoint pins the memo-key contract: a zero spec
+// leaves the exact key untouched, an enabled spec can never collide with it,
+// and distinct specs get distinct keys.
+func TestSampledFingerprintDisjoint(t *testing.T) {
+	cfg, _ := sim.ConfigByName("nlq+svw")
+	exact := engine.Fingerprint(cfg, "gcc", 100_000)
+	if got := engine.SampledFingerprint(cfg, "gcc", 100_000, pipeline.SampleSpec{}); got != exact {
+		t.Errorf("zero spec changed the fingerprint:\n%s\n%s", got, exact)
+	}
+	a := engine.SampledFingerprint(cfg, "gcc", 100_000, pipeline.SampleSpec{Warmup: 1, Detail: 2, Period: 10})
+	b := engine.SampledFingerprint(cfg, "gcc", 100_000, pipeline.SampleSpec{Warmup: 0, Detail: 2, Period: 10})
+	if a == exact || b == exact || a == b {
+		t.Errorf("sampled fingerprints not disjoint: exact=%q a=%q b=%q", exact, a, b)
+	}
+}
+
+// TestCheckpointLadderReuse proves the checkpoint economics end to end:
+// within one engine, the first job of a ladder fast-forwards and every other
+// configuration rides its checkpoints; across an engine restart over the
+// same store, nothing fast-forwards at all.
+func TestCheckpointLadderReuse(t *testing.T) {
+	st, err := store.Open(store.Options{MemoryEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	spec := pipeline.SampleSpec{Warmup: 2_000, Detail: 1_000, Period: 10_000}
+	const insts = 100_000
+	// Fast-forward legs advance to skips 10k..90k: nine legs per job.
+	const legs = 9
+
+	var jobs []engine.Job
+	ladder := []string{"base-nlq", "nlq+svw", "nlq+svw-upd"}
+	for _, name := range ladder {
+		cfg, _ := sim.ConfigByName(name)
+		jobs = append(jobs, engine.Job{Config: cfg, Bench: "twolf", Insts: insts, Sample: spec})
+	}
+
+	e1 := engine.New(1)
+	e1.SetCheckpointStore(engine.StoreCheckpoints(st))
+	first, err := e1.Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := e1.Sample()
+	if s1.FastForwards != legs {
+		t.Errorf("first ladder: %d fast-forward legs, want %d (one config's worth)", s1.FastForwards, legs)
+	}
+	if s1.CheckpointPuts != legs {
+		t.Errorf("first ladder: %d checkpoint puts, want %d", s1.CheckpointPuts, legs)
+	}
+	if want := uint64(legs * (len(ladder) - 1)); s1.CheckpointHits != want {
+		t.Errorf("first ladder: %d checkpoint hits, want %d", s1.CheckpointHits, want)
+	}
+
+	// Restart: a fresh engine (empty memo) over the same store re-runs the
+	// ladder without a single fast-forward.
+	e2 := engine.New(1)
+	e2.SetCheckpointStore(engine.StoreCheckpoints(st))
+	second, err := e2.Run(jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := e2.Sample()
+	if s2.FastForwards != 0 {
+		t.Errorf("warm restart: %d fast-forward legs, want 0", s2.FastForwards)
+	}
+	if want := uint64(legs * len(ladder)); s2.CheckpointHits != want {
+		t.Errorf("warm restart: %d checkpoint hits, want %d", s2.CheckpointHits, want)
+	}
+
+	// Checkpoints must not perturb results: both ladders agree.
+	for i := range jobs {
+		if first[i].Result != second[i].Result {
+			t.Errorf("job %d: checkpointed re-run disagrees:\n%+v\n%+v", i, first[i].Result, second[i].Result)
+		}
+	}
+
+	// And a checkpoint-free engine produces the same numbers: checkpoints
+	// are purely an acceleration.
+	bare, err := engine.New(1).Run(jobs[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare[0].Result != first[0].Result {
+		t.Errorf("checkpointed vs checkpoint-free disagree:\n%+v\n%+v", bare[0].Result, first[0].Result)
+	}
+}

@@ -105,6 +105,17 @@ func gather(l Ladder, benches []string, rs []engine.JobResult) *LadderResult {
 	return res
 }
 
+// stampSample marks every job for sampled execution under spec. A zero
+// spec is a no-op, so exact studies keep byte-identical jobs and memo keys.
+func stampSample(jobs []engine.Job, spec pipeline.SampleSpec) []engine.Job {
+	if spec.Enabled() {
+		for i := range jobs {
+			jobs[i].Sample = spec
+		}
+	}
+	return jobs
+}
+
 // RunLadders executes several ladders as one flat job list on eng, so
 // configurations shared between ladders (and with any earlier sweep on the
 // same engine) run exactly once. Results are returned per ladder, in order.
@@ -115,11 +126,17 @@ func RunLadders(eng *engine.Engine, ladders []Ladder, benches []string, insts ui
 // RunLaddersContext is RunLadders with cancellation: queued-but-unstarted
 // jobs are skipped once ctx is done (see engine.RunContext).
 func RunLaddersContext(ctx context.Context, eng *engine.Engine, ladders []Ladder, benches []string, insts uint64) ([]*LadderResult, error) {
+	return RunLaddersSampled(ctx, eng, ladders, benches, insts, pipeline.SampleSpec{})
+}
+
+// RunLaddersSampled is RunLaddersContext with a sampling spec stamped on
+// every job (zero spec = exact, identical to RunLaddersContext).
+func RunLaddersSampled(ctx context.Context, eng *engine.Engine, ladders []Ladder, benches []string, insts uint64, spec pipeline.SampleSpec) ([]*LadderResult, error) {
 	var jobs []engine.Job
 	for _, l := range ladders {
 		jobs = append(jobs, LadderJobs(l, benches, insts)...)
 	}
-	rs, err := eng.RunContext(ctx, jobs, nil)
+	rs, err := eng.RunContext(ctx, stampSample(jobs, spec), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -214,6 +231,12 @@ func RunFig8With(eng *engine.Engine, benches []string, insts uint64) (*Fig8Resul
 
 // RunFig8Context is RunFig8With with cancellation.
 func RunFig8Context(ctx context.Context, eng *engine.Engine, benches []string, insts uint64) (*Fig8Result, error) {
+	return RunFig8Sampled(ctx, eng, benches, insts, pipeline.SampleSpec{})
+}
+
+// RunFig8Sampled is RunFig8Context with a sampling spec stamped on every
+// job (zero spec = exact).
+func RunFig8Sampled(ctx context.Context, eng *engine.Engine, benches []string, insts uint64, spec pipeline.SampleSpec) (*Fig8Result, error) {
 	vars := Fig8Variants()
 	out := &Fig8Result{Benches: benches, Variants: vars}
 	out.Rex = make([][]float64, len(vars))
@@ -232,7 +255,7 @@ func RunFig8Context(ctx context.Context, eng *engine.Engine, benches []string, i
 			})
 		}
 	}
-	rs, err := eng.RunContext(ctx, jobs, nil)
+	rs, err := eng.RunContext(ctx, stampSample(jobs, spec), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +290,12 @@ func RunSSNWidthWith(eng *engine.Engine, benches []string, bits []int, insts uin
 
 // RunSSNWidthContext is RunSSNWidthWith with cancellation.
 func RunSSNWidthContext(ctx context.Context, eng *engine.Engine, benches []string, bits []int, insts uint64) (*SSNWidthResult, error) {
+	return RunSSNWidthSampled(ctx, eng, benches, bits, insts, pipeline.SampleSpec{})
+}
+
+// RunSSNWidthSampled is RunSSNWidthContext with a sampling spec stamped on
+// every job (zero spec = exact).
+func RunSSNWidthSampled(ctx context.Context, eng *engine.Engine, benches []string, bits []int, insts uint64, spec pipeline.SampleSpec) (*SSNWidthResult, error) {
 	out := &SSNWidthResult{Benches: benches, Bits: bits}
 	out.IPC = make([][]float64, len(bits))
 	out.Drains = make([][]uint64, len(bits))
@@ -284,7 +313,7 @@ func RunSSNWidthContext(ctx context.Context, eng *engine.Engine, benches []strin
 			})
 		}
 	}
-	rs, err := eng.RunContext(ctx, jobs, nil)
+	rs, err := eng.RunContext(ctx, stampSample(jobs, spec), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -316,6 +345,12 @@ func RunSSBFUpdatePolicyWith(eng *engine.Engine, benches []string, insts uint64)
 
 // RunSSBFUpdatePolicyContext is RunSSBFUpdatePolicyWith with cancellation.
 func RunSSBFUpdatePolicyContext(ctx context.Context, eng *engine.Engine, benches []string, insts uint64) (*SSBFUpdateResult, error) {
+	return RunSSBFUpdatePolicySampled(ctx, eng, benches, insts, pipeline.SampleSpec{})
+}
+
+// RunSSBFUpdatePolicySampled is RunSSBFUpdatePolicyContext with a sampling
+// spec stamped on every job (zero spec = exact).
+func RunSSBFUpdatePolicySampled(ctx context.Context, eng *engine.Engine, benches []string, insts uint64, spec pipeline.SampleSpec) (*SSBFUpdateResult, error) {
 	out := &SSBFUpdateResult{
 		Benches:   benches,
 		RexSpec:   make([]float64, len(benches)),
@@ -339,7 +374,7 @@ func RunSSBFUpdatePolicyContext(ctx context.Context, eng *engine.Engine, benches
 			})
 		}
 	}
-	rs, err := eng.RunContext(ctx, jobs, nil)
+	rs, err := eng.RunContext(ctx, stampSample(jobs, spec), nil)
 	if err != nil {
 		return nil, err
 	}

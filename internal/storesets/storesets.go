@@ -148,6 +148,21 @@ func (s *StoreSets) allocSet() int32 {
 	return set
 }
 
+// FlushInflight invalidates every LFST entry while keeping the SSIT's
+// trained set assignments. The LFST names live store sequence numbers; when
+// a sampled-simulation window ends, those stores no longer exist, but the
+// PC-to-set training remains valid for the next window.
+func (s *StoreSets) FlushInflight() {
+	for i := range s.lfstValid {
+		s.lfstValid[i] = false
+	}
+}
+
+// ResetStats zeroes the predictor's event counters (trained state untouched).
+func (s *StoreSets) ResetStats() {
+	s.Trainings, s.Merges, s.LoadDeps, s.StoreDeps = 0, 0, 0, 0
+}
+
 // Clear empties the predictor (used by periodic-reset experiments).
 func (s *StoreSets) Clear() {
 	for i := range s.ssit {
